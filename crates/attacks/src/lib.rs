@@ -1,0 +1,37 @@
+//! # gshe-attacks
+//!
+//! Analytical attacks against camouflaged/locked netlists, reproducing the
+//! paper's Sec. V evaluation apparatus:
+//!
+//! * the oracle-guided **SAT attack** of Subramanyan et al. (\[8\], \[37\]) —
+//!   miter-based DIP refinement ([`sat_attack`]);
+//! * **Double DIP** (Shen & Zhou \[12\]) — each iteration rules out at least
+//!   two incorrect keys ([`double_dip_attack`]);
+//! * an **AppSAT**-style approximate attack (Shamsi et al. \[11\]) — SAT
+//!   attack interleaved with random-query error estimation and early exit
+//!   ([`appsat_attack`]);
+//! * oracles: a perfect working chip ([`NetlistOracle`]) and the tunable
+//!   **stochastic** GSHE chip of Sec. V-B ([`StochasticOracle`]) whose
+//!   per-cell error rates superpose into correlated output errors;
+//! * key verification by exact SAT equivalence ([`verify_key`]).
+//!
+//! The attacker's view of a [`gshe_camo::KeyedNetlist`] is its structure
+//! and per-cell candidate sets only; attacks never read the embedded
+//! correct key (it is used solely by oracles and verification).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appsat;
+pub mod double_dip;
+pub mod encode;
+pub mod metrics;
+pub mod oracle;
+pub mod sat_attack;
+
+pub use appsat::{appsat_attack, AppSatConfig};
+pub use double_dip::double_dip_attack;
+pub use encode::{assert_valid_key_codes, encode_keyed, encode_keyed_fixed, EncodedCopy};
+pub use metrics::{verify_key, KeyVerification};
+pub use oracle::{NetlistOracle, Oracle, StochasticOracle};
+pub use sat_attack::{sat_attack, AttackConfig, AttackOutcome, AttackStatus};

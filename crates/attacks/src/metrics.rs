@@ -1,0 +1,164 @@
+//! Key verification and attack-quality metrics.
+
+use crate::encode::encode_keyed;
+use gshe_camo::{CamoError, KeyedNetlist};
+use gshe_logic::{Netlist, PatternBlock, Simulator};
+use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Verdict on a recovered key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyVerification {
+    /// The key selects the defender's exact candidate at every cell.
+    pub structurally_correct: bool,
+    /// The resolved netlist is **provably** (SAT-checked) equivalent to the
+    /// original — the attacker's actual success criterion.
+    pub functionally_equivalent: bool,
+    /// Fraction of 4096 random patterns on which the resolved netlist
+    /// disagrees with the original (0.0 when equivalent).
+    pub sampled_error_rate: f64,
+}
+
+/// Verifies a recovered key against the original design: exact SAT
+/// equivalence of the resolved netlist plus a sampled error rate.
+///
+/// # Errors
+///
+/// Returns [`CamoError::KeyLengthMismatch`] if the key has the wrong width.
+pub fn verify_key(
+    original: &Netlist,
+    keyed: &KeyedNetlist,
+    key: &[bool],
+) -> Result<KeyVerification, CamoError> {
+    let resolved = keyed.resolve(key)?;
+    let functionally_equivalent = sat_equivalent(original, &resolved);
+    let sampled_error_rate = if functionally_equivalent {
+        0.0
+    } else {
+        sampled_error(original, &resolved, 64)
+    };
+    Ok(KeyVerification {
+        structurally_correct: keyed.key_is_structurally_correct(key),
+        functionally_equivalent,
+        sampled_error_rate,
+    })
+}
+
+/// Exact combinational equivalence via a SAT miter (both netlists must have
+/// identical interfaces).
+pub fn sat_equivalent(a: &Netlist, b: &Netlist) -> bool {
+    assert_eq!(a.inputs().len(), b.inputs().len(), "interface mismatch");
+    assert_eq!(a.outputs().len(), b.outputs().len(), "interface mismatch");
+    let mut solver = Solver::new();
+    let diff = {
+        let mut enc = CircuitEncoder::new(&mut solver);
+        let ca = encode_plain(&mut enc, a);
+        let cb = encode_plain(&mut enc, b);
+        for (x, y) in ca.0.iter().zip(&cb.0) {
+            enc.equal(*x, *y);
+        }
+        enc.miter(&ca.1, &cb.1)
+    };
+    solver.add_clause(&[diff]);
+    solver.solve() == SolveResult::Unsat
+}
+
+/// Encodes an ordinary netlist; returns (input lits, output lits).
+fn encode_plain(
+    enc: &mut CircuitEncoder<'_, Solver>,
+    nl: &Netlist,
+) -> (Vec<Lit>, Vec<Lit>) {
+    // Reuse the keyed encoder with an empty key by wrapping the netlist in
+    // a keyless KeyedNetlist.
+    let keyed = KeyedNetlist::new(nl.clone(), Vec::new(), 0);
+    let copy = encode_keyed(enc, &keyed, &[]);
+    (copy.inputs, copy.outputs)
+}
+
+/// Fraction of `blocks`×64 random patterns where the two netlists disagree
+/// on at least one output.
+pub fn sampled_error(a: &Netlist, b: &Netlist, blocks: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(0xE44);
+    let mut sim_a = Simulator::new(a);
+    let mut sim_b = Simulator::new(b);
+    let mut wrong = 0u64;
+    let mut total = 0u64;
+    for _ in 0..blocks {
+        let block = PatternBlock::random(a.inputs().len(), &mut rng);
+        let ya = sim_a.run(&block).expect("interface checked");
+        let yb = sim_b.run(&block).expect("interface checked");
+        let mut any_diff = 0u64;
+        for (p, q) in ya.iter().zip(&yb) {
+            any_diff |= p ^ q;
+        }
+        wrong += (any_diff & block.valid_mask()).count_ones() as u64;
+        total += block.count as u64;
+    }
+    wrong as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_camo::{camouflage, select_gates, CamoScheme};
+    use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+    use gshe_logic::Bf2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_netlists_are_equivalent() {
+        let a = parse_bench(C17_BENCH).unwrap();
+        let b = parse_bench(C17_BENCH).unwrap();
+        assert!(sat_equivalent(&a, &b));
+        assert_eq!(sampled_error(&a, &b, 4), 0.0);
+    }
+
+    #[test]
+    fn mutated_netlist_is_not_equivalent() {
+        let a = parse_bench(C17_BENCH).unwrap();
+        let mut b = parse_bench(C17_BENCH).unwrap();
+        let g = b.find("22").unwrap();
+        b.set_gate2_function(g, Bf2::NOR).unwrap();
+        assert!(!sat_equivalent(&a, &b));
+        assert!(sampled_error(&a, &b, 4) > 0.0);
+    }
+
+    #[test]
+    fn correct_key_verifies() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = select_gates(&nl, 1.0, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        let v = verify_key(&nl, &keyed, &keyed.correct_key()).unwrap();
+        assert!(v.structurally_correct);
+        assert!(v.functionally_equivalent);
+        assert_eq!(v.sampled_error_rate, 0.0);
+    }
+
+    #[test]
+    fn wrong_key_fails_verification() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = select_gates(&nl, 1.0, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        let mut key = keyed.correct_key();
+        for b in key.iter_mut() {
+            *b = !*b;
+        }
+        let v = verify_key(&nl, &keyed, &key).unwrap();
+        assert!(!v.structurally_correct);
+        assert!(!v.functionally_equivalent);
+        assert!(v.sampled_error_rate > 0.0);
+    }
+
+    #[test]
+    fn key_width_is_checked() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = select_gates(&nl, 1.0, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        assert!(verify_key(&nl, &keyed, &[true]).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Attack oracles: the working chip the adversary owns.
+
+use gshe_camo::KeyedNetlist;
+use gshe_logic::{Netlist, NodeId, NodeKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A black-box working chip: apply inputs, observe outputs.
+pub trait Oracle {
+    /// Queries the chip once.
+    fn query(&mut self, inputs: &[bool]) -> Vec<bool>;
+    /// Number of primary inputs.
+    fn num_inputs(&self) -> usize;
+    /// Number of primary outputs.
+    fn num_outputs(&self) -> usize;
+    /// Queries issued so far.
+    fn queries(&self) -> u64;
+}
+
+/// A perfect oracle backed by the original (unprotected) netlist.
+#[derive(Debug, Clone)]
+pub struct NetlistOracle<'a> {
+    netlist: &'a Netlist,
+    count: u64,
+}
+
+impl<'a> NetlistOracle<'a> {
+    /// Wraps the original design.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        NetlistOracle { netlist, count: 0 }
+    }
+}
+
+impl Oracle for NetlistOracle<'_> {
+    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        self.count += 1;
+        self.netlist.evaluate(inputs)
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.netlist.inputs().len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.netlist.outputs().len()
+    }
+
+    fn queries(&self) -> u64 {
+        self.count
+    }
+}
+
+/// The stochastic GSHE chip of Sec. V-B: every cloaked cell computes its
+/// *correct* function but its output flips with probability `error_rate`
+/// per evaluation (thermally induced stochastic switching, tunable per
+/// switch via I_S and the clock period). Errors at internal cells propagate
+/// and superpose, producing *stochastically correlated* behaviour at the
+/// primary outputs — precisely what breaks the consistency assumption of
+/// SAT-style attacks.
+#[derive(Debug, Clone)]
+pub struct StochasticOracle<'a> {
+    keyed: &'a KeyedNetlist,
+    /// Per-cell flip probability (1 − accuracy).
+    error_rate: f64,
+    noisy_nodes: HashSet<NodeId>,
+    rng: StdRng,
+    count: u64,
+}
+
+impl<'a> StochasticOracle<'a> {
+    /// Creates a stochastic chip over the *defender's* keyed netlist
+    /// (correct functions installed) with uniform per-cell `error_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error_rate` is outside `[0, 1]`.
+    pub fn new(keyed: &'a KeyedNetlist, error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate), "error rate must be in [0, 1]");
+        StochasticOracle {
+            noisy_nodes: keyed.camo_gates().iter().map(|g| g.node).collect(),
+            keyed,
+            error_rate,
+            rng: StdRng::seed_from_u64(seed ^ 0x570C_4A57),
+            count: 0,
+        }
+    }
+
+    /// The configured per-cell error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+}
+
+impl Oracle for StochasticOracle<'_> {
+    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        self.count += 1;
+        let nl = self.keyed.netlist();
+        assert_eq!(inputs.len(), nl.inputs().len(), "oracle input arity mismatch");
+        let mut val = vec![false; nl.len()];
+        let mut next_input = 0usize;
+        for (i, node) in nl.nodes().iter().enumerate() {
+            let mut v = match node.kind {
+                NodeKind::Input => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                NodeKind::Const(c) => c,
+                NodeKind::Gate1 { f, a } => f.eval(val[a.index()]),
+                NodeKind::Gate2 { f, a, b } => f.eval(val[a.index()], val[b.index()]),
+            };
+            if self.error_rate > 0.0
+                && self.noisy_nodes.contains(&NodeId(i as u32))
+                && self.rng.gen_bool(self.error_rate)
+            {
+                v = !v;
+            }
+            val[i] = v;
+        }
+        nl.outputs().iter().map(|o| val[o.index()]).collect()
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.keyed.netlist().inputs().len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.keyed.netlist().outputs().len()
+    }
+
+    fn queries(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_camo::{camouflage, select_gates, CamoScheme};
+    use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+
+    fn c17_keyed() -> (Netlist, KeyedNetlist) {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = select_gates(&nl, 1.0, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        (nl, keyed)
+    }
+
+    #[test]
+    fn netlist_oracle_counts_queries() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let mut o = NetlistOracle::new(&nl);
+        assert_eq!(o.queries(), 0);
+        let y = o.query(&[false; 5]);
+        assert_eq!(y.len(), 2);
+        assert_eq!(o.queries(), 1);
+        assert_eq!(o.num_inputs(), 5);
+        assert_eq!(o.num_outputs(), 2);
+    }
+
+    #[test]
+    fn zero_error_stochastic_oracle_matches_original() {
+        let (nl, keyed) = c17_keyed();
+        let mut o = StochasticOracle::new(&keyed, 0.0, 5);
+        for p in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
+            assert_eq!(o.query(&v), nl.evaluate(&v), "p={p}");
+        }
+    }
+
+    #[test]
+    fn high_error_oracle_disagrees_often() {
+        let (nl, keyed) = c17_keyed();
+        let mut o = StochasticOracle::new(&keyed, 0.5, 5);
+        let mut mismatches = 0;
+        for rep in 0..20 {
+            for p in 0..32u32 {
+                let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
+                if o.query(&v) != nl.evaluate(&v) {
+                    mismatches += 1;
+                }
+                let _ = rep;
+            }
+        }
+        assert!(mismatches > 100, "only {mismatches} mismatches at 50% error");
+    }
+
+    #[test]
+    fn small_error_rate_is_mostly_correct() {
+        let (nl, keyed) = c17_keyed();
+        let mut o = StochasticOracle::new(&keyed, 0.02, 6);
+        let mut mismatches = 0usize;
+        let trials = 640usize;
+        for rep in 0..(trials / 32) {
+            for p in 0..32u32 {
+                let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
+                if o.query(&v) != nl.evaluate(&v) {
+                    mismatches += 1;
+                }
+                let _ = rep;
+            }
+        }
+        let rate = mismatches as f64 / trials as f64;
+        // 6 cells × 2% ≈ 11% worst-case output error; must be well below 30%.
+        assert!(rate < 0.3, "output error rate {rate}");
+        assert!(mismatches > 0, "2% per-cell error should show up in 640 queries");
+    }
+
+    #[test]
+    fn oracle_is_reproducible_per_seed() {
+        let (_, keyed) = c17_keyed();
+        let inputs = [true, false, true, true, false];
+        let mut a = StochasticOracle::new(&keyed, 0.3, 42);
+        let mut b = StochasticOracle::new(&keyed, 0.3, 42);
+        for _ in 0..10 {
+            assert_eq!(a.query(&inputs), b.query(&inputs));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn error_rate_is_validated() {
+        let (_, keyed) = c17_keyed();
+        let _ = StochasticOracle::new(&keyed, 1.5, 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! The oracle-guided SAT attack of Subramanyan et al. (\[8\], \[37\]).
+//!
+//! Two copies of the keyed circuit share the primary inputs; a miter
+//! asserts their outputs differ. While SAT, the model's input assignment is
+//! a **discriminating input pattern (DIP)**: it distinguishes at least two
+//! key classes. The oracle is queried on the DIP and both key copies are
+//! constrained to reproduce the observed outputs, ruling out at least one
+//! wrong key class per iteration. When the miter goes UNSAT, any key
+//! consistent with the accumulated I/O constraints is functionally correct
+//! (for a deterministic oracle).
+
+use crate::encode::{
+    assert_outputs_equal, assert_valid_key_codes, encode_keyed, encode_keyed_fixed,
+};
+use crate::oracle::Oracle;
+use gshe_camo::KeyedNetlist;
+use gshe_sat::solver::Budget;
+use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver, SolverStats};
+use std::time::{Duration, Instant};
+
+/// Attack configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// Wall-clock budget (the paper's t-o column; 48 h there, seconds to
+    /// minutes at our scale).
+    pub timeout: Duration,
+    /// Hard cap on DIP iterations (`None` = unlimited).
+    pub max_iterations: Option<u64>,
+    /// Conflict budget per solver call; the attack checks the wall clock
+    /// between budget slices.
+    pub conflicts_per_slice: u64,
+    /// Variable budget (mirrors the paper's lglib 134M-variable failure).
+    pub max_vars: Option<usize>,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            timeout: Duration::from_secs(60),
+            max_iterations: None,
+            conflicts_per_slice: 20_000,
+            max_vars: Some(134_217_724),
+        }
+    }
+}
+
+impl AttackConfig {
+    /// Convenience constructor with a wall-clock budget in seconds.
+    pub fn with_timeout_secs(secs: u64) -> Self {
+        AttackConfig { timeout: Duration::from_secs(secs), ..Default::default() }
+    }
+}
+
+/// How an attack ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackStatus {
+    /// The DIP loop converged and a key was extracted.
+    Success,
+    /// The wall-clock budget ran out (the paper's "t-o").
+    Timeout,
+    /// The solver's resource budget was exhausted (the paper's
+    /// "computational failure" rows).
+    ResourceExhausted,
+    /// The accumulated I/O constraints became contradictory — no key can
+    /// explain the oracle's answers. The signature failure mode against the
+    /// stochastic GSHE oracle (Sec. V-B).
+    Inconsistent,
+}
+
+/// Attack result.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Terminal status.
+    pub status: AttackStatus,
+    /// The extracted key (on success).
+    pub key: Option<Vec<bool>>,
+    /// DIP iterations performed.
+    pub iterations: u64,
+    /// Oracle queries issued.
+    pub queries: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Final solver statistics.
+    pub solver_stats: SolverStats,
+}
+
+impl AttackOutcome {
+    /// `true` when a key was produced.
+    pub fn succeeded(&self) -> bool {
+        self.status == AttackStatus::Success
+    }
+}
+
+/// Solves with the wall clock checked between conflict-budget slices.
+/// Returns `None` on deadline/budget exhaustion.
+pub(crate) fn solve_sliced(
+    solver: &mut Solver,
+    assumptions: &[Lit],
+    deadline: Instant,
+    slice: u64,
+) -> Option<SolveResult> {
+    loop {
+        solver.set_budget(Budget { max_conflicts: Some(slice), max_vars: None });
+        match solver.solve_with(assumptions) {
+            SolveResult::Unknown => {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+            }
+            done => return Some(done),
+        }
+    }
+}
+
+/// Runs the SAT attack against `keyed` (attacker's view: structure and
+/// candidate sets only) using `oracle` as the working chip.
+pub fn sat_attack(
+    keyed: &KeyedNetlist,
+    oracle: &mut dyn Oracle,
+    config: &AttackConfig,
+) -> AttackOutcome {
+    let start = Instant::now();
+    let deadline = start + config.timeout;
+    let mut solver = Solver::new();
+    solver.set_budget(Budget { max_conflicts: None, max_vars: config.max_vars });
+
+    // Two key copies + shared-input symbolic copies + miter.
+    let key1: Vec<Lit> = (0..keyed.key_len()).map(|_| Lit::pos(solver.new_var())).collect();
+    let key2: Vec<Lit> = (0..keyed.key_len()).map(|_| Lit::pos(solver.new_var())).collect();
+    let diff = {
+        let mut enc = CircuitEncoder::new(&mut solver);
+        assert_valid_key_codes(&mut enc, keyed, &key1);
+        assert_valid_key_codes(&mut enc, keyed, &key2);
+        let copy1 = encode_keyed(&mut enc, keyed, &key1);
+        let copy2 = encode_keyed(&mut enc, keyed, &key2);
+        // Share the primary inputs between the copies.
+        for (a, b) in copy1.inputs.iter().zip(&copy2.inputs) {
+            enc.equal(*a, *b);
+        }
+        let diff = enc.miter(&copy1.outputs, &copy2.outputs);
+        // Remember input literals via copy1.
+        (diff, copy1.inputs)
+    };
+    let (diff_lit, input_lits) = diff;
+
+    let mut iterations = 0u64;
+    let queries_before = oracle.queries();
+
+    let finish = |status: AttackStatus,
+                  key: Option<Vec<bool>>,
+                  iterations: u64,
+                  solver: &Solver,
+                  oracle: &dyn Oracle| AttackOutcome {
+        status,
+        key,
+        iterations,
+        queries: oracle.queries() - queries_before,
+        elapsed: start.elapsed(),
+        solver_stats: solver.stats(),
+    };
+
+    loop {
+        if Instant::now() >= deadline {
+            return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
+        }
+        if let Some(max) = config.max_iterations {
+            if iterations >= max {
+                return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
+            }
+        }
+        match solve_sliced(&mut solver, &[diff_lit], deadline, config.conflicts_per_slice) {
+            None => return finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
+            Some(SolveResult::Sat) => {
+                iterations += 1;
+                // Extract the DIP and query the oracle.
+                let dip: Vec<bool> = input_lits.iter().map(|&l| solver.model_lit(l)).collect();
+                let y = oracle.query(&dip);
+                // Constrain both key copies to reproduce the observation.
+                let mut enc = CircuitEncoder::new(&mut solver);
+                for key in [&key1, &key2] {
+                    let outs = encode_keyed_fixed(&mut enc, keyed, key, &dip);
+                    assert_outputs_equal(&mut enc, &outs, &y);
+                }
+            }
+            Some(SolveResult::Unsat) => {
+                // Converged: extract any key consistent with the I/O
+                // constraints (without the miter assumption).
+                return match solve_sliced(&mut solver, &[], deadline, config.conflicts_per_slice)
+                {
+                    None => finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
+                    Some(SolveResult::Sat) => {
+                        let key: Vec<bool> =
+                            key1.iter().map(|&l| solver.model_lit(l)).collect();
+                        finish(AttackStatus::Success, Some(key), iterations, &solver, oracle)
+                    }
+                    Some(SolveResult::Unsat) => {
+                        finish(AttackStatus::Inconsistent, None, iterations, &solver, oracle)
+                    }
+                    Some(SolveResult::Unknown) => {
+                        finish(AttackStatus::ResourceExhausted, None, iterations, &solver, oracle)
+                    }
+                };
+            }
+            Some(SolveResult::Unknown) => {
+                return finish(AttackStatus::ResourceExhausted, None, iterations, &solver, oracle)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::verify_key;
+    use crate::oracle::{NetlistOracle, StochasticOracle};
+    use gshe_camo::{camouflage, select_gates, CamoScheme};
+    use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+    use gshe_logic::{GeneratorConfig, Netlist, NetlistGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn attack_and_verify(nl: &Netlist, scheme: CamoScheme, fraction: f64) -> AttackOutcome {
+        let picks = select_gates(nl, fraction, 55);
+        let mut rng = StdRng::seed_from_u64(55);
+        let keyed = camouflage(nl, &picks, scheme, &mut rng).unwrap();
+        let mut oracle = NetlistOracle::new(nl);
+        let out = sat_attack(&keyed, &mut oracle, &AttackConfig::with_timeout_secs(30));
+        assert_eq!(out.status, AttackStatus::Success, "{scheme}");
+        let key = out.key.as_ref().unwrap();
+        let v = verify_key(nl, &keyed, key).unwrap();
+        assert!(v.functionally_equivalent, "{scheme}: recovered key is wrong");
+        out
+    }
+
+    #[test]
+    fn c17_fully_camouflaged_is_broken_for_every_scheme() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        for scheme in CamoScheme::ALL {
+            attack_and_verify(&nl, scheme, 1.0);
+        }
+    }
+
+    #[test]
+    fn generated_circuit_20pct_gshe16() {
+        let nl = NetlistGenerator::new(GeneratorConfig::new("t", 10, 6, 150).with_seed(2))
+            .unwrap()
+            .generate();
+        let out = attack_and_verify(&nl, CamoScheme::GsheAll16, 0.2);
+        assert!(out.iterations > 0);
+        assert_eq!(out.queries, out.iterations);
+    }
+
+    #[test]
+    fn more_functions_need_no_fewer_dips() {
+        // Sanity on the paper's core observation: richer candidate sets
+        // do not make the attack easier (same circuit, same picks).
+        let nl = NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 80).with_seed(4))
+            .unwrap()
+            .generate();
+        let small = attack_and_verify(&nl, CamoScheme::InvBuf, 0.25);
+        let big = attack_and_verify(&nl, CamoScheme::GsheAll16, 0.25);
+        assert!(big.solver_stats.decisions >= small.solver_stats.decisions);
+    }
+
+    #[test]
+    fn zero_timeout_reports_timeout() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = select_gates(&nl, 1.0, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        let mut oracle = NetlistOracle::new(&nl);
+        let config = AttackConfig {
+            timeout: Duration::from_millis(0),
+            conflicts_per_slice: 1,
+            ..Default::default()
+        };
+        let out = sat_attack(&keyed, &mut oracle, &config);
+        assert_eq!(out.status, AttackStatus::Timeout);
+        assert!(out.key.is_none());
+    }
+
+    #[test]
+    fn stochastic_oracle_defeats_the_attack() {
+        // Sec. V-B: with a noisy oracle the attack either derives a wrong
+        // key or collapses to inconsistency — it must not recover the
+        // correct function reliably.
+        let nl = NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 60).with_seed(6))
+            .unwrap()
+            .generate();
+        let picks = select_gates(&nl, 0.5, 9);
+        let mut rng = StdRng::seed_from_u64(9);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        let mut failures = 0;
+        let trials = 4;
+        for seed in 0..trials {
+            let mut oracle = StochasticOracle::new(&keyed, 0.25, seed);
+            let out = sat_attack(&keyed, &mut oracle, &AttackConfig::with_timeout_secs(20));
+            let broken = match out.status {
+                AttackStatus::Inconsistent => true,
+                AttackStatus::Success => {
+                    let v = verify_key(&nl, &keyed, out.key.as_ref().unwrap()).unwrap();
+                    !v.functionally_equivalent
+                }
+                _ => true,
+            };
+            failures += broken as usize;
+        }
+        assert!(failures >= trials as usize - 1, "attack survived noise too often");
+    }
+}

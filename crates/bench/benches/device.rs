@@ -1,0 +1,47 @@
+//! Criterion benches for the device substrate, including the
+//! integrator ablation DESIGN.md calls out (implicit midpoint vs
+//! stochastic Heun).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gshe_core::device::integrator::{Integrator, MidpointIntegrator, StochasticHeun};
+use gshe_core::device::llgs::{LlgsSystem, PairState};
+use gshe_core::device::{GsheSwitch, SwitchParams, Vec3};
+
+fn bench_integrator_step(c: &mut Criterion) {
+    let sys = LlgsSystem::new(&SwitchParams::table_i());
+    let state = PairState {
+        m_w: Vec3::new(-0.95, 0.3, 0.1).normalized(),
+        m_r: Vec3::new(0.95, -0.3, 0.05).normalized(),
+    };
+    let mut group = c.benchmark_group("integrator_step");
+    let mid = MidpointIntegrator::default();
+    group.bench_function(BenchmarkId::new("ablation", "midpoint"), |b| {
+        b.iter(|| {
+            mid.step(&sys, state, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12).unwrap()
+        })
+    });
+    let heun = StochasticHeun;
+    group.bench_function(BenchmarkId::new("ablation", "heun"), |b| {
+        b.iter(|| {
+            heun.step(&sys, state, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_deterministic_write(c: &mut Criterion) {
+    c.bench_function("switch_write_20uA", |b| {
+        let mut sw = GsheSwitch::new(SwitchParams::table_i());
+        b.iter(|| {
+            sw.set_state(false);
+            sw.write_deterministic(20e-6, true)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_integrator_step, bench_deterministic_write
+}
+criterion_main!(benches);

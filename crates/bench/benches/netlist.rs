@@ -1,0 +1,62 @@
+//! Criterion benches for the logic substrate: bit-parallel simulation,
+//! generation, parsing, and STA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gshe_core::logic::bench_format::{parse_bench, write_bench, C17_BENCH};
+use gshe_core::logic::{GeneratorConfig, NetlistGenerator, PatternBlock, Simulator};
+use gshe_core::timing::{path_delay_histogram, DelayModel, TimingAnalysis};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_simulation(c: &mut Criterion) {
+    let nl = NetlistGenerator::new(GeneratorConfig::new("t", 64, 32, 10_000).with_seed(1))
+        .unwrap()
+        .generate();
+    let mut rng = StdRng::seed_from_u64(2);
+    let block = PatternBlock::random(64, &mut rng);
+    c.bench_function("simulate_10k_gates_64_patterns", |b| {
+        let mut sim = Simulator::new(&nl);
+        b.iter(|| sim.run(&block).unwrap())
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("generate_10k_gates", |b| {
+        b.iter(|| {
+            NetlistGenerator::new(GeneratorConfig::new("t", 64, 32, 10_000).with_seed(3))
+                .unwrap()
+                .generate()
+        })
+    });
+}
+
+fn bench_parse_round_trip(c: &mut Criterion) {
+    let nl = parse_bench(C17_BENCH).unwrap();
+    let big = write_bench(&nl);
+    c.bench_function("bench_format_round_trip_c17", |b| {
+        b.iter(|| parse_bench(&big).unwrap())
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let nl = NetlistGenerator::new(
+        GeneratorConfig::new("t", 64, 32, 20_000).with_seed(5).with_chain_bias(0.2),
+    )
+    .unwrap()
+    .generate();
+    let model = DelayModel::cmos_45nm();
+    let delays = model.node_delays(&nl);
+    c.bench_function("sta_20k_gates", |b| {
+        b.iter(|| TimingAnalysis::analyze(&nl, &delays))
+    });
+    c.bench_function("path_histogram_20k_gates", |b| {
+        b.iter(|| path_delay_histogram(&nl, &delays, 60, 0.5e-9))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation, bench_generation, bench_parse_round_trip, bench_sta
+}
+criterion_main!(benches);

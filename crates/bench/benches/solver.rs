@@ -1,0 +1,67 @@
+//! Criterion benches for the CDCL solver on pigeonhole instances
+//! (UNSAT, exercises learning) and random 3-SAT (near phase transition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gshe_core::sat::{Lit, SolveResult, Solver};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn php(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Lit>> =
+        (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+    for row in &p {
+        s.add_clause(row);
+    }
+    for j in 0..n - 1 {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[!p[i1][j], !p[i2][j]]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_pigeonhole");
+    for n in [6, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = php(n);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    c.bench_function("cdcl_random_3sat_100v", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut s = Solver::new();
+            let n = 100;
+            for _ in 0..n {
+                s.new_var();
+            }
+            for _ in 0..(4 * n) {
+                let clause: Vec<Lit> = (0..3)
+                    .map(|_| {
+                        let v = rng.gen_range(1..=n as i64);
+                        Lit::from_dimacs(if rng.gen_bool(0.5) { v } else { -v })
+                    })
+                    .collect();
+                s.add_clause(&clause);
+            }
+            s.solve()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pigeonhole, bench_random_3sat
+}
+criterion_main!(benches);

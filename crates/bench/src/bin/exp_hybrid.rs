@@ -1,0 +1,63 @@
+//! Regenerates the **Sec. V-A hybrid CMOS–GSHE study**: on the IBM
+//! superblue circuits, CMOS gates on non-critical paths are replaced with
+//! GSHE primitives such that no delay overhead arises (paper: 5–15% of all
+//! gates on average), and the resulting camouflaged designs cannot be
+//! resolved by SAT attacks within the budget.
+
+use gshe_bench::{runtime_cell, HarnessArgs};
+use gshe_core::attacks::{sat_attack, AttackConfig, AttackStatus, NetlistOracle};
+use gshe_core::logic::suites::{benchmark_scaled, spec};
+use gshe_core::timing::DelayModel;
+use gshe_core::{protect_delay_aware, Provisioning};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let model = DelayModel::cmos_45nm();
+    let config = AttackConfig { timeout: args.timeout, ..Default::default() };
+    println!(
+        "SEC. V-A — DELAY-AWARE HYBRID CMOS-GSHE PROTECTION (scale 1/{})",
+        args.scale
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10}",
+        "Bench", "gates", "replaced", "crit before", "crit after", "power dlt", "attack"
+    );
+    println!("{:-<76}", "");
+    let mut fractions = Vec::new();
+    for name in ["sb1", "sb5", "sb10", "sb12", "sb18"] {
+        if !args.only.is_empty() && name != args.only {
+            continue;
+        }
+        let nl = benchmark_scaled(spec(name).expect("spec"), args.scale, args.seed);
+        let (protected, hybrid) =
+            protect_delay_aware(&nl, &model, args.seed).expect("all-16 flow");
+        assert_eq!(protected.provisioning, Provisioning::SplitManufacturing);
+        fractions.push(hybrid.fraction);
+
+        let mut oracle = NetlistOracle::new(&nl);
+        let out = sat_attack(&protected.keyed, &mut oracle, &config);
+        let status = match out.status {
+            AttackStatus::Success => "success",
+            AttackStatus::Timeout => "timeout",
+            AttackStatus::Inconsistent => "inconsistent",
+            AttackStatus::ResourceExhausted => "exhausted",
+        };
+        println!(
+            "{:<8} {:>8} {:>8.1}% {:>10.2}ns {:>10.2}ns {:>9.1}% {:>10}",
+            name,
+            nl.gate_count(),
+            hybrid.fraction * 100.0,
+            hybrid.baseline_critical * 1e9,
+            hybrid.hybrid_critical * 1e9,
+            (hybrid.hybrid_power / hybrid.baseline_power - 1.0) * 100.0,
+            runtime_cell(status, out.elapsed.as_secs_f64())
+        );
+    }
+    if !fractions.is_empty() {
+        let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        println!("{:-<76}", "");
+        println!("mean replaced fraction: {:.1}% (paper: 5-15%)", mean * 100.0);
+        println!("zero delay overhead enforced by construction; attacks should time out");
+        println!("(paper: unresolved after 240 h, mostly with solver failures).");
+    }
+}

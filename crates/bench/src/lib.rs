@@ -1,0 +1,150 @@
+//! # gshe-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! paper's evaluation. Each artifact has a dedicated binary (see
+//! `src/bin/`), and Criterion benches in `benches/` measure the hot paths
+//! and the ablation comparisons DESIGN.md calls out.
+//!
+//! | Artifact | Binary |
+//! |----------|--------|
+//! | Table I   | `table1` |
+//! | Table II  | `table2` |
+//! | Table III | `table3` |
+//! | Table IV  | `table4` |
+//! | Fig. 2    | `fig2` |
+//! | Fig. 4    | `fig4` |
+//! | Fig. 5    | `fig5` |
+//! | Fig. 6    | `fig6` |
+//! | Sec. II s38584 study        | `exp_s38584` |
+//! | Sec. V-A Double DIP study   | `exp_double_dip` |
+//! | Sec. V-A hybrid CMOS–GSHE   | `exp_hybrid` |
+//! | Sec. V-B stochastic defense | `exp_stochastic` |
+//!
+//! Shared argument parsing and table rendering live here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Common command-line options for the harness binaries.
+///
+/// Parsed by hand (`--key value` pairs) to avoid pulling an argument-parsing
+/// dependency into the reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Benchmark-scale divisor (1 = paper-scale gate counts).
+    pub scale: usize,
+    /// Per-attack wall-clock budget.
+    pub timeout: Duration,
+    /// Monte Carlo sample count.
+    pub samples: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Restrict to one benchmark (empty = all).
+    pub only: String,
+    /// Protection levels as fractions (Table IV rows).
+    pub levels: Vec<f64>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 20,
+            timeout: Duration::from_secs(60),
+            samples: 2_000,
+            seed: 1,
+            only: String::new(),
+            levels: vec![0.10, 0.20, 0.30, 0.40],
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--scale N --timeout SECS --samples N --seed N --only NAME`
+    /// from `std::env::args`, falling back to the defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].as_str();
+            let value = argv.get(i + 1).unwrap_or_else(|| {
+                panic!("missing value for {key}; usage: --scale N --timeout SECS --samples N --seed N --only NAME")
+            });
+            match key {
+                "--scale" => args.scale = value.parse().expect("--scale takes an integer"),
+                "--timeout" => {
+                    args.timeout =
+                        Duration::from_secs(value.parse().expect("--timeout takes seconds"))
+                }
+                "--samples" => args.samples = value.parse().expect("--samples takes an integer"),
+                "--seed" => args.seed = value.parse().expect("--seed takes an integer"),
+                "--only" => args.only = value.clone(),
+                "--levels" => {
+                    args.levels = value
+                        .split(',')
+                        .map(|v| {
+                            v.parse::<f64>().expect("--levels takes percents, e.g. 10,20") / 100.0
+                        })
+                        .collect()
+                }
+                other => panic!("unknown option `{other}`"),
+            }
+            i += 2;
+        }
+        args
+    }
+}
+
+/// Renders a histogram line: a label, a unicode bar, and the value.
+pub fn bar_line(label: &str, value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    format!("{label:>10} | {:<width$} {value:.4}", "█".repeat(filled.min(width)))
+}
+
+/// Formats a runtime cell for Table IV: seconds, or `t-o` on timeout, or
+/// `fail` on resource exhaustion.
+pub fn runtime_cell(status: &str, secs: f64) -> String {
+    match status {
+        "success" => format!("{secs:.1}"),
+        "timeout" => "t-o".to_string(),
+        "inconsistent" => "incons".to_string(),
+        _ => "fail".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = HarnessArgs::default();
+        assert_eq!(a.scale, 20);
+        assert_eq!(a.timeout, Duration::from_secs(60));
+    }
+
+    #[test]
+    fn bar_line_scales() {
+        let l = bar_line("x", 5.0, 10.0, 10);
+        assert!(l.contains("█████"));
+        let empty = bar_line("x", 0.0, 10.0, 10);
+        assert!(!empty.contains('█'));
+    }
+
+    #[test]
+    fn runtime_cells() {
+        assert_eq!(runtime_cell("success", 12.34), "12.3");
+        assert_eq!(runtime_cell("timeout", 0.0), "t-o");
+        assert_eq!(runtime_cell("exhausted", 0.0), "fail");
+    }
+}

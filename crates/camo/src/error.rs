@@ -1,0 +1,66 @@
+//! Error type for the camouflaging crate.
+
+use gshe_logic::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from camouflaging transforms and keyed evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CamoError {
+    /// A selected node is not a gate (inputs/constants cannot be cloaked).
+    NotAGate(NodeId),
+    /// A key of the wrong length was supplied.
+    KeyLengthMismatch {
+        /// Bits the keyed netlist expects.
+        expected: usize,
+        /// Bits supplied.
+        got: usize,
+    },
+    /// The scheme cannot cloak the gate's function, even via the
+    /// complement/decomposition rules.
+    Uncloakable {
+        /// The offending node.
+        node: NodeId,
+        /// The function that could not be absorbed.
+        function: &'static str,
+    },
+    /// Input arity mismatch during keyed evaluation.
+    InputCountMismatch {
+        /// Inputs expected.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CamoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CamoError::NotAGate(n) => write!(f, "node {n} is not a gate"),
+            CamoError::KeyLengthMismatch { expected, got } => {
+                write!(f, "expected a {expected}-bit key, got {got} bits")
+            }
+            CamoError::Uncloakable { node, function } => {
+                write!(f, "scheme cannot cloak {function} at node {node}")
+            }
+            CamoError::InputCountMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for CamoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = CamoError::KeyLengthMismatch { expected: 8, got: 3 };
+        assert!(e.to_string().contains('8') && e.to_string().contains('3'));
+        assert!(CamoError::NotAGate(NodeId(4)).to_string().contains("n4"));
+    }
+}

@@ -1,0 +1,168 @@
+//! The camouflaging schemes compared in Table IV.
+
+use crate::keyed::Candidates;
+use gshe_logic::{Bf1, Bf2};
+use std::fmt;
+
+/// A camouflaging primitive: which Boolean functions one cloaked cell can
+/// hide among. Columns of Table IV, left to right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CamoScheme {
+    /// Rajendran et al. \[2\]: look-alike NAND/NOR/XOR cell (3 functions).
+    LookAlike,
+    /// Nirmala et al. \[3\] / Winograd et al. \[25\]: threshold-defined /
+    /// STT-LUT cell with NAND/NOR/XOR/XNOR/AND/OR (6 functions).
+    ThresholdSttLut,
+    /// Bi et al. \[19\]: SiNW camouflaging primitive (4 functions).
+    SiNw,
+    /// Alasad et al. \[24, c\] / Zhang \[35\]: camouflaged INV/BUF cell
+    /// (2 functions, one-input).
+    InvBuf,
+    /// Zhang et al. \[23\] / Alasad et al. \[24, a\]: AND/OR/NAND/NOR
+    /// (4 functions).
+    FourFn,
+    /// Parveen et al. \[20\]: DWM polymorphic gate,
+    /// NAND/NOR/XOR/XNOR/AND/OR/INV plus BUF (7+1 functions).
+    DwmPolymorphic,
+    /// **This work**: the GSHE primitive cloaking all 16 two-input Boolean
+    /// functions.
+    GsheAll16,
+}
+
+impl CamoScheme {
+    /// All schemes in the paper's Table IV column order.
+    pub const ALL: [CamoScheme; 7] = [
+        CamoScheme::LookAlike,
+        CamoScheme::ThresholdSttLut,
+        CamoScheme::SiNw,
+        CamoScheme::InvBuf,
+        CamoScheme::FourFn,
+        CamoScheme::DwmPolymorphic,
+        CamoScheme::GsheAll16,
+    ];
+
+    /// The candidate function set one cloaked cell hides among.
+    pub fn candidates(self) -> Candidates {
+        match self {
+            CamoScheme::LookAlike => {
+                Candidates::TwoInput(vec![Bf2::NAND, Bf2::NOR, Bf2::XOR])
+            }
+            CamoScheme::ThresholdSttLut => Candidates::TwoInput(vec![
+                Bf2::NAND,
+                Bf2::NOR,
+                Bf2::XOR,
+                Bf2::XNOR,
+                Bf2::AND,
+                Bf2::OR,
+            ]),
+            CamoScheme::SiNw => {
+                Candidates::TwoInput(vec![Bf2::NAND, Bf2::NOR, Bf2::XOR, Bf2::XNOR])
+            }
+            CamoScheme::InvBuf => Candidates::OneInput(vec![Bf1::Buf, Bf1::Inv]),
+            CamoScheme::FourFn => {
+                Candidates::TwoInput(vec![Bf2::AND, Bf2::OR, Bf2::NAND, Bf2::NOR])
+            }
+            CamoScheme::DwmPolymorphic => Candidates::TwoInput(vec![
+                Bf2::NAND,
+                Bf2::NOR,
+                Bf2::XOR,
+                Bf2::XNOR,
+                Bf2::AND,
+                Bf2::OR,
+                Bf2::NOT_A,
+                Bf2::BUF_A,
+            ]),
+            CamoScheme::GsheAll16 => Candidates::TwoInput(Bf2::ALL.to_vec()),
+        }
+    }
+
+    /// Number of cloaked functions (the `(n)*` annotation in Table IV).
+    pub fn cloaked_functions(self) -> usize {
+        match self.candidates() {
+            Candidates::TwoInput(v) => v.len(),
+            Candidates::OneInput(v) => v.len(),
+        }
+    }
+
+    /// Key bits per cloaked cell: ⌈log₂(candidates)⌉.
+    pub fn key_bits_per_gate(self) -> usize {
+        let n = self.cloaked_functions();
+        usize::BITS as usize - (n - 1).leading_zeros() as usize
+    }
+
+    /// The paper's column label (publication references).
+    pub const fn paper_column(self) -> &'static str {
+        match self {
+            CamoScheme::LookAlike => "[2]",
+            CamoScheme::ThresholdSttLut => "[3], [25]",
+            CamoScheme::SiNw => "[19]",
+            CamoScheme::InvBuf => "[24, c], [35]",
+            CamoScheme::FourFn => "[23], [24, a]",
+            CamoScheme::DwmPolymorphic => "[20]",
+            CamoScheme::GsheAll16 => "Our",
+        }
+    }
+}
+
+impl fmt::Display for CamoScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.paper_column(), self.cloaked_functions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloaked_counts_match_table_iv() {
+        assert_eq!(CamoScheme::LookAlike.cloaked_functions(), 3);
+        assert_eq!(CamoScheme::ThresholdSttLut.cloaked_functions(), 6);
+        assert_eq!(CamoScheme::SiNw.cloaked_functions(), 4);
+        assert_eq!(CamoScheme::InvBuf.cloaked_functions(), 2);
+        assert_eq!(CamoScheme::FourFn.cloaked_functions(), 4);
+        assert_eq!(CamoScheme::DwmPolymorphic.cloaked_functions(), 8); // 7+1
+        assert_eq!(CamoScheme::GsheAll16.cloaked_functions(), 16);
+    }
+
+    #[test]
+    fn key_bits_are_ceil_log2() {
+        assert_eq!(CamoScheme::LookAlike.key_bits_per_gate(), 2);
+        assert_eq!(CamoScheme::ThresholdSttLut.key_bits_per_gate(), 3);
+        assert_eq!(CamoScheme::SiNw.key_bits_per_gate(), 2);
+        assert_eq!(CamoScheme::InvBuf.key_bits_per_gate(), 1);
+        assert_eq!(CamoScheme::FourFn.key_bits_per_gate(), 2);
+        assert_eq!(CamoScheme::DwmPolymorphic.key_bits_per_gate(), 3);
+        assert_eq!(CamoScheme::GsheAll16.key_bits_per_gate(), 4);
+    }
+
+    #[test]
+    fn candidate_sets_are_distinct_functions() {
+        for s in CamoScheme::ALL {
+            if let Candidates::TwoInput(mut v) = s.candidates() {
+                let before = v.len();
+                v.sort_unstable();
+                v.dedup();
+                assert_eq!(v.len(), before, "{s} has duplicate candidates");
+            }
+        }
+    }
+
+    #[test]
+    fn ours_cloaks_everything() {
+        let Candidates::TwoInput(v) = CamoScheme::GsheAll16.candidates() else {
+            panic!("GSHE is a two-input scheme");
+        };
+        assert_eq!(v.len(), 16);
+        for f in Bf2::ALL {
+            assert!(v.contains(&f));
+        }
+    }
+
+    #[test]
+    fn display_mentions_citation() {
+        assert!(CamoScheme::GsheAll16.to_string().contains("Our"));
+        assert!(CamoScheme::LookAlike.to_string().contains("[2]"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Memorized gate selection.
+//!
+//! The paper's fairness protocol (Sec. V-A): *"gates are randomly selected
+//! once for each benchmark, memorized, and then reapplied across all
+//! techniques."* Selection is therefore a separate, seeded step whose
+//! output is passed to every scheme's [`crate::transform::camouflage`]
+//! call.
+
+use gshe_logic::{Netlist, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Selects `fraction` of all gates (0 < fraction ≤ 1), uniformly at random
+/// with a fixed `seed`. The returned list is sorted by node id so the same
+/// selection applies deterministically across techniques.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]`.
+pub fn select_gates(netlist: &Netlist, fraction: f64, seed: u64) -> Vec<NodeId> {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    let count = ((netlist.gate_count() as f64) * fraction).round().max(1.0) as usize;
+    select_gates_count(netlist, count, seed)
+}
+
+/// Selects exactly `count` gates (clamped to the gate count).
+pub fn select_gates_count(netlist: &Netlist, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut gates = netlist.gate_ids();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA30_5E1E);
+    gates.shuffle(&mut rng);
+    gates.truncate(count.min(gates.len()));
+    gates.sort_unstable();
+    gates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_logic::{GeneratorConfig, NetlistGenerator};
+
+    fn sample() -> Netlist {
+        NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 100).with_seed(3))
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn selection_is_memorized() {
+        let nl = sample();
+        assert_eq!(select_gates(&nl, 0.2, 9), select_gates(&nl, 0.2, 9));
+        assert_ne!(select_gates(&nl, 0.2, 9), select_gates(&nl, 0.2, 10));
+    }
+
+    #[test]
+    fn fraction_scales_count() {
+        let nl = sample();
+        assert_eq!(select_gates(&nl, 0.1, 1).len(), 10);
+        assert_eq!(select_gates(&nl, 0.5, 1).len(), 50);
+        assert_eq!(select_gates(&nl, 1.0, 1).len(), 100);
+    }
+
+    #[test]
+    fn selection_contains_only_gates() {
+        let nl = sample();
+        let picks = select_gates(&nl, 0.3, 4);
+        for id in picks {
+            assert!(nl.node(id).kind.is_gate());
+        }
+    }
+
+    #[test]
+    fn count_is_clamped() {
+        let nl = sample();
+        assert_eq!(select_gates_count(&nl, 10_000, 1).len(), 100);
+    }
+
+    #[test]
+    fn selection_is_sorted_and_distinct() {
+        let nl = sample();
+        let picks = select_gates(&nl, 0.4, 2);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(picks, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_rejected() {
+        let nl = sample();
+        let _ = select_gates(&nl, 0.0, 1);
+    }
+}

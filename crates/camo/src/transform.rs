@@ -1,0 +1,369 @@
+//! The camouflaging transform: netlist + memorized selection + scheme →
+//! [`KeyedNetlist`].
+//!
+//! Schemes with small candidate sets cannot directly cloak every function a
+//! synthesized netlist contains. The transform absorbs the mismatch the way
+//! a real camouflaging flow (resynthesis) would:
+//!
+//! 1. function ∈ set → cloak in place;
+//! 2. ¬function ∈ set → cloak the complement and emit a *visible* inverter;
+//! 3. XOR/XNOR with a NAND-capable set → rewrite as the 4-NAND tree and
+//!    cloak the output NAND (+ visible inverter for XNOR);
+//! 4. one-input gates → cloak as a degenerate two-input cell `f₂(a, a)`;
+//! 5. otherwise the gate is uncloakable under that scheme
+//!    ([`CamoError::Uncloakable`]).
+//!
+//! The INV/BUF scheme (\[24, c\], \[35\]) instead *inserts* a cloaked
+//! inverter-or-buffer cell behind the selected gate, randomly complementing
+//! the gate so that both candidate functions genuinely occur on chip.
+
+use crate::error::CamoError;
+use crate::keyed::{CamoGate, Candidates, KeyedNetlist};
+use crate::scheme::CamoScheme;
+use gshe_logic::{Bf1, Bf2, Netlist, NetlistBuilder, NodeId, NodeKind};
+use rand::Rng;
+
+/// Statistics of one camouflaging run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CamoReport {
+    /// Cells cloaked in place (rule 1).
+    pub direct: usize,
+    /// Cells cloaked via the complement rule (rule 2).
+    pub complemented: usize,
+    /// Cells cloaked via NAND-tree decomposition (rule 3).
+    pub decomposed: usize,
+    /// One-input gates cloaked as degenerate two-input cells (rule 4).
+    pub degenerate: usize,
+    /// Extra visible gates added by rules 2–3.
+    pub extra_gates: usize,
+    /// Total key bits.
+    pub key_bits: usize,
+}
+
+impl CamoReport {
+    /// Total cloaked cells.
+    pub fn protected(&self) -> usize {
+        self.direct + self.complemented + self.decomposed + self.degenerate
+    }
+}
+
+/// Camouflages `picks` (a memorized selection from
+/// [`crate::selection::select_gates`]) in `netlist` under `scheme`.
+///
+/// # Errors
+///
+/// Returns [`CamoError::NotAGate`] if a pick is not a gate and
+/// [`CamoError::Uncloakable`] if the scheme cannot absorb a picked gate's
+/// function.
+pub fn camouflage<R: Rng + ?Sized>(
+    netlist: &Netlist,
+    picks: &[NodeId],
+    scheme: CamoScheme,
+    rng: &mut R,
+) -> Result<KeyedNetlist, CamoError> {
+    camouflage_with_report(netlist, picks, scheme, rng).map(|(k, _)| k)
+}
+
+/// Like [`camouflage`], also returning the transform statistics.
+///
+/// # Errors
+///
+/// See [`camouflage`].
+pub fn camouflage_with_report<R: Rng + ?Sized>(
+    netlist: &Netlist,
+    picks: &[NodeId],
+    scheme: CamoScheme,
+    rng: &mut R,
+) -> Result<(KeyedNetlist, CamoReport), CamoError> {
+    let mut picked = vec![false; netlist.len()];
+    for &p in picks {
+        if !netlist.node(p).kind.is_gate() {
+            return Err(CamoError::NotAGate(p));
+        }
+        picked[p.index()] = true;
+    }
+
+    let mut b = NetlistBuilder::new(format!("{}_camo", netlist.name()));
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.len()];
+    let mut camo_gates: Vec<CamoGate> = Vec::with_capacity(picks.len());
+    let mut key_offset = 0usize;
+    let mut report = CamoReport::default();
+
+    let remap = |map: &[Option<NodeId>], id: NodeId| -> NodeId {
+        map[id.index()].expect("topological order guarantees the fanin exists")
+    };
+
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let old = NodeId(i as u32);
+        if !picked[i] {
+            let new_id = match node.kind {
+                NodeKind::Input => b.input(node.name.clone()),
+                NodeKind::Const(c) => b.constant(c),
+                NodeKind::Gate1 { f, a } => b.gate1(node.name.clone(), f, remap(&map, a)),
+                NodeKind::Gate2 { f, a, b: bb } => {
+                    b.gate2(node.name.clone(), f, remap(&map, a), remap(&map, bb))
+                }
+            };
+            map[i] = Some(new_id);
+            continue;
+        }
+
+        // Picked: emit the cloaked cell(s).
+        let candidates = scheme.candidates();
+        let (cell_node, correct_index, mapped) = match (&candidates, node.kind) {
+            (Candidates::OneInput(fs), kind) => {
+                // INV/BUF insertion behind the gate.
+                let invert = rng.gen_bool(0.5);
+                let pre = match kind {
+                    NodeKind::Gate1 { f, a } => {
+                        let f = if invert { f.complement() } else { f };
+                        b.gate1(format!("{}__camopre", node.name), f, remap(&map, a))
+                    }
+                    NodeKind::Gate2 { f, a, b: bb } => {
+                        let f = if invert { f.complement() } else { f };
+                        b.gate2(
+                            format!("{}__camopre", node.name),
+                            f,
+                            remap(&map, a),
+                            remap(&map, bb),
+                        )
+                    }
+                    _ => return Err(CamoError::NotAGate(old)),
+                };
+                let cell_fn = if invert { Bf1::Inv } else { Bf1::Buf };
+                let cell = b.gate1(node.name.clone(), cell_fn, pre);
+                let correct = fs
+                    .iter()
+                    .position(|&f| f == cell_fn)
+                    .expect("InvBuf candidates contain both functions");
+                report.degenerate += matches!(kind, NodeKind::Gate1 { .. }) as usize;
+                report.direct += matches!(kind, NodeKind::Gate2 { .. }) as usize;
+                report.extra_gates += 1;
+                (cell, correct, cell)
+            }
+            (Candidates::TwoInput(fs), NodeKind::Gate2 { f, a, b: bb }) => {
+                let (na, nb) = (remap(&map, a), remap(&map, bb));
+                if let Some(pos) = fs.iter().position(|&g| g == f) {
+                    let cell = b.gate2(node.name.clone(), f, na, nb);
+                    report.direct += 1;
+                    (cell, pos, cell)
+                } else if let Some(pos) = fs.iter().position(|&g| g == f.complement()) {
+                    let cell =
+                        b.gate2(format!("{}__camocell", node.name), f.complement(), na, nb);
+                    let inv = b.gate1(node.name.clone(), Bf1::Inv, cell);
+                    report.complemented += 1;
+                    report.extra_gates += 1;
+                    (cell, pos, inv)
+                } else if (f == Bf2::XOR || f == Bf2::XNOR) && fs.contains(&Bf2::NAND) {
+                    // 4-NAND tree; cloak the output NAND.
+                    let t1 = b.gate2(format!("{}__t1", node.name), Bf2::NAND, na, nb);
+                    let t2 = b.gate2(format!("{}__t2", node.name), Bf2::NAND, na, t1);
+                    let t3 = b.gate2(format!("{}__t3", node.name), Bf2::NAND, nb, t1);
+                    let pos = fs.iter().position(|&g| g == Bf2::NAND).expect("checked");
+                    report.decomposed += 1;
+                    if f == Bf2::XOR {
+                        let cell = b.gate2(node.name.clone(), Bf2::NAND, t2, t3);
+                        report.extra_gates += 3;
+                        (cell, pos, cell)
+                    } else {
+                        let cell =
+                            b.gate2(format!("{}__camocell", node.name), Bf2::NAND, t2, t3);
+                        let inv = b.gate1(node.name.clone(), Bf1::Inv, cell);
+                        report.extra_gates += 4;
+                        (cell, pos, inv)
+                    }
+                } else {
+                    return Err(CamoError::Uncloakable { node: old, function: f.name() });
+                }
+            }
+            (Candidates::TwoInput(fs), NodeKind::Gate1 { f, a }) => {
+                // Degenerate cell f₂(a, a) with f₂(v, v) = f(v).
+                let na = remap(&map, a);
+                let matches_direct =
+                    |g: &Bf2| (0..2).all(|v| g.eval(v == 1, v == 1) == f.eval(v == 1));
+                let matches_compl =
+                    |g: &Bf2| (0..2).all(|v| g.eval(v == 1, v == 1) == !f.eval(v == 1));
+                if let Some(pos) = fs.iter().position(matches_direct) {
+                    let cell = b.gate2(node.name.clone(), fs[pos], na, na);
+                    report.degenerate += 1;
+                    (cell, pos, cell)
+                } else if let Some(pos) = fs.iter().position(matches_compl) {
+                    let cell = b.gate2(format!("{}__camocell", node.name), fs[pos], na, na);
+                    let inv = b.gate1(node.name.clone(), Bf1::Inv, cell);
+                    report.degenerate += 1;
+                    report.extra_gates += 1;
+                    (cell, pos, inv)
+                } else {
+                    return Err(CamoError::Uncloakable { node: old, function: f.name() });
+                }
+            }
+            (_, NodeKind::Input | NodeKind::Const(_)) => {
+                return Err(CamoError::NotAGate(old))
+            }
+        };
+
+        let bits = candidates.key_bits();
+        camo_gates.push(CamoGate {
+            node: cell_node,
+            candidates,
+            key_offset,
+            correct_index,
+        });
+        key_offset += bits;
+        map[i] = Some(mapped);
+    }
+
+    for &o in netlist.outputs() {
+        b.output(remap(&map, o));
+    }
+    report.key_bits = key_offset;
+    let nl = b.finish().expect("transform preserves invariants");
+    Ok((KeyedNetlist::new(nl, camo_gates, key_offset), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::select_gates;
+    use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+    use gshe_logic::sim::random_equivalence_check;
+    use gshe_logic::{GeneratorConfig, NetlistGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Netlist {
+        NetlistGenerator::new(GeneratorConfig::new("t", 10, 5, 120).with_seed(21))
+            .unwrap()
+            .generate()
+    }
+
+    fn check_correct_key_preserves_function(scheme: CamoScheme) {
+        let nl = sample();
+        let picks = select_gates(&nl, 0.25, 77);
+        let mut rng = StdRng::seed_from_u64(1);
+        let keyed = camouflage(&nl, &picks, scheme, &mut rng).unwrap();
+        let resolved = keyed.resolve(&keyed.correct_key()).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(2);
+        assert_eq!(
+            random_equivalence_check(&nl, &resolved, 6, &mut rng2).unwrap(),
+            None,
+            "{scheme}: correct key must restore the original function"
+        );
+    }
+
+    #[test]
+    fn every_scheme_preserves_function_under_correct_key() {
+        for scheme in CamoScheme::ALL {
+            check_correct_key_preserves_function(scheme);
+        }
+    }
+
+    #[test]
+    fn key_bits_scale_with_scheme() {
+        let nl = sample();
+        let picks = select_gates(&nl, 0.25, 77);
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = camouflage(&nl, &picks, CamoScheme::InvBuf, &mut rng).unwrap();
+        let big = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        assert_eq!(small.key_len(), picks.len());
+        assert_eq!(big.key_len(), 4 * picks.len());
+    }
+
+    #[test]
+    fn report_accounts_for_every_pick() {
+        let nl = sample();
+        let picks = select_gates(&nl, 0.3, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for scheme in CamoScheme::ALL {
+            let (_, report) =
+                camouflage_with_report(&nl, &picks, scheme, &mut rng).unwrap();
+            assert_eq!(report.protected(), picks.len(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn lookalike_uses_complement_rule_for_and_or() {
+        // Generator netlists contain AND/OR which LookAlike {NAND,NOR,XOR}
+        // must absorb by complementing.
+        let nl = sample();
+        let picks = select_gates(&nl, 0.5, 6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, report) =
+            camouflage_with_report(&nl, &picks, CamoScheme::LookAlike, &mut rng).unwrap();
+        assert!(report.complemented > 0);
+        assert!(report.extra_gates > 0);
+    }
+
+    #[test]
+    fn fourfn_decomposes_xor() {
+        let nl = sample();
+        let picks = select_gates(&nl, 0.6, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (keyed, report) =
+            camouflage_with_report(&nl, &picks, CamoScheme::FourFn, &mut rng).unwrap();
+        assert!(report.decomposed > 0, "sample contains XOR/XNOR gates");
+        // Decomposition inflates the gate count.
+        assert!(keyed.netlist().gate_count() > nl.gate_count());
+    }
+
+    #[test]
+    fn c17_full_protection_all_schemes() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = nl.gate_ids();
+        for scheme in CamoScheme::ALL {
+            let mut rng = StdRng::seed_from_u64(9);
+            let keyed = camouflage(&nl, &picks, scheme, &mut rng).unwrap();
+            let resolved = keyed.resolve(&keyed.correct_key()).unwrap();
+            // c17 is tiny: exhaustively verify.
+            for p in 0..32u32 {
+                let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
+                assert_eq!(nl.evaluate(&v), resolved.evaluate(&v), "{scheme} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_key_usually_breaks_function() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = nl.gate_ids();
+        let mut rng = StdRng::seed_from_u64(10);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        let mut wrong = keyed.correct_key();
+        for b in wrong.iter_mut() {
+            *b = !*b;
+        }
+        let resolved = keyed.resolve(&wrong).unwrap();
+        let mut differs = false;
+        for p in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
+            if nl.evaluate(&v) != resolved.evaluate(&v) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "all-bits-flipped key should change c17's function");
+    }
+
+    #[test]
+    fn picking_an_input_is_rejected() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let input = nl.inputs()[0];
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(matches!(
+            camouflage(&nl, &[input], CamoScheme::GsheAll16, &mut rng),
+            Err(CamoError::NotAGate(_))
+        ));
+    }
+
+    #[test]
+    fn invbuf_produces_both_variants() {
+        let nl = sample();
+        let picks = select_gates(&nl, 0.5, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let keyed = camouflage(&nl, &picks, CamoScheme::InvBuf, &mut rng).unwrap();
+        let key = keyed.correct_key();
+        let bufs = key.iter().filter(|&&b| !b).count();
+        let invs = key.iter().filter(|&&b| b).count();
+        assert!(bufs > 0 && invs > 0, "both BUF and INV cells must occur");
+    }
+}

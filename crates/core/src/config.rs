@@ -1,0 +1,276 @@
+//! Terminal configurations of the GSHE primitive (Figs. 2 and 5).
+//!
+//! The primitive has **three input wires** feeding charge currents into the
+//! heavy-metal layer (uniform for all 16 functions — that is what makes the
+//! layout indistinguishable under optical RE), and two fixed-ferromagnet
+//! terminals `V⁺`/`V⁻`. A configuration assigns:
+//!
+//! * each input wire a current source: a logic signal (`A`, `B`), its
+//!   magneto-electrically transduced inverse (`¬A`, `¬B`), or a constant
+//!   tie current (`+I`, `−I`);
+//! * the read mode: a static voltage polarity, or voltages driven by a
+//!   data signal (the XOR/XNOR trick of Sec. III-C).
+//!
+//! Logic 1/0 is the *direction* of a current (`+I`/`−I`) throughout.
+
+use gshe_logic::Bf2;
+use std::fmt;
+
+/// Source of one of the three input charge currents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CurrentInput {
+    /// Signal A as a charge current (+I for logic 1).
+    A,
+    /// Transduced inverse of A.
+    NotA,
+    /// Signal B.
+    B,
+    /// Transduced inverse of B.
+    NotB,
+    /// Constant +I tie (logic-1 bias).
+    PlusI,
+    /// Constant −I tie (logic-0 bias).
+    MinusI,
+}
+
+impl CurrentInput {
+    /// Signed current in units of the unit charge current.
+    pub fn current(self, a: bool, b: bool) -> i32 {
+        let sign = |v: bool| if v { 1 } else { -1 };
+        match self {
+            CurrentInput::A => sign(a),
+            CurrentInput::NotA => sign(!a),
+            CurrentInput::B => sign(b),
+            CurrentInput::NotB => sign(!b),
+            CurrentInput::PlusI => 1,
+            CurrentInput::MinusI => -1,
+        }
+    }
+}
+
+impl fmt::Display for CurrentInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CurrentInput::A => "A",
+            CurrentInput::NotA => "A'",
+            CurrentInput::B => "B",
+            CurrentInput::NotB => "B'",
+            CurrentInput::PlusI => "+I",
+            CurrentInput::MinusI => "-I",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Read-phase voltage assignment at the fixed ferromagnets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadMode {
+    /// Static supply polarity. With `invert = false`, the output current
+    /// direction reports the R-NM state; swapping `V⁺`/`V⁻`
+    /// (`invert = true`) reports its complement.
+    Static {
+        /// Swap the supply polarity.
+        invert: bool,
+    },
+    /// Voltages driven by signal `B` and its inverse (the XOR/XNOR mode):
+    /// the output becomes `R ⊕ ¬B` (or its complement with `invert`).
+    DataDrivenB {
+        /// Swap which terminal receives `B`.
+        invert: bool,
+    },
+}
+
+/// A complete configuration of one GSHE primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GsheConfig {
+    /// The three input-wire current assignments.
+    pub currents: [CurrentInput; 3],
+    /// The read mode.
+    pub read: ReadMode,
+}
+
+impl GsheConfig {
+    /// The canonical configuration for each of the 16 Boolean functions
+    /// (the Fig. 5 gallery).
+    pub fn for_function(f: Bf2) -> GsheConfig {
+        use CurrentInput::*;
+        let stat = |invert| ReadMode::Static { invert };
+        match f {
+            // maj(A, B, −I) = AND → R holds ¬AND; report R for NAND,
+            // swap polarity for AND. maj(A, B, +I) = OR likewise.
+            Bf2::NAND => GsheConfig { currents: [A, B, MinusI], read: stat(false) },
+            Bf2::AND => GsheConfig { currents: [A, B, MinusI], read: stat(true) },
+            Bf2::NOR => GsheConfig { currents: [A, B, PlusI], read: stat(false) },
+            Bf2::OR => GsheConfig { currents: [A, B, PlusI], read: stat(true) },
+            // Inhibitions / implications via transduced inverses.
+            Bf2::A_AND_NOT_B => GsheConfig { currents: [A, NotB, MinusI], read: stat(true) },
+            Bf2::NOT_A_OR_B => GsheConfig { currents: [A, NotB, MinusI], read: stat(false) },
+            Bf2::NOT_A_AND_B => GsheConfig { currents: [NotA, B, MinusI], read: stat(true) },
+            Bf2::A_OR_NOT_B => GsheConfig { currents: [NotA, B, MinusI], read: stat(false) },
+            // Single-signal functions: all three wires carry the signal.
+            Bf2::BUF_A => GsheConfig { currents: [A, A, A], read: stat(true) },
+            Bf2::NOT_A => GsheConfig { currents: [A, A, A], read: stat(false) },
+            Bf2::BUF_B => GsheConfig { currents: [B, B, B], read: stat(true) },
+            Bf2::NOT_B => GsheConfig { currents: [B, B, B], read: stat(false) },
+            // Constants.
+            Bf2::TRUE => GsheConfig { currents: [PlusI, PlusI, PlusI], read: stat(true) },
+            Bf2::FALSE => GsheConfig { currents: [PlusI, PlusI, PlusI], read: stat(false) },
+            // XOR/XNOR: A writes the magnet, B drives the read voltages.
+            Bf2::XOR => {
+                GsheConfig { currents: [A, A, A], read: ReadMode::DataDrivenB { invert: false } }
+            }
+            _ => GsheConfig { currents: [A, A, A], read: ReadMode::DataDrivenB { invert: true } },
+        }
+    }
+
+    /// Net write current in unit-current multiples (∈ {−3, −1, +1, +3}).
+    pub fn net_current(&self, a: bool, b: bool) -> i32 {
+        self.currents.iter().map(|c| c.current(a, b)).sum()
+    }
+
+    /// Behavioral evaluation: current summation (majority) → W-NM state →
+    /// anti-parallel R-NM → read-out current direction.
+    pub fn evaluate(&self, a: bool, b: bool) -> bool {
+        let w_state = self.net_current(a, b) > 0;
+        let r_state = !w_state;
+        match self.read {
+            ReadMode::Static { invert } => r_state ^ invert,
+            ReadMode::DataDrivenB { invert } => (r_state ^ !b) ^ invert,
+        }
+    }
+
+    /// The Boolean function this configuration implements.
+    pub fn function(&self) -> Bf2 {
+        let mut tt = 0u8;
+        for row in 0..4u8 {
+            let a = row & 1 == 1;
+            let b = row & 2 == 2;
+            if self.evaluate(a, b) {
+                tt |= 1 << row;
+            }
+        }
+        Bf2::from_truth_table(tt)
+    }
+
+    /// The current-centric truth table of Fig. 2: one row per input
+    /// combination, with input/output currents rendered as `+I`/`-I`.
+    pub fn current_truth_table(&self) -> Vec<String> {
+        let fmt_i = |v: bool| if v { "+I" } else { "-I" };
+        let mut rows = Vec::with_capacity(4);
+        for row in 0..4u8 {
+            let a = row & 1 == 1;
+            let b = row & 2 == 2;
+            let wires: Vec<String> =
+                self.currents.iter().map(|c| format!("{:+}I", c.current(a, b)).replace("+1I", "+I").replace("-1I", "-I")).collect();
+            rows.push(format!(
+                "A={} B={} | wires: {} | out: {}",
+                fmt_i(a),
+                fmt_i(b),
+                wires.join(" "),
+                fmt_i(self.evaluate(a, b))
+            ));
+        }
+        rows
+    }
+}
+
+impl fmt::Display for GsheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] read={:?} -> {}",
+            self.currents[0],
+            self.currents[1],
+            self.currents[2],
+            self.read,
+            self.function()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sixteen_functions_have_a_configuration() {
+        // The Fig. 5 claim: every 2-input Boolean function is realizable.
+        for f in Bf2::ALL {
+            let cfg = GsheConfig::for_function(f);
+            assert_eq!(cfg.function(), f, "config for {f} computes {}", cfg.function());
+        }
+    }
+
+    #[test]
+    fn all_configurations_use_exactly_three_wires() {
+        // Layout uniformity (Sec. III-C): three input wires regardless of
+        // function — dummy (tie) wires included.
+        for f in Bf2::ALL {
+            let cfg = GsheConfig::for_function(f);
+            assert_eq!(cfg.currents.len(), 3);
+        }
+    }
+
+    #[test]
+    fn nand_nor_truth_tables_match_fig2() {
+        // Fig. 2: NAND — X=−I tie; output +I except when A=B=+I.
+        let nand = GsheConfig::for_function(Bf2::NAND);
+        assert_eq!(nand.currents[2], CurrentInput::MinusI);
+        assert!(nand.evaluate(false, false));
+        assert!(nand.evaluate(true, false));
+        assert!(nand.evaluate(false, true));
+        assert!(!nand.evaluate(true, true));
+        // NOR — X=+I tie; output −I except when A=B=−I.
+        let nor = GsheConfig::for_function(Bf2::NOR);
+        assert_eq!(nor.currents[2], CurrentInput::PlusI);
+        assert!(nor.evaluate(false, false));
+        assert!(!nor.evaluate(true, false));
+    }
+
+    #[test]
+    fn net_current_is_odd_multiple_of_unit() {
+        for f in Bf2::ALL {
+            let cfg = GsheConfig::for_function(f);
+            for a in [false, true] {
+                for b in [false, true] {
+                    let i = cfg.net_current(a, b);
+                    assert!(i.abs() == 1 || i.abs() == 3, "{f}: net current {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swapping_polarity_complements_the_function() {
+        for f in Bf2::ALL {
+            let cfg = GsheConfig::for_function(f);
+            let swapped = GsheConfig {
+                currents: cfg.currents,
+                read: match cfg.read {
+                    ReadMode::Static { invert } => ReadMode::Static { invert: !invert },
+                    ReadMode::DataDrivenB { invert } => {
+                        ReadMode::DataDrivenB { invert: !invert }
+                    }
+                },
+            };
+            assert_eq!(swapped.function(), f.complement(), "{f}");
+        }
+    }
+
+    #[test]
+    fn fig2_rows_render_currents() {
+        let rows = GsheConfig::for_function(Bf2::NAND).current_truth_table();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.contains("+I") || r.contains("-I"));
+        }
+        // The tie wire is −I in every row.
+        assert!(rows.iter().all(|r| r.contains("-I")));
+    }
+
+    #[test]
+    fn display_names_the_function() {
+        let s = GsheConfig::for_function(Bf2::XOR).to_string();
+        assert!(s.contains("XOR"), "{s}");
+    }
+}

@@ -1,0 +1,143 @@
+//! The device-backed GSHE primitive.
+//!
+//! [`GshePrimitive`] evaluates a [`GsheConfig`] through the *physics*: the
+//! three input charge currents are summed in the heavy metal, the sLLGS
+//! write switches the W-NM, the dipolar coupling flips the R-NM
+//! anti-parallel, and the read-out circuit converts the R-NM state plus the
+//! applied voltage polarity into an output current direction. The
+//! behavioral model in [`GsheConfig::evaluate`] is the idealization this
+//! module's tests validate against.
+
+use crate::config::{GsheConfig, ReadMode};
+use gshe_device::{GsheSwitch, ReadoutCircuit, SwitchParams};
+use gshe_logic::Bf2;
+
+/// One physical GSHE primitive instance with a loaded configuration.
+#[derive(Debug, Clone)]
+pub struct GshePrimitive {
+    switch: GsheSwitch,
+    readout: ReadoutCircuit,
+    config: GsheConfig,
+    /// Unit charge current per input wire, A. Chosen so a lone net current
+    /// still delivers the deterministic-switching spin current
+    /// (I_S = β·I_C ≥ 20 µA).
+    unit_current: f64,
+}
+
+impl GshePrimitive {
+    /// Builds a primitive with Table I device parameters.
+    pub fn new(config: GsheConfig) -> Self {
+        Self::with_params(config, SwitchParams::table_i())
+    }
+
+    /// Builds a primitive with explicit device parameters.
+    pub fn with_params(config: GsheConfig, params: SwitchParams) -> Self {
+        let beta = params.beta();
+        GshePrimitive {
+            readout: ReadoutCircuit::new(&params),
+            switch: GsheSwitch::new(params),
+            config,
+            unit_current: 20e-6 / beta,
+        }
+    }
+
+    /// The loaded configuration.
+    pub fn config(&self) -> &GsheConfig {
+        &self.config
+    }
+
+    /// Reconfigures the primitive at runtime (true polymorphism — the
+    /// physical device is untouched; only terminal assignments change).
+    pub fn reconfigure(&mut self, config: GsheConfig) {
+        self.config = config;
+    }
+
+    /// Convenience: reconfigure to the canonical config of `f`.
+    pub fn set_function(&mut self, f: Bf2) {
+        self.config = GsheConfig::for_function(f);
+    }
+
+    /// Evaluates the primitive through the device physics (deterministic,
+    /// T = 0 trajectory with the thermal-mean initial tilt).
+    ///
+    /// Returns the logic value encoded in the output current direction.
+    pub fn evaluate_device(&mut self, a: bool, b: bool) -> bool {
+        // Write phase: sum the charge currents, convert to spin current.
+        let net = self.config.net_current(a, b);
+        let i_c = net.abs() as f64 * self.unit_current;
+        let beta = self.switch.params().beta();
+        let outcome = self.switch.write_deterministic(beta * i_c, net > 0);
+        debug_assert!(outcome.switched, "deterministic write must complete");
+        // Read phase: R-NM state + polarity → output current direction.
+        let r_state = self.switch.read_state();
+        match self.config.read {
+            ReadMode::Static { invert } => r_state ^ invert,
+            ReadMode::DataDrivenB { invert } => (r_state ^ !b) ^ invert,
+        }
+    }
+
+    /// Output current magnitude during read, A (I_OUT = I_S/β).
+    pub fn output_current(&self) -> f64 {
+        self.readout.operating_point(20e-6).i_out
+    }
+
+    /// Read power of this instance, W.
+    pub fn read_power(&self) -> f64 {
+        self.readout.operating_point(20e-6).power
+    }
+
+    /// The switching delay of the last write, s — or `None` before any
+    /// write. (The paper's propagation delay is the 1.55 ns Fig. 4 mean.)
+    pub fn behavioral(&self) -> Bf2 {
+        self.config.function()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_level_gallery_matches_fig5() {
+        // Every one of the 16 functions, evaluated through the physics on
+        // all four input rows, must match its truth table — the full
+        // device-level reproduction of Fig. 5.
+        for f in Bf2::ALL {
+            let mut prim = GshePrimitive::new(GsheConfig::for_function(f));
+            for row in 0..4u8 {
+                let a = row & 1 == 1;
+                let b = row & 2 == 2;
+                assert_eq!(
+                    prim.evaluate_device(a, b),
+                    f.eval(a, b),
+                    "{f} at a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_reconfiguration_switches_functions() {
+        let mut prim = GshePrimitive::new(GsheConfig::for_function(Bf2::NAND));
+        assert!(!prim.evaluate_device(true, true));
+        prim.set_function(Bf2::OR);
+        assert!(prim.evaluate_device(true, true));
+        assert_eq!(prim.behavioral(), Bf2::OR);
+        prim.set_function(Bf2::XOR);
+        assert!(!prim.evaluate_device(true, true));
+        assert!(prim.evaluate_device(true, false));
+    }
+
+    #[test]
+    fn output_current_is_microamp_scale() {
+        let prim = GshePrimitive::new(GsheConfig::for_function(Bf2::AND));
+        let i = prim.output_current();
+        assert!(i > 1e-6 && i < 10e-6, "I_OUT = {i}");
+    }
+
+    #[test]
+    fn read_power_matches_table_ii() {
+        let prim = GshePrimitive::new(GsheConfig::for_function(Bf2::AND));
+        assert!((prim.read_power() - 0.2125e-6).abs() / 0.2125e-6 < 0.025);
+    }
+}

@@ -1,0 +1,31 @@
+//! Calibration diagnostic: prints the Fig. 4 summary statistics and one
+//! deterministic write, for checking the device parameters against the
+//! paper's 1.55 ns mean delay at I_S = 20 uA.
+//!
+//! Run with `cargo run --release -p gshe-device --example calib`.
+
+use gshe_device::{
+    DelayHistogram, GsheSwitch, MonteCarlo, MonteCarloConfig, SwitchParams,
+};
+
+fn main() {
+    let mc = MonteCarlo::new(MonteCarloConfig { samples: 400, seed: 9, ..Default::default() });
+    for i_s in [20e-6, 60e-6, 100e-6] {
+        let s = mc.run(i_s);
+        let h = DelayHistogram::from_samples(&s, 60, 6e-9);
+        println!(
+            "I_S={:>3.0} uA  mean={:.3} ns  std={:.3} ns  timeout={:.3}",
+            i_s * 1e6,
+            h.mean * 1e9,
+            h.std_dev * 1e9,
+            h.timeout_fraction
+        );
+    }
+    let mut sw = GsheSwitch::new(SwitchParams::table_i());
+    let o = sw.write_deterministic(20e-6, true);
+    println!(
+        "deterministic delay @20uA: {:.3} ns switched={}",
+        o.delay * 1e9,
+        o.switched
+    );
+}

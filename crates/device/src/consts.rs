@@ -1,0 +1,49 @@
+//! Physical constants (CODATA 2018 exact/recommended values), SI units.
+
+/// Gyromagnetic ratio of the free electron, rad s⁻¹ T⁻¹.
+pub const GAMMA_E: f64 = 1.760_859_630_23e11;
+
+/// Vacuum permeability μ₀, T m A⁻¹ (≈ 4π × 10⁻⁷).
+pub const MU_0: f64 = 1.256_637_062_12e-6;
+
+/// Boltzmann constant k_B, J K⁻¹ (exact).
+pub const K_B: f64 = 1.380_649e-23;
+
+/// Reduced Planck constant ħ, J s (exact).
+pub const H_BAR: f64 = 1.054_571_817e-34;
+
+/// Elementary charge e, C (exact).
+pub const Q_E: f64 = 1.602_176_634e-19;
+
+/// Bohr magneton μ_B, J T⁻¹.
+pub const MU_B: f64 = 9.274_010_078_3e-24;
+
+/// Room temperature used throughout the paper's simulations, K.
+pub const ROOM_TEMPERATURE: f64 = 300.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mu0_is_close_to_4pi_e7() {
+        let four_pi_e7 = 4.0 * std::f64::consts::PI * 1e-7;
+        assert!((MU_0 - four_pi_e7).abs() / four_pi_e7 < 1e-9);
+    }
+
+    #[test]
+    fn bohr_magneton_consistency() {
+        // μ_B = e ħ / (2 m_e); check against m_e = 9.1093837015e-31 kg.
+        let m_e = 9.109_383_701_5e-31;
+        let mu_b = Q_E * H_BAR / (2.0 * m_e);
+        assert!((mu_b - MU_B).abs() / MU_B < 1e-6);
+    }
+
+    #[test]
+    fn gamma_from_g_factor() {
+        // γ = g μ_B / ħ with g ≈ 2.002319.
+        let g = 2.002_319_304_362_56;
+        let gamma = g * MU_B / H_BAR;
+        assert!((gamma - GAMMA_E).abs() / GAMMA_E < 1e-6);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the device crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or simulating a GSHE device.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A geometric or material parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The implicit midpoint fixed-point iteration failed to converge.
+    MidpointDiverged {
+        /// Simulation time at which convergence failed, s.
+        time: f64,
+        /// Residual after the final iteration.
+        residual: f64,
+    },
+    /// A simulation ran past its time horizon without the magnet switching.
+    SwitchTimeout {
+        /// The horizon that was exhausted, s.
+        horizon: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, value } => {
+                write!(f, "invalid device parameter {name} = {value}")
+            }
+            DeviceError::MidpointDiverged { time, residual } => write!(
+                f,
+                "midpoint iteration diverged at t = {time:.3e} s (residual {residual:.3e})"
+            ),
+            DeviceError::SwitchTimeout { horizon } => {
+                write!(f, "magnet did not switch within {horizon:.3e} s")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DeviceError::InvalidParameter { name: "ms", value: -1.0 };
+        let s = e.to_string();
+        assert!(s.contains("ms"));
+        assert!(s.starts_with("invalid"));
+
+        let e = DeviceError::SwitchTimeout { horizon: 1e-8 };
+        assert!(e.to_string().contains("switch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,146 @@
+//! Read-out equivalent circuit and power model (Fig. 3 inset, Sec. III-B).
+//!
+//! During read-out, voltages `+V_SUP` and `−V_SUP` are applied to the two
+//! fixed ferromagnets. The path through the ferromagnet *parallel* to the
+//! R-NM has conductance `G_P`, the anti-parallel path `G_AP`; the output
+//! node sits above the heavy-metal resistance `r`. The output voltage and
+//! the read power follow the paper's closed forms:
+//!
+//! ```text
+//! V_SUP = (I_S/β) · (1 + r (G_P + G_AP)) / (G_P − G_AP)
+//! V_OUT = I_S r / β
+//! P     = V_OUT²/r + (V_SUP − V_OUT)² G_P + (V_OUT + V_SUP)² G_AP
+//! ```
+//!
+//! For Table I at I_S = 20 µA these evaluate to P = 0.2125 µW and, with the
+//! 1.55 ns mean delay, E = 0.33 fJ — the "This work" row of Table II.
+
+use crate::material::SwitchParams;
+
+/// Operating point of the read-out circuit at a given spin current.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadoutPoint {
+    /// Spin current the read-out is sized for, A.
+    pub i_s: f64,
+    /// Supply magnitude |V⁺| = |V⁻|, V.
+    pub v_sup: f64,
+    /// Output node voltage, V.
+    pub v_out: f64,
+    /// Output current magnitude `I_OUT = I_S/β`, A (direction encodes the
+    /// logic value).
+    pub i_out: f64,
+    /// Static read power including leakage through the anti-parallel path, W.
+    pub power: f64,
+}
+
+/// The read-out equivalent circuit of one GSHE switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadoutCircuit {
+    /// Parallel-path conductance G_P, S.
+    pub g_p: f64,
+    /// Anti-parallel-path conductance G_AP, S.
+    pub g_ap: f64,
+    /// Heavy-metal resistance r, Ω.
+    pub r: f64,
+    /// Internal gain β.
+    pub beta: f64,
+}
+
+impl ReadoutCircuit {
+    /// Builds the circuit from switch parameters.
+    pub fn new(params: &SwitchParams) -> Self {
+        ReadoutCircuit {
+            g_p: params.g_parallel(),
+            g_ap: params.g_antiparallel(),
+            r: params.heavy_metal.resistance(),
+            beta: params.beta(),
+        }
+    }
+
+    /// Solves the operating point for spin current `i_s` (A).
+    pub fn operating_point(&self, i_s: f64) -> ReadoutPoint {
+        let v_out = i_s * self.r / self.beta;
+        let v_sup =
+            (i_s / self.beta) * (1.0 + self.r * (self.g_p + self.g_ap)) / (self.g_p - self.g_ap);
+        let power = v_out * v_out / self.r
+            + (v_sup - v_out).powi(2) * self.g_p
+            + (v_out + v_sup).powi(2) * self.g_ap;
+        ReadoutPoint { i_s, v_sup, v_out, i_out: i_s / self.beta, power }
+    }
+
+    /// Read energy for a read lasting `duration` seconds, J.
+    pub fn energy(&self, i_s: f64, duration: f64) -> f64 {
+        self.operating_point(i_s).power * duration
+    }
+
+    /// Verifies Kirchhoff consistency of an operating point: the current
+    /// leaving through the heavy metal equals the net current injected by
+    /// the two fixed-ferromagnet paths. Returns the relative error.
+    pub fn kirchhoff_residual(&self, pt: &ReadoutPoint) -> f64 {
+        let i_hm = pt.v_out / self.r;
+        let i_p = (pt.v_sup - pt.v_out) * self.g_p;
+        let i_ap = (-pt.v_sup - pt.v_out) * self.g_ap;
+        let net_in = i_p + i_ap;
+        (net_in - i_hm).abs() / i_hm.abs().max(1e-30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_i_circuit() -> ReadoutCircuit {
+        ReadoutCircuit::new(&SwitchParams::table_i())
+    }
+
+    #[test]
+    fn power_matches_paper_0_2125_uw() {
+        let c = table_i_circuit();
+        let pt = c.operating_point(20e-6);
+        assert!(
+            (pt.power - 0.2125e-6).abs() / 0.2125e-6 < 0.025,
+            "P = {} uW",
+            pt.power * 1e6
+        );
+    }
+
+    #[test]
+    fn energy_matches_paper_0_33_fj() {
+        let c = table_i_circuit();
+        let e = c.energy(20e-6, 1.55e-9);
+        assert!((e - 0.33e-15).abs() / 0.33e-15 < 0.025, "E = {} fJ", e * 1e15);
+    }
+
+    #[test]
+    fn output_voltage_is_is_r_over_beta() {
+        let c = table_i_circuit();
+        let pt = c.operating_point(20e-6);
+        // V_OUT = 20µA × 1kΩ / 6 ≈ 3.33 mV.
+        assert!((pt.v_out - 3.333e-3).abs() < 1e-5);
+        // I_OUT = I_S/β ≈ 3.33 µA.
+        assert!((pt.i_out - 3.333e-6).abs() < 1e-8);
+    }
+
+    #[test]
+    fn operating_point_satisfies_kirchhoff() {
+        let c = table_i_circuit();
+        let pt = c.operating_point(20e-6);
+        assert!(c.kirchhoff_residual(&pt) < 1e-9, "residual {}", c.kirchhoff_residual(&pt));
+    }
+
+    #[test]
+    fn power_scales_quadratically_with_current() {
+        let c = table_i_circuit();
+        let p1 = c.operating_point(20e-6).power;
+        let p2 = c.operating_point(40e-6).power;
+        assert!((p2 / p1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supply_voltage_is_about_20_mv() {
+        let c = table_i_circuit();
+        let pt = c.operating_point(20e-6);
+        assert!(pt.v_sup > 15e-3 && pt.v_sup < 25e-3, "V_SUP = {}", pt.v_sup);
+        assert!(pt.v_sup > pt.v_out);
+    }
+}

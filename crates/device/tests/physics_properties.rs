@@ -1,0 +1,141 @@
+//! Property-based tests on the device physics: demag tensor invariants,
+//! vector algebra, energy monotonicity under damping, and thermal-field
+//! statistics.
+
+use gshe_device::fields::Demagnetization;
+use gshe_device::integrator::{Integrator, MidpointIntegrator};
+use gshe_device::llgs::{LlgsSystem, PairState};
+use gshe_device::{demag_factors, Nanomagnet, SwitchParams, UniaxialAnisotropy, Vec3};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aharoni demag factors: sum to 1, each in (0, 1), ordering follows
+    /// the geometry (longer axis → smaller factor).
+    #[test]
+    fn demag_tensor_invariants(
+        lx in 1.0f64..100.0,
+        ly in 1.0f64..100.0,
+        lz in 1.0f64..100.0,
+    ) {
+        let n = demag_factors(lx * 1e-9, ly * 1e-9, lz * 1e-9);
+        prop_assert!((n.x + n.y + n.z - 1.0).abs() < 1e-8);
+        for c in [n.x, n.y, n.z] {
+            prop_assert!(c > 0.0 && c < 1.0);
+        }
+        if lx > ly * 1.01 {
+            prop_assert!(n.x <= n.y + 1e-9, "lx {lx} > ly {ly} but Nx {} > Ny {}", n.x, n.y);
+        }
+    }
+
+    /// Vector triple-product and Lagrange identities hold for the Vec3
+    /// implementation the integrators rely on.
+    #[test]
+    fn vec3_identities(
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0, az in -10.0f64..10.0,
+        bx in -10.0f64..10.0, by in -10.0f64..10.0, bz in -10.0f64..10.0,
+        cx in -10.0f64..10.0, cy in -10.0f64..10.0, cz in -10.0f64..10.0,
+    ) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        let c = Vec3::new(cx, cy, cz);
+        // BAC-CAB: a×(b×c) = b(a·c) − c(a·b)
+        let lhs = a.cross(b.cross(c));
+        let rhs = b * a.dot(c) - c * a.dot(b);
+        prop_assert!((lhs - rhs).norm() < 1e-9 * (1.0 + lhs.norm()));
+        // |a×b|² + (a·b)² = |a|²|b|²
+        let lagrange = a.cross(b).norm_sq() + a.dot(b).powi(2);
+        prop_assert!((lagrange - a.norm_sq() * b.norm_sq()).abs()
+            < 1e-9 * (1.0 + lagrange));
+    }
+
+    /// The midpoint integrator conserves |m| = 1 for arbitrary tilted
+    /// starting states and drive currents.
+    #[test]
+    fn midpoint_norm_conservation(
+        theta in 0.05f64..3.0,
+        phi in 0.0f64..6.28,
+        i_s in 0.0f64..100e-6,
+    ) {
+        let sys = LlgsSystem::new(&SwitchParams::table_i());
+        let integ = MidpointIntegrator::default();
+        let m_w = Vec3::new(theta.cos(), theta.sin() * phi.cos(), theta.sin() * phi.sin());
+        let mut state = PairState { m_w, m_r: -m_w }.normalized();
+        for _ in 0..50 {
+            state = integ
+                .step(&sys, state, i_s, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12)
+                .unwrap();
+            prop_assert!((state.m_w.norm() - 1.0).abs() < 1e-9);
+            prop_assert!((state.m_r.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Without drive or noise, Gilbert damping makes the *total* energy of
+    /// the coupled pair (anisotropy + demag self-terms + mutual dipolar
+    /// term) non-increasing along the trajectory — the Lyapunov property
+    /// of dissipative LLG dynamics.
+    #[test]
+    fn free_relaxation_decreases_energy(theta in 0.3f64..2.8, phi in 0.0f64..6.28) {
+        let params = SwitchParams::table_i();
+        let (w, r) = (params.write, params.read);
+        let ua_w = UniaxialAnisotropy::for_magnet(&w, Vec3::X);
+        let ua_r = UniaxialAnisotropy::for_magnet(&r, Vec3::X);
+        let dm_w = Demagnetization::for_magnet(&w);
+        let dm_r = Demagnetization::for_magnet(&r);
+        let sys = LlgsSystem::new(&params);
+        // Total energy up to mu0 scaling: quadratic self terms carry 1/2,
+        // the mutual dipolar term is counted once.
+        let energy = |s: &PairState| -> f64 {
+            let self_w =
+                -0.5 * w.moment() * (ua_w.field(s.m_w) + dm_w.field(s.m_w)).dot(s.m_w);
+            let self_r =
+                -0.5 * r.moment() * (ua_r.field(s.m_r) + dm_r.field(s.m_r)).dot(s.m_r);
+            let dip = -w.moment() * sys.coupling_r_to_w.field(s.m_r).dot(s.m_w);
+            self_w + self_r + dip
+        };
+        let integ = MidpointIntegrator::default();
+        let m0 = Vec3::new(theta.cos(), theta.sin() * phi.cos(), theta.sin() * phi.sin());
+        let mut state = PairState { m_w: m0, m_r: -Vec3::X }.normalized();
+        let mut last = energy(&state);
+        let scale = last.abs().max(1e-22);
+        let mut increased = 0usize;
+        for _ in 0..400 {
+            state = integ
+                .step(&sys, state, 0.0, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12)
+                .unwrap();
+            let e = energy(&state);
+            // Tolerate integrator-level wiggle only.
+            if e > last + 1e-4 * scale {
+                increased += 1;
+            }
+            last = e;
+        }
+        prop_assert!(increased < 8, "energy increased {increased} times");
+    }
+
+    /// Nanomagnet derived quantities stay physical across a parameter
+    /// sweep.
+    #[test]
+    fn nanomagnet_derived_quantities(
+        ms in 1e5f64..2e6,
+        ku in 1e3f64..1e5,
+        scale in 0.5f64..3.0,
+    ) {
+        let nm = Nanomagnet {
+            length: 28e-9 * scale,
+            width: 15e-9 * scale,
+            thickness: 2e-9 * scale,
+            ms,
+            ku,
+            alpha: 0.01,
+        };
+        prop_assert!(nm.validate().is_ok());
+        prop_assert!(nm.volume() > 0.0);
+        prop_assert!(nm.anisotropy_field() > 0.0);
+        prop_assert!(nm.moment() > 0.0);
+        prop_assert!(nm.thermal_stability(300.0) > 0.0);
+        let n = nm.demag();
+        prop_assert!((n.x + n.y + n.z - 1.0).abs() < 1e-8);
+    }
+}

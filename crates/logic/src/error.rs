@@ -1,0 +1,72 @@
+//! Error type for the logic crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing, or validating netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A gate referenced a signal that was never defined.
+    UnknownSignal(String),
+    /// A signal was defined more than once.
+    DuplicateSignal(String),
+    /// The netlist failed a structural invariant.
+    Validation(String),
+    /// An evaluation was invoked with the wrong number of input values.
+    InputCountMismatch {
+        /// Number of primary inputs the netlist has.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A combinational loop was detected.
+    CombinationalLoop(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            LogicError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
+            LogicError::DuplicateSignal(s) => write!(f, "signal `{s}` defined twice"),
+            LogicError::Validation(s) => write!(f, "invalid netlist: {s}"),
+            LogicError::InputCountMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            LogicError::CombinationalLoop(s) => {
+                write!(f, "combinational loop through `{s}`")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_subject() {
+        assert!(LogicError::UnknownSignal("n42".into()).to_string().contains("n42"));
+        assert!(LogicError::Parse { line: 7, message: "bad".into() }.to_string().contains('7'));
+        let e = LogicError::InputCountMismatch { expected: 3, got: 1 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<LogicError>();
+    }
+}

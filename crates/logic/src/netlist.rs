@@ -1,0 +1,554 @@
+//! The gate-level netlist intermediate representation.
+//!
+//! A [`Netlist`] is a DAG of [`Node`]s stored **in topological order**:
+//! every gate's fanin indices are strictly smaller than the gate's own
+//! index. The builder and parser enforce the invariant; [`Netlist::check`]
+//! re-validates it, and all downstream passes (simulation, SAT encoding,
+//! timing) rely on a single forward sweep being sufficient.
+
+use crate::bf2::{Bf1, Bf2};
+use crate::error::LogicError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node within its netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The functional kind of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Primary input.
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// One-input gate.
+    Gate1 {
+        /// Function.
+        f: Bf1,
+        /// Fanin.
+        a: NodeId,
+    },
+    /// Two-input gate.
+    Gate2 {
+        /// Function.
+        f: Bf2,
+        /// First fanin.
+        a: NodeId,
+        /// Second fanin.
+        b: NodeId,
+    },
+}
+
+impl NodeKind {
+    /// Fanin node ids (0, 1 or 2 of them).
+    pub fn fanins(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let (a, b) = match *self {
+            NodeKind::Input | NodeKind::Const(_) => (None, None),
+            NodeKind::Gate1 { a, .. } => (Some(a), None),
+            NodeKind::Gate2 { a, b, .. } => (Some(a), Some(b)),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// `true` for `Gate1` and `Gate2`.
+    pub const fn is_gate(&self) -> bool {
+        matches!(self, NodeKind::Gate1 { .. } | NodeKind::Gate2 { .. })
+    }
+}
+
+/// A single node: its kind plus a (unique) signal name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Functional kind.
+    pub kind: NodeKind,
+    /// Signal name (unique within the netlist).
+    pub name: String,
+}
+
+/// A combinational gate-level netlist in topological order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Assembles a netlist from raw parts, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Validation`] if node order is not topological,
+    /// names collide, outputs dangle, or inputs are misclassified.
+    pub fn from_parts(
+        name: impl Into<String>,
+        nodes: Vec<Node>,
+        inputs: Vec<NodeId>,
+        outputs: Vec<NodeId>,
+    ) -> Result<Self, LogicError> {
+        let nl = Netlist { name: name.into(), nodes, inputs, outputs };
+        nl.check()?;
+        Ok(nl)
+    }
+
+    /// Re-validates every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Validation`] describing the first violation.
+    pub fn check(&self) -> Result<(), LogicError> {
+        let n = self.nodes.len();
+        let mut seen_names: HashMap<&str, usize> = HashMap::with_capacity(n);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(prev) = seen_names.insert(node.name.as_str(), i) {
+                return Err(LogicError::Validation(format!(
+                    "name `{}` used by nodes {prev} and {i}",
+                    node.name
+                )));
+            }
+            for fanin in node.kind.fanins() {
+                if fanin.index() >= i {
+                    return Err(LogicError::Validation(format!(
+                        "node {i} (`{}`) has non-topological fanin {fanin}",
+                        node.name
+                    )));
+                }
+            }
+        }
+        for (pos, &id) in self.inputs.iter().enumerate() {
+            let node = self.nodes.get(id.index()).ok_or_else(|| {
+                LogicError::Validation(format!("input list entry {pos} out of range"))
+            })?;
+            if node.kind != NodeKind::Input {
+                return Err(LogicError::Validation(format!(
+                    "node `{}` listed as input but is not an Input node",
+                    node.name
+                )));
+            }
+        }
+        let listed = self.inputs.len();
+        let actual = self.nodes.iter().filter(|nd| nd.kind == NodeKind::Input).count();
+        if listed != actual {
+            return Err(LogicError::Validation(format!(
+                "{actual} Input nodes but {listed} listed as primary inputs"
+            )));
+        }
+        for &id in &self.outputs {
+            if id.index() >= n {
+                return Err(LogicError::Validation(format!("output {id} out of range")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Number of nodes (inputs + constants + gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of gate nodes (excludes inputs and constants).
+    pub fn gate_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_gate()).count()
+    }
+
+    /// Ids of all gate nodes, in topological order.
+    pub fn gate_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind.is_gate())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Id of the node with signal name `name`, if any (linear scan; build a
+    /// map via [`Netlist::name_map`] for repeated lookups).
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(|i| NodeId(i as u32))
+    }
+
+    /// Name → id map for all signals.
+    pub fn name_map(&self) -> HashMap<&str, NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.as_str(), NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Fanout adjacency: for each node, the ids of nodes it feeds.
+    pub fn fanouts(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for fanin in node.kind.fanins() {
+                out[fanin.index()].push(NodeId(i as u32));
+            }
+        }
+        out
+    }
+
+    /// Logic level of every node (inputs/constants at level 0).
+    pub fn levels(&self) -> Vec<usize> {
+        let mut level = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            level[i] = node.kind.fanins().map(|f| level[f.index()] + 1).max().unwrap_or(0);
+        }
+        level
+    }
+
+    /// Logic depth: the maximum level over all outputs.
+    pub fn depth(&self) -> usize {
+        let levels = self.levels();
+        self.outputs.iter().map(|o| levels[o.index()]).max().unwrap_or(0)
+    }
+
+    /// Evaluates the netlist on one input assignment (values in
+    /// `inputs()` order) and returns the output values in `outputs()` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.inputs().len()`; use
+    /// [`Netlist::try_evaluate`] for fallible evaluation.
+    pub fn evaluate(&self, values: &[bool]) -> Vec<bool> {
+        self.try_evaluate(values).expect("input count mismatch")
+    }
+
+    /// Fallible single-pattern evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
+    pub fn try_evaluate(&self, values: &[bool]) -> Result<Vec<bool>, LogicError> {
+        let all = self.evaluate_all(values)?;
+        Ok(self.outputs.iter().map(|o| all[o.index()]).collect())
+    }
+
+    /// Evaluates every node; returns one value per node in topological
+    /// order. Useful for fault-injection and probing experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
+    pub fn evaluate_all(&self, values: &[bool]) -> Result<Vec<bool>, LogicError> {
+        if values.len() != self.inputs.len() {
+            return Err(LogicError::InputCountMismatch {
+                expected: self.inputs.len(),
+                got: values.len(),
+            });
+        }
+        let mut val = vec![false; self.nodes.len()];
+        let mut next_input = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            val[i] = match node.kind {
+                NodeKind::Input => {
+                    let v = values[next_input];
+                    next_input += 1;
+                    v
+                }
+                NodeKind::Const(c) => c,
+                NodeKind::Gate1 { f, a } => f.eval(val[a.index()]),
+                NodeKind::Gate2 { f, a, b } => f.eval(val[a.index()], val[b.index()]),
+            };
+        }
+        Ok(val)
+    }
+
+    /// Replaces the function of the two-input gate `id`.
+    ///
+    /// This is the primitive operation behind runtime polymorphism
+    /// (Sec. V-C) and behind installing decoy functions during
+    /// camouflaging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Validation`] if `id` is not a `Gate2`.
+    pub fn set_gate2_function(&mut self, id: NodeId, f: Bf2) -> Result<(), LogicError> {
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Gate2 { f: slot, .. } => {
+                *slot = f;
+                Ok(())
+            }
+            other => Err(LogicError::Validation(format!(
+                "node {id} is {other:?}, not a two-input gate"
+            ))),
+        }
+    }
+
+    /// Replaces the function of the one-input gate `id` (keeping fanin `a`,
+    /// which must match the existing fanin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Validation`] if `id` is not a `Gate1` or the
+    /// fanin does not match.
+    pub fn set_gate1_function(
+        &mut self,
+        id: NodeId,
+        f: Bf1,
+        a: NodeId,
+    ) -> Result<(), LogicError> {
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Gate1 { f: slot, a: fanin } if *fanin == a => {
+                *slot = f;
+                Ok(())
+            }
+            other => Err(LogicError::Validation(format!(
+                "node {id} is {other:?}, not a one-input gate fed by {a}"
+            ))),
+        }
+    }
+
+    /// A histogram of gate functions: `(function name, count)` sorted by
+    /// descending count.
+    pub fn function_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        for node in &self.nodes {
+            match node.kind {
+                NodeKind::Gate1 { f, .. } => *counts.entry(f.name()).or_default() += 1,
+                NodeKind::Gate2 { f, .. } => *counts.entry(f.name()).or_default() += 1,
+                _ => {}
+            }
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(y.0)));
+        v
+    }
+
+    /// Ids of nodes in the transitive fanin cone of `root` (including
+    /// `root`).
+    pub fn fanin_cone(&self, root: NodeId) -> Vec<NodeId> {
+        let mut marked = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if marked[id.index()] {
+                continue;
+            }
+            marked[id.index()] = true;
+            stack.extend(self.nodes[id.index()].kind.fanins());
+        }
+        marked
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} gates, depth {}",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.gate_count(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn full_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("full_adder");
+        let a = b.input("a");
+        let c = b.input("b");
+        let cin = b.input("cin");
+        let s1 = b.gate2("s1", Bf2::XOR, a, c);
+        let sum = b.gate2("sum", Bf2::XOR, s1, cin);
+        let c1 = b.gate2("c1", Bf2::AND, a, c);
+        let c2 = b.gate2("c2", Bf2::AND, s1, cin);
+        let cout = b.gate2("cout", Bf2::OR, c1, c2);
+        b.output(sum);
+        b.output(cout);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder();
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let out = nl.evaluate(&[a, b, cin]);
+                    let total = a as u8 + b as u8 + cin as u8;
+                    assert_eq!(out[0], total & 1 == 1, "sum for {a}{b}{cin}");
+                    assert_eq!(out[1], total >= 2, "cout for {a}{b}{cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let nl = full_adder();
+        assert_eq!(nl.inputs().len(), 3);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.gate_count(), 5);
+        assert_eq!(nl.depth(), 3); // a → s1 → c2 → cout
+        assert_eq!(nl.gate_ids().len(), 5);
+    }
+
+    #[test]
+    fn fanouts_are_consistent_with_fanins() {
+        let nl = full_adder();
+        let fo = nl.fanouts();
+        let mut edges_from_fanouts = 0usize;
+        for list in &fo {
+            edges_from_fanouts += list.len();
+        }
+        let edges_from_fanins: usize =
+            nl.nodes().iter().map(|n| n.kind.fanins().count()).sum();
+        assert_eq!(edges_from_fanouts, edges_from_fanins);
+    }
+
+    #[test]
+    fn find_and_name_map_agree() {
+        let nl = full_adder();
+        let map = nl.name_map();
+        for name in ["a", "b", "cin", "sum", "cout"] {
+            assert_eq!(nl.find(name), map.get(name).copied(), "{name}");
+        }
+        assert_eq!(nl.find("nope"), None);
+    }
+
+    #[test]
+    fn try_evaluate_rejects_wrong_arity() {
+        let nl = full_adder();
+        assert!(matches!(
+            nl.try_evaluate(&[true]),
+            Err(LogicError::InputCountMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn set_gate2_function_changes_semantics() {
+        let mut nl = full_adder();
+        let sum = nl.find("sum").unwrap();
+        nl.set_gate2_function(sum, Bf2::XNOR).unwrap();
+        let out = nl.evaluate(&[false, false, false]);
+        assert!(out[0]); // XNOR(0,0) = 1 where XOR gave 0.
+    }
+
+    #[test]
+    fn set_gate2_function_rejects_inputs() {
+        let mut nl = full_adder();
+        let a = nl.find("a").unwrap();
+        assert!(nl.set_gate2_function(a, Bf2::AND).is_err());
+    }
+
+    #[test]
+    fn check_rejects_duplicate_names() {
+        let nodes = vec![
+            Node { kind: NodeKind::Input, name: "x".into() },
+            Node { kind: NodeKind::Input, name: "x".into() },
+        ];
+        let err =
+            Netlist::from_parts("bad", nodes, vec![NodeId(0), NodeId(1)], vec![]).unwrap_err();
+        assert!(matches!(err, LogicError::Validation(_)));
+    }
+
+    #[test]
+    fn check_rejects_non_topological_order() {
+        let nodes = vec![
+            Node { kind: NodeKind::Gate1 { f: Bf1::Inv, a: NodeId(1) }, name: "g".into() },
+            Node { kind: NodeKind::Input, name: "x".into() },
+        ];
+        let err = Netlist::from_parts("bad", nodes, vec![NodeId(1)], vec![]).unwrap_err();
+        assert!(matches!(err, LogicError::Validation(_)));
+    }
+
+    #[test]
+    fn fanin_cone_of_output_contains_inputs_it_depends_on() {
+        let nl = full_adder();
+        let cone = nl.fanin_cone(nl.find("cout").unwrap());
+        let names: Vec<&str> = cone.iter().map(|&id| nl.node(id).name.as_str()).collect();
+        for needed in ["a", "b", "cin", "c1", "c2", "s1"] {
+            assert!(names.contains(&needed), "missing {needed}");
+        }
+        assert!(!names.contains(&"sum"));
+    }
+
+    #[test]
+    fn function_histogram_counts() {
+        let nl = full_adder();
+        let h = nl.function_histogram();
+        let and = h.iter().find(|(n, _)| *n == "AND").unwrap();
+        assert_eq!(and.1, 2);
+        let xor = h.iter().find(|(n, _)| *n == "XOR").unwrap();
+        assert_eq!(xor.1, 2);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let nl = full_adder();
+        let s = nl.to_string();
+        assert!(s.contains("full_adder") && s.contains("3 inputs"));
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut b = NetlistBuilder::new("consts");
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let g = b.gate2("g", Bf2::AND, one, zero);
+        b.output(g);
+        b.output(one);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.evaluate(&[]), vec![false, true]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Sequential-circuit semantics and scan preprocessing.
+//!
+//! The paper's SAT attacks operate on combinational cores: *"the inputs
+//! (and outputs) of all flip-flops become primary outputs (and inputs);
+//! thereafter, the flip-flops are removed"* (Sec. V-A), which mimics
+//! scan-chain access. [`scan_preprocess`] performs exactly this cut;
+//! [`SequentialCircuit`] retains the flip-flop bindings so designs can also
+//! be simulated clock by clock (used to validate that the cut preserves
+//! per-cycle behaviour).
+
+use crate::bench_format::{parse_bench_detailed, ParsedBench};
+use crate::error::LogicError;
+use crate::netlist::Netlist;
+
+/// A sequential design: a combinational core plus DFF feedback bindings.
+///
+/// Pseudo input `real_inputs + k` (the DFF `Q` pin) is fed each cycle from
+/// pseudo output `real_outputs + k` (the DFF `D` pin) of the previous cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequentialCircuit {
+    core: Netlist,
+    real_inputs: usize,
+    real_outputs: usize,
+    state: Vec<bool>,
+}
+
+impl SequentialCircuit {
+    /// Parses a `.bench` design, retaining flip-flop semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parser errors (see
+    /// [`crate::bench_format::parse_bench_detailed`]).
+    pub fn parse(text: &str) -> Result<Self, LogicError> {
+        let ParsedBench { netlist, real_inputs, real_outputs, dff_count } =
+            parse_bench_detailed(text)?;
+        Ok(SequentialCircuit {
+            core: netlist,
+            real_inputs,
+            real_outputs,
+            state: vec![false; dff_count],
+        })
+    }
+
+    /// The combinational core (scan-preprocessed view).
+    pub fn core(&self) -> &Netlist {
+        &self.core
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Number of genuine primary inputs.
+    pub fn real_inputs(&self) -> usize {
+        self.real_inputs
+    }
+
+    /// Number of genuine primary outputs.
+    pub fn real_outputs(&self) -> usize {
+        self.real_outputs
+    }
+
+    /// Current flip-flop state.
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Resets all flip-flops to 0.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = false);
+    }
+
+    /// Loads an explicit flip-flop state (scan-in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] on length mismatch.
+    pub fn scan_in(&mut self, state: &[bool]) -> Result<(), LogicError> {
+        if state.len() != self.state.len() {
+            return Err(LogicError::InputCountMismatch {
+                expected: self.state.len(),
+                got: state.len(),
+            });
+        }
+        self.state.copy_from_slice(state);
+        Ok(())
+    }
+
+    /// Applies one clock cycle: evaluates the core on `inputs` plus the
+    /// current state, updates the flip-flops, and returns the real primary
+    /// outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] if `inputs` does not match
+    /// the number of real primary inputs.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<Vec<bool>, LogicError> {
+        if inputs.len() != self.real_inputs {
+            return Err(LogicError::InputCountMismatch {
+                expected: self.real_inputs,
+                got: inputs.len(),
+            });
+        }
+        let mut full = Vec::with_capacity(self.real_inputs + self.state.len());
+        full.extend_from_slice(inputs);
+        full.extend_from_slice(&self.state);
+        let out = self.core.try_evaluate(&full)?;
+        let (real, next_state) = out.split_at(self.real_outputs);
+        self.state.copy_from_slice(next_state);
+        Ok(real.to_vec())
+    }
+}
+
+/// Scan preprocessing: parses a (possibly sequential) `.bench` design and
+/// returns its combinational core with DFFs cut into pseudo-PI/PO — the
+/// exact transformation the paper applies to the IBM superblue circuits
+/// before SAT attacks.
+///
+/// # Errors
+///
+/// Propagates parser errors.
+pub fn scan_preprocess(text: &str) -> Result<Netlist, LogicError> {
+    SequentialCircuit::parse(text).map(|c| c.core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLE: &str = "\
+# toggle
+INPUT(en)
+OUTPUT(y)
+q = DFF(d)
+d = XOR(en, q)
+y = BUFF(q)
+";
+
+    #[test]
+    fn toggle_flip_flop_behaviour() {
+        let mut c = SequentialCircuit::parse(TOGGLE).unwrap();
+        assert_eq!(c.dff_count(), 1);
+        // Enabled: q toggles every cycle; y shows the *pre-clock* state.
+        let y0 = c.step(&[true]).unwrap();
+        assert_eq!(y0, vec![false]);
+        let y1 = c.step(&[true]).unwrap();
+        assert_eq!(y1, vec![true]);
+        let y2 = c.step(&[true]).unwrap();
+        assert_eq!(y2, vec![false]);
+        // Disabled: state holds.
+        let y3 = c.step(&[false]).unwrap();
+        assert_eq!(y3, vec![true]);
+        let y4 = c.step(&[false]).unwrap();
+        assert_eq!(y4, vec![true]);
+    }
+
+    #[test]
+    fn scan_in_sets_state() {
+        let mut c = SequentialCircuit::parse(TOGGLE).unwrap();
+        c.scan_in(&[true]).unwrap();
+        assert_eq!(c.step(&[false]).unwrap(), vec![true]);
+        c.reset();
+        assert_eq!(c.step(&[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn scan_preprocess_exposes_dff_boundary() {
+        let core = scan_preprocess(TOGGLE).unwrap();
+        assert_eq!(core.inputs().len(), 2); // en + q
+        assert_eq!(core.outputs().len(), 2); // y + d
+    }
+
+    #[test]
+    fn core_matches_manual_unrolling() {
+        // One cycle of the sequential circuit equals one evaluation of the
+        // cut core with the state appended.
+        let mut c = SequentialCircuit::parse(TOGGLE).unwrap();
+        let core = c.core().clone();
+        let out_core = core.evaluate(&[true, false]); // en=1, q=0
+        let out_seq = c.step(&[true]).unwrap();
+        assert_eq!(out_seq[0], out_core[0]);
+        assert_eq!(c.state()[0], out_core[1]);
+    }
+
+    #[test]
+    fn scan_in_rejects_wrong_length() {
+        let mut c = SequentialCircuit::parse(TOGGLE).unwrap();
+        assert!(c.scan_in(&[true, false]).is_err());
+    }
+
+    #[test]
+    fn step_rejects_wrong_arity() {
+        let mut c = SequentialCircuit::parse(TOGGLE).unwrap();
+        assert!(c.step(&[true, true]).is_err());
+    }
+
+    #[test]
+    fn combinational_design_has_no_state() {
+        let c = SequentialCircuit::parse(crate::bench_format::C17_BENCH).unwrap();
+        assert_eq!(c.dff_count(), 0);
+        assert_eq!(c.real_inputs(), 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Netlist characteristics (the Table III columns, plus structural health
+//! metrics used by the generator tests).
+
+use crate::netlist::{Netlist, NodeKind};
+use std::fmt;
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Gate count (1- and 2-input gates).
+    pub gates: usize,
+    /// Logic depth (max level over outputs).
+    pub depth: usize,
+    /// Maximum fanout of any node.
+    pub max_fanout: usize,
+    /// Mean fanout over all nodes with fanout ≥ 1.
+    pub avg_fanout: f64,
+    /// Gates that drive nothing and are not outputs (dead logic).
+    pub dead_gates: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let fanouts = netlist.fanouts();
+        let mut max_fanout = 0usize;
+        let mut fanout_sum = 0usize;
+        let mut driven = 0usize;
+        for f in &fanouts {
+            max_fanout = max_fanout.max(f.len());
+            if !f.is_empty() {
+                fanout_sum += f.len();
+                driven += 1;
+            }
+        }
+        let is_output: Vec<bool> = {
+            let mut v = vec![false; netlist.len()];
+            for &o in netlist.outputs() {
+                v[o.index()] = true;
+            }
+            v
+        };
+        let dead_gates = netlist
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                matches!(n.kind, NodeKind::Gate1 { .. } | NodeKind::Gate2 { .. })
+                    && fanouts[*i].is_empty()
+                    && !is_output[*i]
+            })
+            .count();
+        NetlistStats {
+            name: netlist.name().to_string(),
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            gates: netlist.gate_count(),
+            depth: netlist.depth(),
+            max_fanout,
+            avg_fanout: if driven > 0 { fanout_sum as f64 / driven as f64 } else { 0.0 },
+            dead_gates,
+        }
+    }
+
+    /// Formats the Table III row: `Benchmark | Inputs | Outputs | Gates`.
+    pub fn table_iii_row(&self) -> String {
+        format!(
+            "{:<14} {:>7} {:>8} {:>10}",
+            self.name, self.inputs, self.outputs, self.gates
+        )
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: PI={} PO={} gates={} depth={} max_fanout={} avg_fanout={:.2} dead={}",
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.gates,
+            self.depth,
+            self.max_fanout,
+            self.avg_fanout,
+            self.dead_gates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::{parse_bench, C17_BENCH};
+
+    #[test]
+    fn c17_stats() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let s = NetlistStats::compute(&nl);
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.gates, 6);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.dead_gates, 0);
+        assert!(s.max_fanout >= 2); // node 11 and 16 fan out twice
+    }
+
+    #[test]
+    fn table_row_contains_counts() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let row = NetlistStats::compute(&nl).table_iii_row();
+        assert!(row.contains("c17") && row.contains('5') && row.contains('6'));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let s = NetlistStats::compute(&nl).to_string();
+        assert!(s.contains("depth=3"));
+    }
+}

@@ -1,0 +1,135 @@
+//! CNF formula container and the [`ClauseSink`] abstraction.
+//!
+//! Encoders (e.g. [`crate::tseitin::CircuitEncoder`]) write clauses through
+//! [`ClauseSink`], so the same encoding can target a live [`crate::Solver`]
+//! (incremental attacks) or a [`CnfFormula`] (DIMACS export, debugging).
+
+use crate::lit::{Lit, Var};
+
+/// Anything clauses can be emitted into.
+pub trait ClauseSink {
+    /// Adds one clause.
+    fn add_clause_sink(&mut self, lits: &[Lit]);
+    /// Allocates a fresh variable.
+    fn new_var_sink(&mut self) -> Var;
+}
+
+/// An owned CNF formula (list of clauses).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    clauses: Vec<Vec<Lit>>,
+    num_vars: usize,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        CnfFormula::default()
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` if there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Registers `n` variables upfront (e.g. when mirroring a netlist).
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Evaluates the formula under a full assignment (index = var).
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter().any(|l| assignment[l.var().index()] == l.is_positive())
+        })
+    }
+
+    /// Loads every clause into a solver (or any other sink).
+    pub fn copy_into<S: ClauseSink>(&self, sink: &mut S) {
+        for _ in 0..self.num_vars {
+            sink.new_var_sink();
+        }
+        for c in &self.clauses {
+            sink.add_clause_sink(c);
+        }
+    }
+}
+
+impl ClauseSink for CnfFormula {
+    fn add_clause_sink(&mut self, lits: &[Lit]) {
+        for l in lits {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    fn new_var_sink(&mut self) -> Var {
+        let v = Var(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    #[test]
+    fn formula_collects_clauses_and_vars() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var_sink();
+        let b = f.new_var_sink();
+        f.add_clause_sink(&[Lit::pos(a), Lit::neg(b)]);
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn evaluate_checks_all_clauses() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var_sink();
+        let b = f.new_var_sink();
+        f.add_clause_sink(&[Lit::pos(a)]);
+        f.add_clause_sink(&[Lit::neg(b)]);
+        assert!(f.evaluate(&[true, false]));
+        assert!(!f.evaluate(&[true, true]));
+        assert!(!f.evaluate(&[false, false]));
+    }
+
+    #[test]
+    fn copy_into_solver_is_equisatisfiable() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var_sink();
+        let b = f.new_var_sink();
+        f.add_clause_sink(&[Lit::pos(a), Lit::pos(b)]);
+        f.add_clause_sink(&[Lit::neg(a)]);
+        let mut s = Solver::new();
+        f.copy_into(&mut s);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn clause_widens_var_count() {
+        let mut f = CnfFormula::new();
+        f.add_clause_sink(&[Lit::pos(Var(9))]);
+        assert_eq!(f.num_vars(), 10);
+    }
+}

@@ -1,0 +1,137 @@
+//! DIMACS CNF reading and writing.
+
+use crate::cnf::{ClauseSink, CnfFormula};
+use crate::lit::Lit;
+use std::error::Error;
+use std::fmt;
+
+/// DIMACS parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for DimacsError {}
+
+/// Parses DIMACS CNF text into a formula.
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] for malformed headers or literals.
+pub fn parse_dimacs(text: &str) -> Result<CnfFormula, DimacsError> {
+    let mut formula = CnfFormula::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut declared_vars: Option<usize> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(DimacsError {
+                    line: line_no,
+                    message: format!("bad problem line `{line}`"),
+                });
+            }
+            declared_vars = Some(parts[1].parse().map_err(|_| DimacsError {
+                line: line_no,
+                message: "variable count is not a number".into(),
+            })?);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| DimacsError {
+                line: line_no,
+                message: format!("`{tok}` is not a literal"),
+            })?;
+            if v == 0 {
+                formula.add_clause_sink(&current);
+                current.clear();
+            } else {
+                current.push(Lit::from_dimacs(v));
+            }
+        }
+    }
+    if !current.is_empty() {
+        formula.add_clause_sink(&current);
+    }
+    if let Some(n) = declared_vars {
+        formula.reserve_vars(n);
+    }
+    Ok(formula)
+}
+
+/// Serializes a formula as DIMACS CNF text.
+pub fn write_dimacs(formula: &CnfFormula) -> String {
+    let mut s = format!("p cnf {} {}\n", formula.num_vars(), formula.len());
+    for clause in formula.clauses() {
+        for l in clause {
+            s.push_str(&l.to_dimacs().to_string());
+            s.push(' ');
+        }
+        s.push_str("0\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    #[test]
+    fn parse_simple_instance() {
+        let f = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 3 2\n1 -2 0\n2 3 0\n";
+        let f = parse_dimacs(text).unwrap();
+        let back = parse_dimacs(&write_dimacs(&f)).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn parsed_formula_solves() {
+        let f = parse_dimacs("p cnf 2 3\n1 2 0\n-1 0\n-2 1 0\n").unwrap();
+        let mut s = Solver::new();
+        f.copy_into(&mut s);
+        // ¬1, then 2 from (1∨2), but (¬2∨1) forces 1 — contradiction.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(parse_dimacs("p qbf 1 1\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf x 1\n").is_err());
+    }
+
+    #[test]
+    fn bad_literal_is_rejected() {
+        let e = parse_dimacs("p cnf 1 1\n1 zebra 0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("zebra"));
+    }
+
+    #[test]
+    fn clause_without_terminator_is_flushed() {
+        let f = parse_dimacs("p cnf 2 1\n1 2\n").unwrap();
+        assert_eq!(f.len(), 1);
+    }
+}

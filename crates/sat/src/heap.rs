@@ -1,0 +1,192 @@
+//! Indexed max-heap ordered by variable activity (the VSIDS order heap).
+
+use crate::lit::Var;
+
+/// A binary max-heap over variables keyed by an external activity array,
+/// with O(log n) insert/remove and O(1) membership.
+#[derive(Debug, Clone, Default)]
+pub struct OrderHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl OrderHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        OrderHeap::default()
+    }
+
+    /// Ensures capacity for variables `0..n`.
+    pub fn grow(&mut self, n: usize) {
+        if self.position.len() < n {
+            self.position.resize(n, ABSENT);
+        }
+    }
+
+    /// Number of queued variables.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no variable is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` if `v` is currently queued.
+    pub fn contains(&self, v: Var) -> bool {
+        self.position.get(v.index()).is_some_and(|&p| p != ABSENT)
+    }
+
+    fn less(&self, a: Var, b: Var, activity: &[f64]) -> bool {
+        // Max-heap: "less" means lower priority.
+        activity[a.index()] < activity[b.index()]
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(self.heap[parent], self.heap[i], activity) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.less(self.heap[best], self.heap[l], activity) {
+                best = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[best], self.heap[r], activity) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].index()] = i;
+        self.position[self.heap[j].index()] = j;
+    }
+
+    /// Inserts `v` (no-op if already present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.position[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the highest-activity variable.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.position[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order for `v` after its activity increased.
+    pub fn decrease_key(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.position.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap from scratch (after a global activity rescale).
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        let vars: Vec<Var> = self.heap.drain(..).collect();
+        for &v in &vars {
+            self.position[v.index()] = ABSENT;
+        }
+        for v in vars {
+            self.insert(v, activity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = OrderHeap::new();
+        for i in 0..5 {
+            h.insert(Var(i), &activity);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity)).map(|v| v.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = OrderHeap::new();
+        h.insert(Var(0), &activity);
+        h.insert(Var(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = OrderHeap::new();
+        for i in 0..3 {
+            h.insert(Var(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.decrease_key(Var(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0; 4];
+        let mut h = OrderHeap::new();
+        h.insert(Var(2), &activity);
+        assert!(h.contains(Var(2)));
+        assert!(!h.contains(Var(1)));
+        h.pop(&activity);
+        assert!(!h.contains(Var(2)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn rebuild_preserves_membership() {
+        let mut activity = vec![3.0, 1.0, 2.0];
+        let mut h = OrderHeap::new();
+        for i in 0..3 {
+            h.insert(Var(i), &activity);
+        }
+        // Rescale: order flips.
+        activity[0] = 0.1;
+        h.rebuild(&activity);
+        assert_eq!(h.pop(&activity), Some(Var(2)));
+        assert_eq!(h.len(), 2);
+    }
+}

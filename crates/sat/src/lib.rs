@@ -1,0 +1,38 @@
+//! # gshe-sat
+//!
+//! A from-scratch CDCL (conflict-driven clause learning) SAT solver with
+//! watched literals, 1UIP learning with clause minimization, EVSIDS
+//! branching, phase saving, Luby restarts, LBD-based learnt-clause
+//! reduction, incremental clause addition, and solving under assumptions —
+//! the substrate under the paper's SAT attacks (refs. 8, 12, 37 of the paper).
+//!
+//! The solver also enforces an explicit resource budget, mirroring the
+//! scalability failures the paper observes ("internal error in 'lglib.c':
+//! more than 134,217,724 variables").
+//!
+//! ```
+//! use gshe_sat::{Lit, Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a)]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert!(s.model_value(b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dimacs;
+pub mod heap;
+pub mod lit;
+pub mod solver;
+pub mod tseitin;
+
+pub use cnf::{ClauseSink, CnfFormula};
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};
+pub use tseitin::CircuitEncoder;

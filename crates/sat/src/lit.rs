@@ -1,0 +1,191 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable index as `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity, encoded as `var << 1 | negated`.
+///
+/// ```
+/// use gshe_sat::{Lit, Var};
+///
+/// let x = Var(3);
+/// assert_eq!(!Lit::pos(x), Lit::neg(x));
+/// assert_eq!(Lit::pos(x).var(), x);
+/// assert!(Lit::pos(x).is_positive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub const fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    pub const fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Literal of `v` with the given polarity (`true` → positive).
+    pub const fn with_polarity(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if the literal is the positive phase.
+    pub const fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense code (`2·var + negated`) for watch-list indexing.
+    pub const fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    pub const fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// DIMACS-style integer (1-based, negative when negated).
+    pub const fn to_dimacs(self) -> i64 {
+        let v = (self.0 >> 1) as i64 + 1;
+        if self.0 & 1 == 1 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Parses a DIMACS-style integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn from_dimacs(d: i64) -> Lit {
+        assert!(d != 0, "0 is the DIMACS clause terminator, not a literal");
+        let v = Var(d.unsigned_abs() as u32 - 1);
+        Lit::with_polarity(v, d > 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "~{}", self.var())
+        }
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// Converts a `bool`.
+    pub const fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Negation (keeps `Undef`).
+    pub const fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        for i in 0..100u32 {
+            let v = Var(i);
+            let p = Lit::pos(v);
+            let n = Lit::neg(v);
+            assert_eq!(p.var(), v);
+            assert_eq!(n.var(), v);
+            assert!(p.is_positive());
+            assert!(!n.is_positive());
+            assert_eq!(!p, n);
+            assert_eq!(!n, p);
+            assert_eq!(Lit::from_code(p.code()), p);
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trips() {
+        for d in [-5i64, -1, 1, 7, 100] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator")]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_negate() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::from_bool(true), LBool::True);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Lit::pos(Var(2)).to_string(), "v2");
+        assert_eq!(Lit::neg(Var(2)).to_string(), "~v2");
+    }
+}

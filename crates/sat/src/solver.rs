@@ -1,0 +1,925 @@
+//! The CDCL solver.
+
+use crate::cnf::ClauseSink;
+use crate::heap::OrderHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A model was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict or memory budget was exhausted before an answer was
+    /// reached — the solver-scale failure mode the paper reports for its
+    /// 48-hour attacks.
+    Unknown,
+}
+
+/// Cumulative search statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Number of decisions.
+    pub decisions: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently retained.
+    pub learnts: u64,
+    /// Learnt clauses deleted by DB reduction.
+    pub deleted: u64,
+}
+
+/// Resource limits; `None` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Abort the solve after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Refuse to allocate more variables than this (mirrors the paper's
+    /// "more than 134,217,724 variables" lglib failure).
+    pub max_vars: Option<usize>,
+}
+
+const CLAUSE_NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    lbd: u32,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver (see the crate docs for the feature list).
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: OrderHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<bool>,
+    stats: SolverStats,
+    budget: Budget,
+    learnt_count: usize,
+    max_learnts: usize,
+    /// Conflict counter since last restart.
+    conflicts_since_restart: u64,
+    luby_index: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_UNIT: u64 = 100;
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: OrderHeap::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            budget: Budget::default(),
+            learnt_count: 0,
+            max_learnts: 8192,
+            conflicts_since_restart: 0,
+            luby_index: 0,
+        }
+    }
+
+    /// Sets the resource budget.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (problem + retained learnts, minus deleted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Allocates a fresh variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable budget is exhausted (the paper's lglib-style
+    /// scalability wall); check [`Solver::try_new_var`] to handle it.
+    pub fn new_var(&mut self) -> Var {
+        self.try_new_var().expect("variable budget exhausted")
+    }
+
+    /// Allocates a fresh variable unless the budget forbids it.
+    pub fn try_new_var(&mut self) -> Option<Var> {
+        if let Some(max) = self.budget.max_vars {
+            if self.assign.len() >= max {
+                return None;
+            }
+        }
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(CLAUSE_NONE);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        Some(v)
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        let v = self.assign[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// The value of `v` in the most recent model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last [`Solver::solve`] did not return
+    /// [`SolveResult::Sat`] or `v` is out of range.
+    pub fn model_value(&self, v: Var) -> bool {
+        self.model[v.index()]
+    }
+
+    /// The value of literal `l` in the most recent model.
+    pub fn model_lit(&self, l: Lit) -> bool {
+        self.model_value(l.var()) == l.is_positive()
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
+        match self.value_lit(l) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = l.var();
+                self.assign[v.index()] = LBool::from_bool(l.is_positive());
+                self.level[v.index()] = self.decision_level();
+                self.reason[v.index()] = reason;
+                self.phase[v.index()] = l.is_positive();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable. Clauses may be added at any time between `solve`
+    /// calls (incremental use).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedupe, drop false literals, detect tautology.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut out: Vec<Lit> = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: x ∨ ¬x
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if !self.enqueue(out[0], CLAUSE_NONE) {
+                    self.ok = false;
+                    return false;
+                }
+                if self.propagate() != CLAUSE_NONE {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(out, false, 0);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let id = self.clauses.len() as u32;
+        let w0 = Watch { clause: id, blocker: lits[1] };
+        let w1 = Watch { clause: id, blocker: lits[0] };
+        self.watches[(!lits[0]).code()].push(w0);
+        self.watches[(!lits[1]).code()].push(w1);
+        self.clauses.push(Clause { lits, learnt, lbd, deleted: false });
+        if learnt {
+            self.learnt_count += 1;
+            self.stats.learnts = self.learnt_count as u64;
+        }
+        id
+    }
+
+    /// Boolean constraint propagation. Returns the conflicting clause id or
+    /// `CLAUSE_NONE`.
+    fn propagate(&mut self) -> u32 {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ¬p (now false) live in watches[p].
+            let false_lit = !p;
+            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0usize;
+            let mut conflict = CLAUSE_NONE;
+            while i < watch_list.len() {
+                let w = watch_list[i];
+                // Quick satisfied check via the blocker literal.
+                if self.value_lit(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cid = w.clause as usize;
+                if self.clauses[cid].deleted {
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                // Make sure the false literal is at position 1.
+                {
+                    let lits = &mut self.clauses[cid].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cid].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    watch_list[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                for k in 2..self.clauses[cid].lits.len() {
+                    let l = self.clauses[cid].lits[k];
+                    if self.value_lit(l) != LBool::False {
+                        self.clauses[cid].lits.swap(1, k);
+                        self.watches[(!l).code()].push(Watch { clause: w.clause, blocker: first });
+                        watch_list.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value_lit(first) == LBool::False {
+                    conflict = w.clause;
+                    self.qhead = self.trail.len();
+                    i += 1;
+                    // Keep remaining watches intact.
+                    continue;
+                }
+                let _ = self.enqueue(first, w.clause);
+                i += 1;
+            }
+            self.watches[p.code()].extend(watch_list.drain(..));
+            if conflict != CLAUSE_NONE {
+                return conflict;
+            }
+        }
+        CLAUSE_NONE
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            self.heap.rebuild(&self.activity);
+        }
+        self.heap.decrease_key(v, &self.activity);
+    }
+
+    /// 1UIP conflict analysis; returns (learnt clause, backtrack level, lbd).
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = conflict;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            debug_assert_ne!(confl, CLAUSE_NONE, "reason must exist below the UIP");
+            // Iterate literals of the reason clause (skipping the
+            // propagated literal itself).
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var();
+            self.seen[v.index()] = false;
+            counter -= 1;
+            p = Some(lit);
+            confl = self.reason[v.index()];
+            if counter == 0 {
+                break;
+            }
+        }
+        let uip = p.expect("at least one resolution");
+        learnt[0] = !uip;
+
+        // Clause minimization: drop literals implied by the rest.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_is_redundant(l))
+            .collect();
+        let mut minimized: Vec<Lit> =
+            learnt.iter().zip(&keep).filter(|(_, &k)| k).map(|(&l, _)| l).collect();
+
+        // Clear seen flags for the literals we marked.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backtrack level = max level among minimized[1..].
+        let (bt, lbd) = if minimized.len() == 1 {
+            (0, 1)
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            let bt = self.level[minimized[1].var().index()];
+            let mut levels: Vec<u32> =
+                minimized.iter().map(|l| self.level[l.var().index()]).collect();
+            levels.sort_unstable();
+            levels.dedup();
+            (bt, levels.len() as u32)
+        };
+        (minimized, bt, lbd)
+    }
+
+    /// A literal is redundant if its reason clause's other literals are all
+    /// already marked (seen) or at level 0 — one-step self-subsumption.
+    fn literal_is_redundant(&self, l: Lit) -> bool {
+        let v = l.var();
+        let r = self.reason[v.index()];
+        if r == CLAUSE_NONE {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().all(|&q| {
+            q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = LBool::Undef;
+            self.reason[v.index()] = CLAUSE_NONE;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = bound;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Keep binary and low-LBD clauses; delete the worse half of the
+        // rest (by LBD, ties by length).
+        let mut candidates: Vec<(u32, u32, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2 && c.lbd > 3)
+            .map(|(i, c)| (c.lbd, i as u32, c.lits.len()))
+            .collect();
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.2.cmp(&a.2)));
+        let locked: Vec<u32> = self.reason.clone();
+        let mut deleted = 0u64;
+        for &(_, id, _) in candidates.iter().take(candidates.len() / 2) {
+            if locked.contains(&id) {
+                continue; // clause is a reason for a current assignment
+            }
+            self.clauses[id as usize].deleted = true;
+            self.learnt_count -= 1;
+            deleted += 1;
+        }
+        self.stats.deleted += deleted;
+        self.stats.learnts = self.learnt_count as u64;
+    }
+
+    /// The Luby restart sequence 1,1,2,1,1,2,4,… (0-indexed).
+    fn luby(mut x: u64) -> u64 {
+        let mut size: u64 = 1;
+        let mut seq: u32 = 0;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under `assumptions` (each forced as a pseudo-decision).
+    ///
+    /// After `Sat`, the model is available; after any result the solver is
+    /// back at decision level 0 and more clauses may be added.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let result = self.search(assumptions);
+        self.cancel_until(0);
+        result
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.propagate() != CLAUSE_NONE {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let start_conflicts = self.stats.conflicts;
+        self.conflicts_since_restart = 0;
+        let mut restart_budget = RESTART_UNIT * Self::luby(self.luby_index);
+
+        loop {
+            let conflict = self.propagate();
+            if conflict != CLAUSE_NONE {
+                self.stats.conflicts += 1;
+                self.conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                // Conflicts under assumption levels make the assumption set
+                // unsatisfiable once analysis would backtrack above them —
+                // handled below by clamping.
+                let (learnt, bt, lbd) = self.analyze(conflict);
+                let assumed = (assumptions.len() as u32).min(self.decision_level());
+                if bt < assumed {
+                    // The learnt clause flips something at/above an
+                    // assumption level: re-propagate from the assumption
+                    // boundary; if the learnt clause is violated there, the
+                    // assumptions are inconsistent.
+                    self.cancel_until(bt);
+                } else {
+                    self.cancel_until(bt);
+                }
+                if learnt.len() == 1 {
+                    if !self.enqueue(learnt[0], CLAUSE_NONE) {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                } else {
+                    let id = self.attach_clause(learnt.clone(), true, lbd);
+                    let _ = self.enqueue(learnt[0], id);
+                }
+                self.var_inc *= VAR_DECAY;
+                if let Some(max) = self.budget.max_conflicts {
+                    if self.stats.conflicts - start_conflicts >= max {
+                        return SolveResult::Unknown;
+                    }
+                }
+                if self.learnt_count > self.max_learnts {
+                    self.reduce_db();
+                }
+                if self.conflicts_since_restart >= restart_budget {
+                    // Restart: keep assumptions by only backtracking to the
+                    // assumption boundary.
+                    self.stats.restarts += 1;
+                    self.luby_index += 1;
+                    self.conflicts_since_restart = 0;
+                    restart_budget = RESTART_UNIT * Self::luby(self.luby_index);
+                    let keep = (assumptions.len() as u32).min(self.decision_level());
+                    self.cancel_until(keep);
+                }
+                continue;
+            }
+
+            // No conflict: decide.
+            let dl = self.decision_level() as usize;
+            if dl < assumptions.len() {
+                let a = assumptions[dl];
+                match self.value_lit(a) {
+                    LBool::True => {
+                        // Already satisfied: open an empty decision level so
+                        // assumption indexing stays aligned.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    LBool::False => return SolveResult::Unsat,
+                    LBool::Undef => {
+                        self.trail_lim.push(self.trail.len());
+                        let _ = self.enqueue(a, CLAUSE_NONE);
+                    }
+                }
+                continue;
+            }
+            match self.pick_branch_var() {
+                None => {
+                    // Complete assignment: extract the model.
+                    self.model = self
+                        .assign
+                        .iter()
+                        .map(|&v| matches!(v, LBool::True))
+                        .collect();
+                    return SolveResult::Sat;
+                }
+                Some(v) => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    let lit = Lit::with_polarity(v, self.phase[v.index()]);
+                    let _ = self.enqueue(lit, CLAUSE_NONE);
+                }
+            }
+        }
+    }
+}
+
+impl ClauseSink for Solver {
+    fn add_clause_sink(&mut self, lits: &[Lit]) {
+        let _ = self.add_clause(lits);
+    }
+
+    fn new_var_sink(&mut self) -> Var {
+        self.new_var()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::pos(s.new_var())).collect()
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_lit(v[0]) || s.model_lit(v[1]));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[v[0]]);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = lits(&mut s, 1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        // v0 and a chain of implications v0→v1→v2→v3→v4.
+        s.add_clause(&[v[0]]);
+        for i in 0..4 {
+            s.add_clause(&[!v[i], v[i + 1]]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for l in v {
+            assert!(s.model_lit(l));
+        }
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], !v[0]]);
+        s.add_clause(&[!v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!s.model_lit(v[1]));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // PHP(3,2): classic small UNSAT instance requiring real search.
+        let mut s = Solver::new();
+        // p[i][j]: pigeon i in hole j.
+        let p: Vec<Vec<Lit>> =
+            (0..3).map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        for row in &p {
+            s.add_clause(row); // every pigeon somewhere
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_5_is_sat() {
+        let mut s = Solver::new();
+        let n = 5;
+        let p: Vec<Vec<Lit>> =
+            (0..n).map(|_| (0..n).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..n {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Verify the model is a valid assignment.
+        for j in 0..n {
+            let count = (0..n).filter(|&i| s.model_lit(p[i][j])).count();
+            assert!(count <= 1, "hole {j} used {count} times");
+        }
+        for (i, row) in p.iter().enumerate() {
+            assert!(row.iter().any(|&l| s.model_lit(l)), "pigeon {i} unplaced");
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_satisfiability() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve_with(&[!v[0], !v[1]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[!v[0]]), SolveResult::Sat);
+        assert!(s.model_lit(v[1]));
+        // Solver stays usable for unconditional solving.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0], v[1], v[2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!s.model_lit(v[0]));
+        s.add_clause(&[!v[1]]);
+        s.add_clause(&[!v[2]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard instance (PHP 7 into 6) with a 1-conflict budget.
+        let mut s = Solver::new();
+        let n = 7;
+        let p: Vec<Vec<Lit>> =
+            (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        s.set_budget(Budget { max_conflicts: Some(1), max_vars: None });
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Raising the budget resolves it.
+        s.set_budget(Budget::default());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn var_budget_is_enforced() {
+        let mut s = Solver::new();
+        s.set_budget(Budget { max_conflicts: None, max_vars: Some(2) });
+        assert!(s.try_new_var().is_some());
+        assert!(s.try_new_var().is_some());
+        assert!(s.try_new_var().is_none());
+    }
+
+    #[test]
+    fn luby_prefix_is_correct() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_model() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 = 0 → x1 = 1, x2 = 0.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let xor1 = |s: &mut Solver, a: Lit, b: Lit| {
+            s.add_clause(&[a, b]);
+            s.add_clause(&[!a, !b]);
+        };
+        xor1(&mut s, v[0], v[1]);
+        xor1(&mut s, v[1], v[2]);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!s.model_lit(v[0]));
+        assert!(s.model_lit(v[1]));
+        assert!(!s.model_lit(v[2]));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[v[2], v[3]]);
+        let _ = s.solve();
+        assert!(s.stats().decisions > 0 || s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn random_3sat_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for trial in 0..60 {
+            let n = rng.gen_range(3..10usize);
+            let m = rng.gen_range(2..(4 * n));
+            let clauses: Vec<Vec<i64>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = rng.gen_range(1..=n as i64);
+                            if rng.gen_bool(0.5) {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m_bits in 0..(1u32 << n) {
+                for c in &clauses {
+                    let ok = c.iter().any(|&l| {
+                        let val = (m_bits >> (l.unsigned_abs() - 1)) & 1 == 1;
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = Solver::new();
+            for _ in 0..n {
+                s.new_var();
+            }
+            for c in &clauses {
+                let lits: Vec<Lit> = c.iter().map(|&l| Lit::from_dimacs(l)).collect();
+                s.add_clause(&lits);
+            }
+            let result = s.solve();
+            if brute_sat {
+                assert_eq!(result, SolveResult::Sat, "trial {trial}");
+                // And the model must satisfy every clause.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.model_lit(Lit::from_dimacs(l))),
+                        "trial {trial}: model violates {c:?}"
+                    );
+                }
+            } else {
+                assert_eq!(result, SolveResult::Unsat, "trial {trial}");
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Tseitin encoding of combinational logic into CNF.
+//!
+//! [`CircuitEncoder`] emits clauses into any [`ClauseSink`] (a live
+//! [`crate::Solver`] for incremental attacks, or a [`crate::CnfFormula`]
+//! for export). Two-input gates are encoded from their 4-bit truth tables,
+//! so every one of the 16 functions the GSHE primitive cloaks — and any
+//! key-dependent selection among them — encodes uniformly.
+
+use crate::cnf::ClauseSink;
+use crate::lit::Lit;
+
+/// Tseitin encoder over a clause sink.
+#[derive(Debug)]
+pub struct CircuitEncoder<'a, S: ClauseSink> {
+    sink: &'a mut S,
+    const_true: Option<Lit>,
+}
+
+impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
+    /// Wraps a sink.
+    pub fn new(sink: &'a mut S) -> Self {
+        CircuitEncoder { sink, const_true: None }
+    }
+
+    /// Releases the underlying sink.
+    pub fn into_inner(self) -> &'a mut S {
+        self.sink
+    }
+
+    /// Allocates a fresh literal (positive phase of a new variable).
+    pub fn fresh(&mut self) -> Lit {
+        Lit::pos(self.sink.new_var_sink())
+    }
+
+    /// Adds a raw clause.
+    pub fn clause(&mut self, lits: &[Lit]) {
+        self.sink.add_clause_sink(lits);
+    }
+
+    /// Asserts that `l` holds.
+    pub fn assert(&mut self, l: Lit) {
+        self.clause(&[l]);
+    }
+
+    /// A literal constrained to `true` (cached).
+    pub fn constant(&mut self, value: bool) -> Lit {
+        let t = match self.const_true {
+            Some(t) => t,
+            None => {
+                let t = self.fresh();
+                self.assert(t);
+                self.const_true = Some(t);
+                t
+            }
+        };
+        if value {
+            t
+        } else {
+            !t
+        }
+    }
+
+    /// Constrains `a ↔ b`.
+    pub fn equal(&mut self, a: Lit, b: Lit) {
+        self.clause(&[!a, b]);
+        self.clause(&[a, !b]);
+    }
+
+    /// Encodes a two-input gate from its truth-table nibble
+    /// (bit `va + 2·vb` = output for inputs `(va, vb)`) and returns the
+    /// output literal.
+    pub fn gate_tt(&mut self, tt: u8, a: Lit, b: Lit) -> Lit {
+        debug_assert!(tt < 16, "truth table must be a nibble");
+        let z = self.fresh();
+        self.gate_tt_onto(tt, a, b, z);
+        z
+    }
+
+    /// Like [`CircuitEncoder::gate_tt`] but forces the output onto an
+    /// existing literal `z`.
+    pub fn gate_tt_onto(&mut self, tt: u8, a: Lit, b: Lit, z: Lit) {
+        for row in 0..4u8 {
+            let va = row & 1 == 1;
+            let vb = row & 2 == 2;
+            let out = (tt >> row) & 1 == 1;
+            // (a = va ∧ b = vb) → (z = out)
+            let la = if va { !a } else { a };
+            let lb = if vb { !b } else { b };
+            let lz = if out { z } else { !z };
+            self.clause(&[la, lb, lz]);
+        }
+    }
+
+    /// `z = a ∧ b`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        self.gate_tt(0b1000, a, b)
+    }
+
+    /// `z = a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.gate_tt(0b1110, a, b)
+    }
+
+    /// `z = a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.gate_tt(0b0110, a, b)
+    }
+
+    /// `z = ¬(a ⊕ b)`.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.gate_tt(0b1001, a, b)
+    }
+
+    /// `z = s ? t : e` (multiplexer).
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let z = self.fresh();
+        self.clause(&[!s, !t, z]);
+        self.clause(&[!s, t, !z]);
+        self.clause(&[s, !e, z]);
+        self.clause(&[s, e, !z]);
+        z
+    }
+
+    /// `z = l₀ ∨ l₁ ∨ …` (single fresh output, one big clause + bindings).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty operand list.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        assert!(!lits.is_empty(), "or_many needs at least one operand");
+        if lits.len() == 1 {
+            return lits[0];
+        }
+        let z = self.fresh();
+        let mut big = Vec::with_capacity(lits.len() + 1);
+        for &l in lits {
+            self.clause(&[!l, z]);
+            big.push(l);
+        }
+        big.push(!z);
+        self.clause(&big);
+        z
+    }
+
+    /// `z = l₀ ∧ l₁ ∧ …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty operand list.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        assert!(!lits.is_empty(), "and_many needs at least one operand");
+        if lits.len() == 1 {
+            return lits[0];
+        }
+        let z = self.fresh();
+        let mut big = Vec::with_capacity(lits.len() + 1);
+        for &l in lits {
+            self.clause(&[!z, l]);
+            big.push(!l);
+        }
+        big.push(z);
+        self.clause(&big);
+        z
+    }
+
+    /// Constrains at least one of `lits` to differ between the two lists
+    /// (`∃i: a[i] ≠ b[i]`), returning the miter output literal that is true
+    /// iff they differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists have different lengths or are empty.
+    pub fn miter(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        assert_eq!(a.len(), b.len(), "miter needs equal-width buses");
+        let diffs: Vec<Lit> =
+            a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect();
+        self.or_many(&diffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    /// Exhaustively verifies `z = f(a,b)` for the encoded gate.
+    fn check_gate_tt(tt: u8) {
+        for va in [false, true] {
+            for vb in [false, true] {
+                let mut s = Solver::new();
+                let a = Lit::pos(s.new_var());
+                let b = Lit::pos(s.new_var());
+                let z = {
+                    let mut enc = CircuitEncoder::new(&mut s);
+                    enc.gate_tt(tt, a, b)
+                };
+                let assumptions = [
+                    if va { a } else { !a },
+                    if vb { b } else { !b },
+                ];
+                assert_eq!(s.solve_with(&assumptions), SolveResult::Sat);
+                let expect = (tt >> ((va as u8) | ((vb as u8) << 1))) & 1 == 1;
+                assert_eq!(s.model_lit(z), expect, "tt={tt:04b} a={va} b={vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_sixteen_truth_tables_encode_correctly() {
+        for tt in 0..16 {
+            check_gate_tt(tt);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        for sv in [false, true] {
+            for tv in [false, true] {
+                for ev in [false, true] {
+                    let mut s = Solver::new();
+                    let sel = Lit::pos(s.new_var());
+                    let t = Lit::pos(s.new_var());
+                    let e = Lit::pos(s.new_var());
+                    let z = CircuitEncoder::new(&mut s).mux(sel, t, e);
+                    let asm = [
+                        if sv { sel } else { !sel },
+                        if tv { t } else { !t },
+                        if ev { e } else { !e },
+                    ];
+                    assert_eq!(s.solve_with(&asm), SolveResult::Sat);
+                    assert_eq!(s.model_lit(z), if sv { tv } else { ev });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_many_and_and_many() {
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..5).map(|_| Lit::pos(s.new_var())).collect();
+        let (any, all) = {
+            let mut enc = CircuitEncoder::new(&mut s);
+            (enc.or_many(&xs), enc.and_many(&xs))
+        };
+        // All false → any = 0; force and check.
+        let neg: Vec<Lit> = xs.iter().map(|&l| !l).collect();
+        assert_eq!(s.solve_with(&neg), SolveResult::Sat);
+        assert!(!s.model_lit(any));
+        assert!(!s.model_lit(all));
+        // All true.
+        assert_eq!(s.solve_with(&xs), SolveResult::Sat);
+        assert!(s.model_lit(any));
+        assert!(s.model_lit(all));
+        // Mixed.
+        let mut asm = xs.clone();
+        asm[2] = !asm[2];
+        assert_eq!(s.solve_with(&asm), SolveResult::Sat);
+        assert!(s.model_lit(any));
+        assert!(!s.model_lit(all));
+    }
+
+    #[test]
+    fn miter_detects_difference() {
+        let mut s = Solver::new();
+        let a: Vec<Lit> = (0..3).map(|_| Lit::pos(s.new_var())).collect();
+        let b: Vec<Lit> = (0..3).map(|_| Lit::pos(s.new_var())).collect();
+        let diff = CircuitEncoder::new(&mut s).miter(&a, &b);
+        // Force equal buses → diff must be 0.
+        let mut asm: Vec<Lit> = Vec::new();
+        for i in 0..3 {
+            asm.push(a[i]);
+            asm.push(b[i]);
+        }
+        assert_eq!(s.solve_with(&asm), SolveResult::Sat);
+        assert!(!s.model_lit(diff));
+        // Flip one bit → diff must be 1.
+        asm[2] = !asm[2]; // b[1]? index 2 is a[1]; flip it
+        assert_eq!(s.solve_with(&asm), SolveResult::Sat);
+        assert!(s.model_lit(diff));
+    }
+
+    #[test]
+    fn constant_is_cached_and_correct() {
+        let mut s = Solver::new();
+        let (t, f) = {
+            let mut enc = CircuitEncoder::new(&mut s);
+            (enc.constant(true), enc.constant(false))
+        };
+        assert_eq!(t, !f);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_lit(t));
+        assert!(!s.model_lit(f));
+    }
+
+    #[test]
+    fn equal_binds_literals() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        CircuitEncoder::new(&mut s).equal(a, b);
+        assert_eq!(s.solve_with(&[a, !b]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[a, b]), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,182 @@
+//! Gate delay and power models.
+//!
+//! The CMOS numbers are a load-inclusive 45 nm-class model (gate plus local
+//! interconnect), which places large-circuit critical paths in the tens of
+//! nanoseconds — the regime Fig. 6 shows for the IBM superblue suite. The
+//! GSHE primitive contributes its Fig. 4 mean switching delay of 1.55 ns
+//! regardless of function (the paper's hybrid-design assumption, fn. 5).
+
+use gshe_logic::{Bf2, Netlist, NodeKind};
+
+/// Mean GSHE switching delay at I_S = 20 µA, s (paper Sec. III-B).
+pub const GSHE_DELAY: f64 = 1.55e-9;
+
+/// Read power of the GSHE primitive, W (Table II "This work").
+pub const GSHE_POWER: f64 = 0.2125e-6;
+
+/// Which technology implements a gate in a hybrid design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Technology {
+    /// Standard CMOS cell.
+    #[default]
+    Cmos,
+    /// GSHE polymorphic primitive.
+    Gshe,
+}
+
+/// Per-function CMOS delay/power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    /// Delay of an inverter/buffer stage, s.
+    pub inv_delay: f64,
+    /// Delay of NAND/NOR, s.
+    pub nand_delay: f64,
+    /// Delay of AND/OR (two-stage), s.
+    pub and_delay: f64,
+    /// Delay of XOR/XNOR, s.
+    pub xor_delay: f64,
+    /// Delay of other (compound) two-input functions, s.
+    pub other_delay: f64,
+    /// Average dynamic+leakage power per CMOS gate, W.
+    pub gate_power: f64,
+}
+
+impl DelayModel {
+    /// Load-inclusive 45 nm-class model.
+    pub fn cmos_45nm() -> Self {
+        DelayModel {
+            inv_delay: 60e-12,
+            nand_delay: 100e-12,
+            and_delay: 150e-12,
+            xor_delay: 200e-12,
+            other_delay: 180e-12,
+            gate_power: 1.2e-6,
+        }
+    }
+
+    /// CMOS delay of a two-input function, s.
+    pub fn delay_bf2(&self, f: Bf2) -> f64 {
+        match f {
+            Bf2::NAND | Bf2::NOR => self.nand_delay,
+            Bf2::AND | Bf2::OR => self.and_delay,
+            Bf2::XOR | Bf2::XNOR => self.xor_delay,
+            Bf2::BUF_A | Bf2::BUF_B | Bf2::NOT_A | Bf2::NOT_B => self.inv_delay,
+            Bf2::FALSE | Bf2::TRUE => 0.0,
+            _ => self.other_delay,
+        }
+    }
+
+    /// CMOS delay of a node, s (inputs and constants are free).
+    pub fn delay_node(&self, kind: &NodeKind) -> f64 {
+        match kind {
+            NodeKind::Input | NodeKind::Const(_) => 0.0,
+            NodeKind::Gate1 { .. } => self.inv_delay,
+            NodeKind::Gate2 { f, .. } => self.delay_bf2(*f),
+        }
+    }
+
+    /// Per-node delay vector for a netlist, all CMOS.
+    pub fn node_delays(&self, nl: &Netlist) -> Vec<f64> {
+        nl.nodes().iter().map(|n| self.delay_node(&n.kind)).collect()
+    }
+
+    /// Per-node delay vector under a hybrid technology assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tech.len() != nl.len()`.
+    pub fn node_delays_hybrid(&self, nl: &Netlist, tech: &[Technology]) -> Vec<f64> {
+        assert_eq!(tech.len(), nl.len(), "technology assignment width mismatch");
+        nl.nodes()
+            .iter()
+            .zip(tech)
+            .map(|(n, &t)| match (t, &n.kind) {
+                (_, NodeKind::Input | NodeKind::Const(_)) => 0.0,
+                (Technology::Cmos, kind) => self.delay_node(kind),
+                (Technology::Gshe, _) => GSHE_DELAY,
+            })
+            .collect()
+    }
+
+    /// Total static power of a hybrid design, W.
+    pub fn power_hybrid(&self, nl: &Netlist, tech: &[Technology]) -> f64 {
+        nl.nodes()
+            .iter()
+            .zip(tech)
+            .map(|(n, &t)| {
+                if !n.kind.is_gate() {
+                    0.0
+                } else {
+                    match t {
+                        Technology::Cmos => self.gate_power,
+                        Technology::Gshe => GSHE_POWER,
+                    }
+                }
+            })
+            .sum()
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::cmos_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_logic::NetlistBuilder;
+
+    #[test]
+    fn delay_ordering_is_physical() {
+        let m = DelayModel::cmos_45nm();
+        assert!(m.inv_delay < m.nand_delay);
+        assert!(m.nand_delay < m.and_delay);
+        assert!(m.and_delay < m.xor_delay);
+        // GSHE is 1-2 orders slower than any CMOS cell (the paper's
+        // central trade-off).
+        assert!(GSHE_DELAY > 5.0 * m.xor_delay);
+    }
+
+    #[test]
+    fn gshe_power_beats_cmos() {
+        let m = DelayModel::cmos_45nm();
+        assert!(GSHE_POWER < m.gate_power);
+    }
+
+    #[test]
+    fn node_delays_respect_kinds() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.gate2("g", Bf2::XOR, x, y);
+        let n = b.gate1("n", gshe_logic::Bf1::Inv, g);
+        b.output(n);
+        let nl = b.finish().unwrap();
+        let m = DelayModel::cmos_45nm();
+        let d = m.node_delays(&nl);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[2], m.xor_delay);
+        assert_eq!(d[3], m.inv_delay);
+    }
+
+    #[test]
+    fn hybrid_delays_substitute_gshe() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.gate2("g", Bf2::NAND, x, y);
+        b.output(g);
+        let nl = b.finish().unwrap();
+        let m = DelayModel::cmos_45nm();
+        let mut tech = vec![Technology::Cmos; nl.len()];
+        tech[2] = Technology::Gshe;
+        let d = m.node_delays_hybrid(&nl, &tech);
+        assert_eq!(d[2], GSHE_DELAY);
+        // Power drops when the gate moves to GSHE.
+        let p_cmos = m.power_hybrid(&nl, &[Technology::Cmos; 3]);
+        let p_hybrid = m.power_hybrid(&nl, &tech);
+        assert!(p_hybrid < p_cmos);
+    }
+}

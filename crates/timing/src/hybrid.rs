@@ -1,0 +1,228 @@
+//! Delay-aware hybrid CMOS–GSHE replacement (paper Sec. V-A).
+//!
+//! The paper replaces CMOS gates on non-critical paths with the GSHE
+//! primitive "such that no delay overheads can be expected", reporting
+//! 5–15% coverage on the superblue circuits. [`delay_aware_replace`]
+//! implements that selection soundly: candidates are gates whose slack
+//! covers the CMOS→GSHE delay penalty; batches are accepted only after a
+//! full STA re-validation (with binary-search shrinking on violation), so
+//! the returned assignment **never** increases the critical delay.
+
+use crate::delay_model::{DelayModel, Technology, GSHE_DELAY};
+use crate::sta::TimingAnalysis;
+use gshe_logic::{Netlist, NodeId};
+
+/// Result of the delay-aware replacement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridResult {
+    /// Per-node technology assignment.
+    pub tech: Vec<Technology>,
+    /// Gates moved to GSHE (candidates for camouflaging).
+    pub gshe_gates: Vec<NodeId>,
+    /// Fraction of all gates moved to GSHE.
+    pub fraction: f64,
+    /// Critical delay before replacement, s.
+    pub baseline_critical: f64,
+    /// Critical delay after replacement, s (≤ baseline, enforced).
+    pub hybrid_critical: f64,
+    /// Static power before replacement, W.
+    pub baseline_power: f64,
+    /// Static power after replacement, W.
+    pub hybrid_power: f64,
+    /// STA re-validation passes performed.
+    pub sta_passes: usize,
+}
+
+/// Replaces as many CMOS gates as possible with GSHE primitives without
+/// increasing the critical delay.
+///
+/// `slack_margin` reserves headroom (seconds) — pass 0.0 for the paper's
+/// zero-overhead criterion.
+pub fn delay_aware_replace(
+    nl: &Netlist,
+    model: &DelayModel,
+    slack_margin: f64,
+) -> HybridResult {
+    let n = nl.len();
+    let mut tech = vec![Technology::Cmos; n];
+    let base_delays = model.node_delays(nl);
+    let base_sta = TimingAnalysis::analyze(nl, &base_delays);
+    let baseline_critical = base_sta.critical_delay();
+    let mut sta_passes = 1usize;
+
+    let penalty: Vec<f64> = nl
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            if node.kind.is_gate() {
+                GSHE_DELAY - base_delays[i]
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect();
+
+    let mut current_sta = base_sta;
+    loop {
+        // Candidates under the *current* assignment: unconverted gates
+        // whose slack covers the penalty plus margin. Dead logic (infinite
+        // required time) is always convertible.
+        let mut candidates: Vec<usize> = (0..n)
+            .filter(|&i| {
+                tech[i] == Technology::Cmos
+                    && penalty[i].is_finite()
+                    && current_sta.slack(i) >= penalty[i] + slack_margin
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        // Most slack first: those are safest to convert together.
+        candidates.sort_by(|&a, &b| {
+            current_sta
+                .slack(b)
+                .partial_cmp(&current_sta.slack(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        // Accept the largest prefix that re-validates.
+        let mut take = candidates.len();
+        let mut accepted = false;
+        while take >= 1 {
+            for &i in &candidates[..take] {
+                tech[i] = Technology::Gshe;
+            }
+            let delays = model.node_delays_hybrid(nl, &tech);
+            let sta = TimingAnalysis::analyze(nl, &delays);
+            sta_passes += 1;
+            if sta.critical_delay() <= baseline_critical + 1e-15 {
+                current_sta = sta;
+                accepted = true;
+                break;
+            }
+            // Roll back and halve.
+            for &i in &candidates[..take] {
+                tech[i] = Technology::Cmos;
+            }
+            take /= 2;
+        }
+        if !accepted {
+            break;
+        }
+    }
+
+    let final_delays = model.node_delays_hybrid(nl, &tech);
+    let final_sta = TimingAnalysis::analyze(nl, &final_delays);
+    let gshe_gates: Vec<NodeId> = (0..n)
+        .filter(|&i| tech[i] == Technology::Gshe)
+        .map(|i| NodeId(i as u32))
+        .collect();
+    let gates = nl.gate_count().max(1);
+    HybridResult {
+        fraction: gshe_gates.len() as f64 / gates as f64,
+        gshe_gates,
+        baseline_critical,
+        hybrid_critical: final_sta.critical_delay(),
+        baseline_power: model.power_hybrid(nl, &vec![Technology::Cmos; n]),
+        hybrid_power: model.power_hybrid(nl, &tech),
+        tech,
+        sta_passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_logic::{Bf2, GeneratorConfig, NetlistBuilder, NetlistGenerator};
+
+    #[test]
+    fn never_increases_critical_delay() {
+        let nl = NetlistGenerator::new(
+            GeneratorConfig::new("t", 32, 16, 600).with_seed(7).with_chain_bias(0.3),
+        )
+        .unwrap()
+        .generate();
+        let model = DelayModel::cmos_45nm();
+        let r = delay_aware_replace(&nl, &model, 0.0);
+        assert!(
+            r.hybrid_critical <= r.baseline_critical + 1e-15,
+            "critical went from {} to {}",
+            r.baseline_critical,
+            r.hybrid_critical
+        );
+    }
+
+    #[test]
+    fn deep_biased_circuit_yields_replacements() {
+        // A circuit with a dominant critical chain leaves slack elsewhere.
+        let nl = NetlistGenerator::new(
+            GeneratorConfig::new("t", 64, 32, 2000).with_seed(11).with_chain_bias(0.35),
+        )
+        .unwrap()
+        .generate();
+        let model = DelayModel::cmos_45nm();
+        let r = delay_aware_replace(&nl, &model, 0.0);
+        assert!(r.fraction > 0.01, "fraction = {}", r.fraction);
+        assert!(r.hybrid_power < r.baseline_power);
+    }
+
+    #[test]
+    fn shallow_circuit_yields_nothing() {
+        // Critical delay below the GSHE delay: no gate can absorb 1.55 ns.
+        let nl = NetlistGenerator::new(
+            GeneratorConfig::new("t", 16, 8, 60).with_seed(13).with_chain_bias(0.0),
+        )
+        .unwrap()
+        .generate();
+        let model = DelayModel::cmos_45nm();
+        let r = delay_aware_replace(&nl, &model, 0.0);
+        assert!(r.baseline_critical < GSHE_DELAY);
+        // Only (transitively) dead logic — nodes with infinite required
+        // time, off every PI→PO path — may have been converted; live gates
+        // cannot absorb the 1.55 ns penalty.
+        let base_sta = TimingAnalysis::analyze(&nl, &model.node_delays(&nl));
+        for &g in &r.gshe_gates {
+            assert!(
+                base_sta.required()[g.index()].is_infinite(),
+                "live gate {g} was converted in a shallow circuit"
+            );
+        }
+        assert_eq!(r.hybrid_critical, r.baseline_critical);
+    }
+
+    #[test]
+    fn margin_reduces_coverage() {
+        let nl = NetlistGenerator::new(
+            GeneratorConfig::new("t", 32, 16, 1000).with_seed(17).with_chain_bias(0.35),
+        )
+        .unwrap()
+        .generate();
+        let model = DelayModel::cmos_45nm();
+        let loose = delay_aware_replace(&nl, &model, 0.0);
+        let tight = delay_aware_replace(&nl, &model, 5e-9);
+        assert!(tight.gshe_gates.len() <= loose.gshe_gates.len());
+    }
+
+    #[test]
+    fn hand_built_side_branch_is_converted() {
+        // Long chain (critical) + one shallow side gate with huge slack.
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mut prev = b.gate2("c0", Bf2::NAND, x, y);
+        for i in 1..40 {
+            prev = b.gate2(format!("c{i}"), Bf2::NAND, prev, y);
+        }
+        let side = b.gate2("side", Bf2::AND, x, y);
+        b.output(prev);
+        b.output(side);
+        let nl = b.finish().unwrap();
+        let model = DelayModel::cmos_45nm();
+        // Chain delay = 40 × 100 ps = 4 ns > 1.55 ns: side gate fits.
+        let r = delay_aware_replace(&nl, &model, 0.0);
+        let side_id = nl.find("side").unwrap();
+        assert!(r.gshe_gates.contains(&side_id), "side gate not converted: {r:?}");
+        assert!(r.hybrid_critical <= r.baseline_critical + 1e-15);
+    }
+}

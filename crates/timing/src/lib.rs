@@ -1,0 +1,38 @@
+//! # gshe-timing
+//!
+//! Static timing analysis over [`gshe_logic::Netlist`]s, path-delay
+//! distribution extraction (paper Fig. 6), and the **delay-aware hybrid
+//! CMOS–GSHE replacement** study of Sec. V-A: replacing CMOS gates on
+//! non-critical paths with the 1.55 ns GSHE primitive *"such that no delay
+//! overheads can be expected"*, which the paper finds covers 5–15% of all
+//! gates on the IBM superblue circuits.
+//!
+//! ```
+//! use gshe_logic::{Bf2, NetlistBuilder};
+//! use gshe_timing::{DelayModel, TimingAnalysis};
+//!
+//! let mut b = NetlistBuilder::new("chain");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let g1 = b.gate2("g1", Bf2::NAND, x, y);
+//! let g2 = b.gate2("g2", Bf2::NOR, g1, y);
+//! b.output(g2);
+//! let nl = b.finish().unwrap();
+//!
+//! let model = DelayModel::cmos_45nm();
+//! let sta = TimingAnalysis::analyze(&nl, &model.node_delays(&nl));
+//! assert!(sta.critical_delay() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay_model;
+pub mod hybrid;
+pub mod paths;
+pub mod sta;
+
+pub use delay_model::{DelayModel, Technology, GSHE_DELAY};
+pub use hybrid::{delay_aware_replace, HybridResult};
+pub use paths::{path_delay_histogram, PathHistogram};
+pub use sta::TimingAnalysis;

@@ -1,0 +1,238 @@
+//! Path-delay distributions (paper Fig. 6).
+//!
+//! Fig. 6 plots, for each IBM superblue circuit, the number of paths at
+//! each delay — biased distributions where most paths are short and a few
+//! carry the dominant, critical delays. Enumerating paths explicitly is
+//! exponential; [`path_delay_histogram`] instead counts them with a dynamic
+//! program over quantized delay bins: the bin-vector of a node is the sum
+//! of its fanins' vectors shifted by the node's delay, and PI→PO path
+//! counts accumulate at the outputs. Counts are `f64` (superblue-scale
+//! circuits have astronomically many paths).
+
+use gshe_logic::Netlist;
+
+/// Histogram of PI→PO path delays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathHistogram {
+    /// Bin width, s.
+    pub bin_width: f64,
+    /// Path count per bin (`counts[k]` covers `[k·w, (k+1)·w)`).
+    pub counts: Vec<f64>,
+}
+
+impl PathHistogram {
+    /// Total number of PI→PO paths.
+    pub fn total_paths(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Largest non-empty bin's upper delay edge, s (≈ critical delay).
+    pub fn max_delay(&self) -> f64 {
+        let last = self.counts.iter().rposition(|&c| c > 0.0).map_or(0, |i| i + 1);
+        last as f64 * self.bin_width
+    }
+
+    /// Delay below which `q` of all paths fall (bin resolution).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total_paths();
+        let mut acc = 0.0;
+        for (k, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= q * total {
+                return (k + 1) as f64 * self.bin_width;
+            }
+        }
+        self.max_delay()
+    }
+
+    /// `(delay, count)` series for plotting (bin centers).
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| ((k as f64 + 0.5) * self.bin_width, c))
+            .collect()
+    }
+}
+
+/// Computes the PI→PO path-delay histogram of `nl` under per-node `delays`,
+/// quantized into `bins` bins of width `bin_width` (delays above the top
+/// bin saturate into it).
+///
+/// # Panics
+///
+/// Panics if `delays.len() != nl.len()`, `bins == 0`, or
+/// `bin_width <= 0`.
+pub fn path_delay_histogram(
+    nl: &Netlist,
+    delays: &[f64],
+    bins: usize,
+    bin_width: f64,
+) -> PathHistogram {
+    assert_eq!(delays.len(), nl.len(), "delay vector width mismatch");
+    assert!(bins > 0 && bin_width > 0.0, "bins and bin_width must be positive");
+
+    // Internal resolution: 16 sub-bins per output bin, so gate delays far
+    // below the output bin width still accumulate along paths.
+    const SUB: usize = 16;
+    let quantum = bin_width / SUB as f64;
+    let ibins = bins * SUB;
+    let shift = |k: usize, d: f64| -> usize {
+        (k + (d / quantum).round() as usize).min(ibins - 1)
+    };
+
+    // dp[i][k] = number of PI→node-i partial paths with delay ≈ k·quantum.
+    // Vectors are freed once every fanout has consumed them, keeping the
+    // live set proportional to the DAG frontier, not the whole netlist.
+    let fanouts = nl.fanouts();
+    let mut remaining: Vec<usize> = fanouts.iter().map(|f| f.len()).collect();
+    let is_output = {
+        let mut v = vec![false; nl.len()];
+        for &o in nl.outputs() {
+            v[o.index()] = true;
+        }
+        v
+    };
+    let mut dp: Vec<Option<Vec<f64>>> = vec![None; nl.len()];
+    let mut out = vec![0.0f64; ibins];
+
+    for (i, node) in nl.nodes().iter().enumerate() {
+        let mut v = vec![0.0f64; ibins];
+        let mut has_fanin = false;
+        for f in node.kind.fanins() {
+            has_fanin = true;
+            let fv = dp[f.index()].as_ref().expect("topological order keeps fanins live");
+            for (k, &c) in fv.iter().enumerate() {
+                if c > 0.0 {
+                    v[shift(k, delays[i])] += c;
+                }
+            }
+        }
+        if !has_fanin {
+            // A primary input / constant starts one path at its own delay.
+            v[shift(0, delays[i])] = 1.0;
+        }
+        if is_output[i] {
+            for (k, &c) in v.iter().enumerate() {
+                out[k] += c;
+            }
+        }
+        // Release fanin vectors that are no longer needed.
+        for f in node.kind.fanins() {
+            let r = &mut remaining[f.index()];
+            *r -= 1;
+            if *r == 0 && !is_output[f.index()] {
+                dp[f.index()] = None;
+            }
+        }
+        if remaining[i] > 0 || is_output[i] {
+            dp[i] = Some(v);
+        }
+    }
+
+    // Fold internal sub-bins into the requested output bins. A node that
+    // feeds both an output and other logic is counted once per PO, matching
+    // the PI→PO path definition.
+    let mut counts = vec![0.0f64; bins];
+    for (k, &c) in out.iter().enumerate() {
+        counts[(k / SUB).min(bins - 1)] += c;
+    }
+    PathHistogram { bin_width, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_logic::{Bf2, GeneratorConfig, NetlistBuilder, NetlistGenerator};
+
+    #[test]
+    fn diamond_has_two_paths() {
+        // x feeds two gates which reconverge: 2 distinct PI→PO paths of
+        // equal delay, plus paths from y.
+        let mut b = NetlistBuilder::new("d");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.gate2("g1", Bf2::AND, x, y);
+        let g2 = b.gate2("g2", Bf2::OR, x, y);
+        let g3 = b.gate2("g3", Bf2::XOR, g1, g2);
+        b.output(g3);
+        let nl = b.finish().unwrap();
+        let d = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        let h = path_delay_histogram(&nl, &d, 8, 1.0);
+        // Paths: x→g1→g3, x→g2→g3, y→g1→g3, y→g2→g3 — all delay 2.
+        assert_eq!(h.total_paths(), 4.0);
+        assert_eq!(h.counts[2], 4.0);
+    }
+
+    #[test]
+    fn chain_has_one_path_at_full_delay() {
+        let mut b = NetlistBuilder::new("c");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mut prev = b.gate2("g0", Bf2::NAND, x, y);
+        for i in 1..5 {
+            prev = b.gate2(format!("g{i}"), Bf2::NAND, prev, y);
+        }
+        b.output(prev);
+        let nl = b.finish().unwrap();
+        let d: Vec<f64> =
+            nl.nodes().iter().map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 }).collect();
+        let h = path_delay_histogram(&nl, &d, 16, 1.0);
+        // Longest path has delay 5 (x through all five gates). y enters at
+        // every stage, adding shorter paths.
+        assert!(h.counts[5] >= 1.0);
+        assert_eq!(h.max_delay(), 6.0); // bin 5 occupied → edge at 6
+    }
+
+    #[test]
+    fn histogram_total_matches_path_count_dp() {
+        // Cross-check: total paths equals an exact integer DP without
+        // binning.
+        let nl = NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 60).with_seed(3))
+            .unwrap()
+            .generate();
+        let d: Vec<f64> =
+            nl.nodes().iter().map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 }).collect();
+        let h = path_delay_histogram(&nl, &d, 256, 1.0);
+        // Exact count.
+        let mut paths = vec![0.0f64; nl.len()];
+        for (i, node) in nl.nodes().iter().enumerate() {
+            let s: f64 = node.kind.fanins().map(|f| paths[f.index()]).sum();
+            paths[i] = if node.kind.fanins().count() == 0 { 1.0 } else { s };
+        }
+        let exact: f64 = nl.outputs().iter().map(|o| paths[o.index()]).sum();
+        assert!((h.total_paths() - exact).abs() < 1e-6 * exact.max(1.0));
+    }
+
+    #[test]
+    fn biased_generator_produces_biased_distribution() {
+        // The Fig. 6 shape: median path delay well below the critical
+        // delay.
+        let nl = NetlistGenerator::new(
+            GeneratorConfig::new("t", 64, 32, 3000).with_seed(5).with_chain_bias(0.25),
+        )
+        .unwrap()
+        .generate();
+        let d: Vec<f64> =
+            nl.nodes().iter().map(|n| if n.kind.is_gate() { 100e-12 } else { 0.0 }).collect();
+        let h = path_delay_histogram(&nl, &d, 200, 100e-12);
+        let median = h.quantile(0.5);
+        let max = h.max_delay();
+        assert!(
+            median < 0.6 * max,
+            "median {median:e} vs max {max:e} — distribution not biased"
+        );
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let nl = NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 80).with_seed(9))
+            .unwrap()
+            .generate();
+        let d: Vec<f64> =
+            nl.nodes().iter().map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 }).collect();
+        let h = path_delay_histogram(&nl, &d, 64, 1.0);
+        assert!(h.quantile(0.1) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+    }
+}

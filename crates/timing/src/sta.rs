@@ -1,0 +1,151 @@
+//! Static timing analysis: arrival times, required times, slack.
+
+use gshe_logic::Netlist;
+
+/// Result of one STA pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingAnalysis {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    critical: f64,
+}
+
+impl TimingAnalysis {
+    /// Runs STA over `nl` with per-node delays `delays` (seconds, indexed
+    /// by node). Arrival at a node includes the node's own delay; primary
+    /// outputs are required at the critical delay (zero-slack on the
+    /// critical path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays.len() != nl.len()`.
+    pub fn analyze(nl: &Netlist, delays: &[f64]) -> Self {
+        assert_eq!(delays.len(), nl.len(), "delay vector width mismatch");
+        let n = nl.len();
+        let mut arrival = vec![0.0f64; n];
+        for (i, node) in nl.nodes().iter().enumerate() {
+            let in_arr =
+                node.kind.fanins().map(|f| arrival[f.index()]).fold(0.0f64, f64::max);
+            arrival[i] = in_arr + delays[i];
+        }
+        let critical =
+            nl.outputs().iter().map(|o| arrival[o.index()]).fold(0.0f64, f64::max);
+
+        // Required times, backward pass.
+        let mut required = vec![f64::INFINITY; n];
+        for &o in nl.outputs() {
+            required[o.index()] = required[o.index()].min(critical);
+        }
+        for (i, node) in nl.nodes().iter().enumerate().rev() {
+            if required[i].is_infinite() {
+                continue; // dead logic constrains nothing
+            }
+            let at_inputs = required[i] - delays[i];
+            for f in node.kind.fanins() {
+                required[f.index()] = required[f.index()].min(at_inputs);
+            }
+        }
+        TimingAnalysis { arrival, required, critical }
+    }
+
+    /// Arrival time of every node, s.
+    pub fn arrivals(&self) -> &[f64] {
+        &self.arrival
+    }
+
+    /// Required time of every node, s (`∞` for dead logic).
+    pub fn required(&self) -> &[f64] {
+        &self.required
+    }
+
+    /// Slack of node `i`: `required − arrival`.
+    pub fn slack(&self, i: usize) -> f64 {
+        self.required[i] - self.arrival[i]
+    }
+
+    /// The critical (maximum output arrival) delay, s.
+    pub fn critical_delay(&self) -> f64 {
+        self.critical
+    }
+
+    /// Indices of nodes on a critical path (zero slack within `eps`).
+    pub fn critical_nodes(&self, eps: f64) -> Vec<usize> {
+        (0..self.arrival.len()).filter(|&i| self.slack(i).abs() <= eps).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_logic::{Bf2, NetlistBuilder};
+
+    /// x → g1 → g2 → out, plus a short side branch y → g3 → out2.
+    fn two_path_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.gate2("g1", Bf2::NAND, x, y);
+        let g2 = b.gate2("g2", Bf2::NAND, g1, y);
+        let g3 = b.gate2("g3", Bf2::NOR, y, x);
+        b.output(g2);
+        b.output(g3);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn arrival_times_accumulate() {
+        let nl = two_path_netlist();
+        // unit delays on gates only
+        let d = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        let sta = TimingAnalysis::analyze(&nl, &d);
+        assert_eq!(sta.arrivals()[2], 1.0); // g1
+        assert_eq!(sta.arrivals()[3], 2.0); // g2
+        assert_eq!(sta.arrivals()[4], 1.0); // g3
+        assert_eq!(sta.critical_delay(), 2.0);
+    }
+
+    #[test]
+    fn slack_is_zero_on_critical_path_and_positive_off_it() {
+        let nl = two_path_netlist();
+        let d = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        let sta = TimingAnalysis::analyze(&nl, &d);
+        assert_eq!(sta.slack(2), 0.0); // g1 on critical path
+        assert_eq!(sta.slack(3), 0.0); // g2
+        assert_eq!(sta.slack(4), 1.0); // g3 has 1 unit of slack
+    }
+
+    #[test]
+    fn critical_nodes_lie_on_the_long_path() {
+        let nl = two_path_netlist();
+        let d = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        let sta = TimingAnalysis::analyze(&nl, &d);
+        let crit = sta.critical_nodes(1e-12);
+        assert!(crit.contains(&2) && crit.contains(&3));
+        assert!(!crit.contains(&4));
+    }
+
+    #[test]
+    fn increasing_one_delay_moves_the_critical_path() {
+        let nl = two_path_netlist();
+        let mut d = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        d[4] = 5.0; // g3 becomes critical
+        let sta = TimingAnalysis::analyze(&nl, &d);
+        assert_eq!(sta.critical_delay(), 5.0);
+        assert_eq!(sta.slack(4), 0.0);
+        assert_eq!(sta.slack(3), 3.0);
+    }
+
+    #[test]
+    fn required_time_of_dead_logic_is_infinite() {
+        let mut b = NetlistBuilder::new("dead");
+        let x = b.input("x");
+        let y = b.input("y");
+        let live = b.gate2("live", Bf2::AND, x, y);
+        let _dead = b.gate2("dead", Bf2::OR, x, y);
+        b.output(live);
+        let nl = b.finish().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &[0.0, 0.0, 1.0, 1.0]);
+        assert!(sta.required()[3].is_infinite());
+        assert_eq!(sta.slack(2), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # spin-hall-security
+//!
+//! Root facade for the Rust reproduction of Patnaik, Rangarajan et al.,
+//! *Advancing Hardware Security Using Polymorphic and Stochastic Spin-Hall
+//! Effect Devices* (DATE 2018).
+//!
+//! Everything lives in [`gshe_core`] and the substrate crates it
+//! re-exports; this crate exists so the repository root can host runnable
+//! `examples/` and cross-crate integration `tests/`.
+//!
+//! ```
+//! use spin_hall_security::prelude::*;
+//!
+//! let params = SwitchParams::table_i();
+//! assert_eq!(params.beta(), 6.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gshe_core::*;
