@@ -78,8 +78,11 @@ pub fn encode_keyed<S: ClauseSink>(
 ) -> EncodedCopy {
     assert_eq!(key.len(), keyed.key_len(), "key literal width mismatch");
     let nl = keyed.netlist();
-    let camo: HashMap<usize, &CamoGate> =
-        keyed.camo_gates().iter().map(|g| (g.node.index(), g)).collect();
+    let camo: HashMap<usize, &CamoGate> = keyed
+        .camo_gates()
+        .iter()
+        .map(|g| (g.node.index(), g))
+        .collect();
     let mut lits: Vec<Lit> = Vec::with_capacity(nl.len());
     let mut inputs = Vec::new();
 
@@ -170,8 +173,11 @@ pub fn encode_keyed_fixed<S: ClauseSink>(
     assert_eq!(key.len(), keyed.key_len(), "key literal width mismatch");
     let nl = keyed.netlist();
     assert_eq!(inputs.len(), nl.inputs().len(), "input width mismatch");
-    let camo: HashMap<usize, &CamoGate> =
-        keyed.camo_gates().iter().map(|g| (g.node.index(), g)).collect();
+    let camo: HashMap<usize, &CamoGate> = keyed
+        .camo_gates()
+        .iter()
+        .map(|g| (g.node.index(), g))
+        .collect();
     let mut vals: Vec<SigVal> = Vec::with_capacity(nl.len());
     let mut next_input = 0usize;
 
@@ -195,9 +201,7 @@ pub fn encode_keyed_fixed<S: ClauseSink>(
                         gshe_logic::Bf1::Const1 => SigVal::Known(true),
                     },
                 },
-                NodeKind::Gate2 { f, a, b } => {
-                    fold_gate2(enc, f, vals[a.index()], vals[b.index()])
-                }
+                NodeKind::Gate2 { f, a, b } => fold_gate2(enc, f, vals[a.index()], vals[b.index()]),
             }
         };
         vals.push(v);
@@ -365,7 +369,9 @@ mod tests {
     fn check_encoding(scheme: CamoScheme) {
         let (nl, keyed) = keyed(scheme);
         let mut s = Solver::new();
-        let key_lits: Vec<Lit> = (0..keyed.key_len()).map(|_| Lit::pos(s.new_var())).collect();
+        let key_lits: Vec<Lit> = (0..keyed.key_len())
+            .map(|_| Lit::pos(s.new_var()))
+            .collect();
         let copy = {
             let mut enc = CircuitEncoder::new(&mut s);
             assert_valid_key_codes(&mut enc, &keyed, &key_lits);
@@ -401,8 +407,9 @@ mod tests {
         for p in [0u32, 7, 21, 31] {
             let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
             let mut s = Solver::new();
-            let key_lits: Vec<Lit> =
-                (0..keyed.key_len()).map(|_| Lit::pos(s.new_var())).collect();
+            let key_lits: Vec<Lit> = (0..keyed.key_len())
+                .map(|_| Lit::pos(s.new_var()))
+                .collect();
             let outs = {
                 let mut enc = CircuitEncoder::new(&mut s);
                 assert_valid_key_codes(&mut enc, &keyed, &key_lits);
@@ -429,7 +436,9 @@ mod tests {
     fn io_constraint_prunes_wrong_keys() {
         let (nl, keyed) = keyed(CamoScheme::GsheAll16);
         let mut s = Solver::new();
-        let key_lits: Vec<Lit> = (0..keyed.key_len()).map(|_| Lit::pos(s.new_var())).collect();
+        let key_lits: Vec<Lit> = (0..keyed.key_len())
+            .map(|_| Lit::pos(s.new_var()))
+            .collect();
         {
             let mut enc = CircuitEncoder::new(&mut s);
             assert_valid_key_codes(&mut enc, &keyed, &key_lits);
@@ -447,7 +456,11 @@ mod tests {
         let resolved = keyed.resolve(&key).unwrap();
         for p in 0..32u32 {
             let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
-            assert_eq!(resolved.evaluate(&v), nl.evaluate(&v), "recovered key wrong at {p}");
+            assert_eq!(
+                resolved.evaluate(&v),
+                nl.evaluate(&v),
+                "recovered key wrong at {p}"
+            );
         }
     }
 
@@ -455,7 +468,9 @@ mod tests {
     fn contradictory_io_makes_unsat() {
         let (nl, keyed) = keyed(CamoScheme::GsheAll16);
         let mut s = Solver::new();
-        let key_lits: Vec<Lit> = (0..keyed.key_len()).map(|_| Lit::pos(s.new_var())).collect();
+        let key_lits: Vec<Lit> = (0..keyed.key_len())
+            .map(|_| Lit::pos(s.new_var()))
+            .collect();
         {
             let mut enc = CircuitEncoder::new(&mut s);
             assert_valid_key_codes(&mut enc, &keyed, &key_lits);

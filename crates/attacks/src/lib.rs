@@ -27,6 +27,7 @@ pub mod double_dip;
 pub mod encode;
 pub mod metrics;
 pub mod oracle;
+pub mod runner;
 pub mod sat_attack;
 
 pub use appsat::{appsat_attack, AppSatConfig};
@@ -34,4 +35,5 @@ pub use double_dip::double_dip_attack;
 pub use encode::{assert_valid_key_codes, encode_keyed, encode_keyed_fixed, EncodedCopy};
 pub use metrics::{verify_key, KeyVerification};
 pub use oracle::{NetlistOracle, Oracle, StochasticOracle};
+pub use runner::{AttackKind, AttackRunner};
 pub use sat_attack::{sat_attack, AttackConfig, AttackOutcome, AttackStatus};

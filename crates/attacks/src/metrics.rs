@@ -65,10 +65,7 @@ pub fn sat_equivalent(a: &Netlist, b: &Netlist) -> bool {
 }
 
 /// Encodes an ordinary netlist; returns (input lits, output lits).
-fn encode_plain(
-    enc: &mut CircuitEncoder<'_, Solver>,
-    nl: &Netlist,
-) -> (Vec<Lit>, Vec<Lit>) {
+fn encode_plain(enc: &mut CircuitEncoder<'_, Solver>, nl: &Netlist) -> (Vec<Lit>, Vec<Lit>) {
     // Reuse the keyed encoder with an empty key by wrapping the netlist in
     // a keyless KeyedNetlist.
     let keyed = KeyedNetlist::new(nl.clone(), Vec::new(), 0);

@@ -1,7 +1,7 @@
 //! Attack oracles: the working chip the adversary owns.
 
 use gshe_camo::KeyedNetlist;
-use gshe_logic::{Netlist, NodeId, NodeKind};
+use gshe_logic::{Netlist, NodeId, NodeKind, PatternBlock, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -16,6 +16,29 @@ pub trait Oracle {
     fn num_outputs(&self) -> usize;
     /// Queries issued so far.
     fn queries(&self) -> u64;
+
+    /// Queries the chip on a whole [`PatternBlock`] (up to 64 patterns) in
+    /// one call, returning one `u64` per primary output with bit `k` set to
+    /// the output's value under pattern `k`.
+    ///
+    /// The default implementation loops over [`Oracle::query`], so every
+    /// pattern still counts as one query. Block-capable oracles (e.g.
+    /// [`NetlistOracle`] over the bit-parallel [`Simulator`]) override this
+    /// to answer all 64 patterns per pass while keeping the same query
+    /// accounting.
+    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+        let mut lanes = vec![0u64; self.num_outputs()];
+        for k in 0..block.count {
+            let y = self.query(&block.pattern(k));
+            debug_assert_eq!(y.len(), lanes.len(), "oracle output arity drifted");
+            for (lane, &bit) in lanes.iter_mut().zip(&y) {
+                if bit {
+                    *lane |= 1 << k;
+                }
+            }
+        }
+        lanes
+    }
 }
 
 /// A perfect oracle backed by the original (unprotected) netlist.
@@ -36,6 +59,13 @@ impl Oracle for NetlistOracle<'_> {
     fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
         self.count += 1;
         self.netlist.evaluate(inputs)
+    }
+
+    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+        self.count += block.count as u64;
+        Simulator::new(self.netlist)
+            .run_masked(block)
+            .expect("oracle input arity mismatch")
     }
 
     fn num_inputs(&self) -> usize {
@@ -76,7 +106,10 @@ impl<'a> StochasticOracle<'a> {
     ///
     /// Panics if `error_rate` is outside `[0, 1]`.
     pub fn new(keyed: &'a KeyedNetlist, error_rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&error_rate), "error rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&error_rate),
+            "error rate must be in [0, 1]"
+        );
         StochasticOracle {
             noisy_nodes: keyed.camo_gates().iter().map(|g| g.node).collect(),
             keyed,
@@ -96,7 +129,11 @@ impl Oracle for StochasticOracle<'_> {
     fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
         self.count += 1;
         let nl = self.keyed.netlist();
-        assert_eq!(inputs.len(), nl.inputs().len(), "oracle input arity mismatch");
+        assert_eq!(
+            inputs.len(),
+            nl.inputs().len(),
+            "oracle input arity mismatch"
+        );
         let mut val = vec![false; nl.len()];
         let mut next_input = 0usize;
         for (i, node) in nl.nodes().iter().enumerate() {
@@ -184,7 +221,10 @@ mod tests {
                 let _ = rep;
             }
         }
-        assert!(mismatches > 100, "only {mismatches} mismatches at 50% error");
+        assert!(
+            mismatches > 100,
+            "only {mismatches} mismatches at 50% error"
+        );
     }
 
     #[test]
@@ -205,7 +245,10 @@ mod tests {
         let rate = mismatches as f64 / trials as f64;
         // 6 cells × 2% ≈ 11% worst-case output error; must be well below 30%.
         assert!(rate < 0.3, "output error rate {rate}");
-        assert!(mismatches > 0, "2% per-cell error should show up in 640 queries");
+        assert!(
+            mismatches > 0,
+            "2% per-cell error should show up in 640 queries"
+        );
     }
 
     #[test]
@@ -224,5 +267,46 @@ mod tests {
     fn error_rate_is_validated() {
         let (_, keyed) = c17_keyed();
         let _ = StochasticOracle::new(&keyed, 1.5, 0);
+    }
+
+    #[test]
+    fn block_query_matches_scalar_queries_and_counts() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let patterns: Vec<Vec<bool>> = (0..20u32)
+            .map(|p| (0..5).map(|k| (p >> k) & 1 == 1).collect())
+            .collect();
+        let block = PatternBlock::from_patterns(&patterns);
+
+        // Bit-parallel override.
+        let mut fast = NetlistOracle::new(&nl);
+        let lanes = fast.query_block(&block);
+        assert_eq!(fast.queries(), 20, "block path must count every pattern");
+
+        // Scalar reference.
+        let mut slow = NetlistOracle::new(&nl);
+        for (k, p) in patterns.iter().enumerate() {
+            let y = slow.query(p);
+            for (o, &bit) in y.iter().enumerate() {
+                assert_eq!(bit, (lanes[o] >> k) & 1 == 1, "pattern {k} output {o}");
+            }
+        }
+        assert_eq!(slow.queries(), 20);
+    }
+
+    #[test]
+    fn default_block_query_counts_per_pattern() {
+        // StochasticOracle does not override query_block: the default
+        // implementation must still count one query per pattern.
+        let (_, keyed) = c17_keyed();
+        let mut o = StochasticOracle::new(&keyed, 0.0, 1);
+        let block = PatternBlock::from_patterns(&[vec![false; 5], vec![true; 5]]);
+        let lanes = o.query_block(&block);
+        assert_eq!(o.queries(), 2);
+        assert_eq!(lanes.len(), o.num_outputs());
+
+        // With zero error the default path agrees with the fast path over
+        // the defender's netlist.
+        let mut fast = NetlistOracle::new(keyed.netlist());
+        assert_eq!(fast.query_block(&block), lanes);
     }
 }

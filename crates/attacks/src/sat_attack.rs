@@ -47,7 +47,10 @@ impl Default for AttackConfig {
 impl AttackConfig {
     /// Convenience constructor with a wall-clock budget in seconds.
     pub fn with_timeout_secs(secs: u64) -> Self {
-        AttackConfig { timeout: Duration::from_secs(secs), ..Default::default() }
+        AttackConfig {
+            timeout: Duration::from_secs(secs),
+            ..Default::default()
+        }
     }
 }
 
@@ -100,7 +103,10 @@ pub(crate) fn solve_sliced(
     slice: u64,
 ) -> Option<SolveResult> {
     loop {
-        solver.set_budget(Budget { max_conflicts: Some(slice), max_vars: None });
+        solver.set_budget(Budget {
+            max_conflicts: Some(slice),
+            max_vars: None,
+        });
         match solver.solve_with(assumptions) {
             SolveResult::Unknown => {
                 if Instant::now() >= deadline {
@@ -122,11 +128,18 @@ pub fn sat_attack(
     let start = Instant::now();
     let deadline = start + config.timeout;
     let mut solver = Solver::new();
-    solver.set_budget(Budget { max_conflicts: None, max_vars: config.max_vars });
+    solver.set_budget(Budget {
+        max_conflicts: None,
+        max_vars: config.max_vars,
+    });
 
     // Two key copies + shared-input symbolic copies + miter.
-    let key1: Vec<Lit> = (0..keyed.key_len()).map(|_| Lit::pos(solver.new_var())).collect();
-    let key2: Vec<Lit> = (0..keyed.key_len()).map(|_| Lit::pos(solver.new_var())).collect();
+    let key1: Vec<Lit> = (0..keyed.key_len())
+        .map(|_| Lit::pos(solver.new_var()))
+        .collect();
+    let key2: Vec<Lit> = (0..keyed.key_len())
+        .map(|_| Lit::pos(solver.new_var()))
+        .collect();
     let diff = {
         let mut enc = CircuitEncoder::new(&mut solver);
         assert_valid_key_codes(&mut enc, keyed, &key1);
@@ -168,7 +181,12 @@ pub fn sat_attack(
                 return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
             }
         }
-        match solve_sliced(&mut solver, &[diff_lit], deadline, config.conflicts_per_slice) {
+        match solve_sliced(
+            &mut solver,
+            &[diff_lit],
+            deadline,
+            config.conflicts_per_slice,
+        ) {
             None => return finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
             Some(SolveResult::Sat) => {
                 iterations += 1;
@@ -185,24 +203,42 @@ pub fn sat_attack(
             Some(SolveResult::Unsat) => {
                 // Converged: extract any key consistent with the I/O
                 // constraints (without the miter assumption).
-                return match solve_sliced(&mut solver, &[], deadline, config.conflicts_per_slice)
-                {
+                return match solve_sliced(&mut solver, &[], deadline, config.conflicts_per_slice) {
                     None => finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
                     Some(SolveResult::Sat) => {
-                        let key: Vec<bool> =
-                            key1.iter().map(|&l| solver.model_lit(l)).collect();
-                        finish(AttackStatus::Success, Some(key), iterations, &solver, oracle)
+                        let key: Vec<bool> = key1.iter().map(|&l| solver.model_lit(l)).collect();
+                        finish(
+                            AttackStatus::Success,
+                            Some(key),
+                            iterations,
+                            &solver,
+                            oracle,
+                        )
                     }
-                    Some(SolveResult::Unsat) => {
-                        finish(AttackStatus::Inconsistent, None, iterations, &solver, oracle)
-                    }
-                    Some(SolveResult::Unknown) => {
-                        finish(AttackStatus::ResourceExhausted, None, iterations, &solver, oracle)
-                    }
+                    Some(SolveResult::Unsat) => finish(
+                        AttackStatus::Inconsistent,
+                        None,
+                        iterations,
+                        &solver,
+                        oracle,
+                    ),
+                    Some(SolveResult::Unknown) => finish(
+                        AttackStatus::ResourceExhausted,
+                        None,
+                        iterations,
+                        &solver,
+                        oracle,
+                    ),
                 };
             }
             Some(SolveResult::Unknown) => {
-                return finish(AttackStatus::ResourceExhausted, None, iterations, &solver, oracle)
+                return finish(
+                    AttackStatus::ResourceExhausted,
+                    None,
+                    iterations,
+                    &solver,
+                    oracle,
+                )
             }
         }
     }
@@ -228,7 +264,10 @@ mod tests {
         assert_eq!(out.status, AttackStatus::Success, "{scheme}");
         let key = out.key.as_ref().unwrap();
         let v = verify_key(nl, &keyed, key).unwrap();
-        assert!(v.functionally_equivalent, "{scheme}: recovered key is wrong");
+        assert!(
+            v.functionally_equivalent,
+            "{scheme}: recovered key is wrong"
+        );
         out
     }
 
@@ -305,6 +344,9 @@ mod tests {
             };
             failures += broken as usize;
         }
-        assert!(failures >= trials as usize - 1, "attack survived noise too often");
+        assert!(
+            failures >= trials as usize - 1,
+            "attack survived noise too often"
+        );
     }
 }

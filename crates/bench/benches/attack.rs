@@ -23,7 +23,11 @@ fn bench_attack_by_scheme(c: &mut Criterion) {
     let nl = workload();
     let picks = select_gates(&nl, 0.2, 3);
     let mut group = c.benchmark_group("sat_attack_by_scheme");
-    for scheme in [CamoScheme::InvBuf, CamoScheme::FourFn, CamoScheme::GsheAll16] {
+    for scheme in [
+        CamoScheme::InvBuf,
+        CamoScheme::FourFn,
+        CamoScheme::GsheAll16,
+    ] {
         let mut rng = StdRng::seed_from_u64(3);
         let keyed = camouflage(&nl, &picks, scheme, &mut rng).unwrap();
         group.bench_with_input(
@@ -32,8 +36,7 @@ fn bench_attack_by_scheme(c: &mut Criterion) {
             |b, keyed| {
                 b.iter(|| {
                     let mut oracle = NetlistOracle::new(&nl);
-                    let out =
-                        sat_attack(keyed, &mut oracle, &AttackConfig::with_timeout_secs(60));
+                    let out = sat_attack(keyed, &mut oracle, &AttackConfig::with_timeout_secs(60));
                     assert_eq!(out.status, AttackStatus::Success);
                 })
             },

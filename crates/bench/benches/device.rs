@@ -17,13 +17,15 @@ fn bench_integrator_step(c: &mut Criterion) {
     let mid = MidpointIntegrator::default();
     group.bench_function(BenchmarkId::new("ablation", "midpoint"), |b| {
         b.iter(|| {
-            mid.step(&sys, state, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12).unwrap()
+            mid.step(&sys, state, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12)
+                .unwrap()
         })
     });
     let heun = StochasticHeun;
     group.bench_function(BenchmarkId::new("ablation", "heun"), |b| {
         b.iter(|| {
-            heun.step(&sys, state, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12).unwrap()
+            heun.step(&sys, state, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12)
+                .unwrap()
         })
     });
     group.finish();

@@ -40,7 +40,9 @@ fn bench_parse_round_trip(c: &mut Criterion) {
 
 fn bench_sta(c: &mut Criterion) {
     let nl = NetlistGenerator::new(
-        GeneratorConfig::new("t", 64, 32, 20_000).with_seed(5).with_chain_bias(0.2),
+        GeneratorConfig::new("t", 64, 32, 20_000)
+            .with_seed(5)
+            .with_chain_bias(0.2),
     )
     .unwrap()
     .generate();

@@ -6,10 +6,12 @@ use gshe_core::sat::{Lit, SolveResult, Solver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+#[allow(clippy::needless_range_loop)] // `j` indexes two pigeon rows at once
 fn php(n: usize) -> Solver {
     let mut s = Solver::new();
-    let p: Vec<Vec<Lit>> =
-        (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+    let p: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect())
+        .collect();
     for row in &p {
         s.add_clause(row);
     }

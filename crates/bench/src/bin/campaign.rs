@@ -1,0 +1,219 @@
+//! Runs an arbitrary campaign from a TOML spec file or command-line flags
+//! and prints the aggregated table, optionally writing JSON/CSV artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! campaign --spec FILE.toml [--out PREFIX] [--deterministic]
+//! campaign [--benchmarks a,b|suite:itc99|all] [--schemes x,y|all]
+//!          [--attacks sat,appsat] [--levels 10,20] [--error-rates 0,0.05]
+//!          [--trials N] [--scale N] [--seed N] [--timeout SECS]
+//!          [--threads N] [--out PREFIX] [--deterministic]
+//! ```
+//!
+//! `--out PREFIX` writes `PREFIX.json` and `PREFIX.csv`. `--deterministic`
+//! prints the timing-free JSON (byte-identical across thread counts) to
+//! stdout instead of the human table — the determinism acceptance check
+//! pipes two runs of this through `diff`.
+//!
+//! `--spec` is applied first; every other flag overrides the spec file's
+//! value regardless of where it appears on the command line.
+
+use gshe_core::campaign::{scheme_name, Campaign, CampaignSpec};
+use gshe_core::prelude::{AttackKind, CamoScheme};
+use std::time::Duration;
+
+/// Prints `error: <msg>` and exits with status 2 (CLI misuse / bad spec).
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = CampaignSpec {
+        name: "campaign".to_string(),
+        ..Default::default()
+    };
+    let mut out_prefix: Option<String> = None;
+    let mut deterministic = false;
+
+    // Load the spec file first (wherever --spec appears) so explicit flags
+    // always override it, independent of argument order.
+    if let Some(pos) = argv.iter().position(|a| a == "--spec") {
+        let value = argv
+            .get(pos + 1)
+            .unwrap_or_else(|| fail("missing value for --spec; see module docs for usage"));
+        let text = std::fs::read_to_string(value)
+            .unwrap_or_else(|e| fail(&format!("cannot read spec `{value}`: {e}")));
+        spec = CampaignSpec::parse_toml(&text)
+            .unwrap_or_else(|e| fail(&format!("bad spec `{value}`: {e}")));
+    }
+
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        if key == "--deterministic" {
+            deterministic = true;
+            i += 1;
+            continue;
+        }
+        let value = argv
+            .get(i + 1)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "missing value for {key}; see module docs for usage"
+                ))
+            })
+            .clone();
+        match key {
+            "--spec" => {} // handled in the pre-pass above
+            "--benchmarks" => spec.benchmarks = value.split(',').map(str::to_string).collect(),
+            "--schemes" => {
+                spec.schemes = value
+                    .split(',')
+                    .flat_map(|n| {
+                        if n == "all" {
+                            CamoScheme::ALL.to_vec()
+                        } else {
+                            vec![gshe_core::campaign::parse_scheme(n)
+                                .unwrap_or_else(|| fail(&format!("unknown scheme `{n}`")))]
+                        }
+                    })
+                    .collect()
+            }
+            "--attacks" => {
+                spec.attacks = value
+                    .split(',')
+                    .map(|n| {
+                        AttackKind::parse(n)
+                            .unwrap_or_else(|| fail(&format!("unknown attack `{n}`")))
+                    })
+                    .collect()
+            }
+            "--levels" => {
+                spec.levels = value
+                    .split(',')
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .unwrap_or_else(|_| fail("--levels takes percents, e.g. 10,20"))
+                            / 100.0
+                    })
+                    .collect()
+            }
+            "--error-rates" => {
+                spec.error_rates = value
+                    .split(',')
+                    .map(|v| {
+                        v.parse()
+                            .unwrap_or_else(|_| fail("--error-rates takes fractions"))
+                    })
+                    .collect()
+            }
+            "--trials" => {
+                spec.trials = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--trials takes an integer"))
+            }
+            "--scale" => {
+                spec.scale = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--scale takes an integer"))
+            }
+            "--seed" => {
+                spec.seed = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed takes an integer"))
+            }
+            "--timeout" => {
+                spec.timeout = Duration::from_secs(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| fail("--timeout takes seconds")),
+                )
+            }
+            "--threads" => {
+                spec.threads = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads takes an integer"))
+            }
+            "--out" => out_prefix = Some(value),
+            other => fail(&format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+
+    let report = Campaign::run(&spec).unwrap_or_else(|e| fail(&format!("campaign failed: {e}")));
+
+    if let Some(prefix) = &out_prefix {
+        std::fs::write(format!("{prefix}.json"), report.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {prefix}.json: {e}")));
+        std::fs::write(format!("{prefix}.csv"), report.to_csv())
+            .unwrap_or_else(|e| fail(&format!("cannot write {prefix}.csv: {e}")));
+        eprintln!("wrote {prefix}.json and {prefix}.csv");
+    }
+
+    if deterministic {
+        println!("{}", report.deterministic_json());
+        return;
+    }
+
+    println!(
+        "CAMPAIGN `{}` — {} jobs on {} threads in {:.1}s wall (cache: {} hits / {} misses)",
+        report.name,
+        report.results.len(),
+        report.threads,
+        report.wall_time.as_secs_f64(),
+        report.cache_hits,
+        report.cache_misses,
+    );
+    println!(
+        "{:<14} {:>8} {:<10} {:>5} {:>10}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "benchmark",
+        "scheme",
+        "attack",
+        "prot",
+        "error",
+        "trials",
+        "recov%",
+        "queries",
+        "err-rate",
+        "p50 s",
+        "p90 s"
+    );
+    println!("{:-<120}", "");
+    for row in &report.rows {
+        println!(
+            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2}",
+            row.key.benchmark,
+            scheme_name(row.key.scheme),
+            row.key.attack.name(),
+            row.key.level * 100.0,
+            row.key.error_rate,
+            row.trials,
+            row.key_recovery_rate * 100.0,
+            row.mean_queries,
+            if row.mean_output_error.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.4}", row.mean_output_error)
+            },
+            row.runtime_p50,
+            row.runtime_p90,
+        );
+    }
+    for row in &report.device {
+        println!(
+            "device {:<12} i_s={:>6.1}uA t_clk={:>6} samples={:<6} value={:.4e}",
+            row.kind,
+            row.i_s * 1e6,
+            if row.t_clk.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.1}ns", row.t_clk * 1e9)
+            },
+            row.samples,
+            row.value,
+        );
+    }
+}

@@ -14,7 +14,10 @@ use rand::SeedableRng;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let config = AttackConfig { timeout: args.timeout, ..Default::default() };
+    let config = AttackConfig {
+        timeout: args.timeout,
+        ..Default::default()
+    };
     println!(
         "SEC. V-A — DOUBLE DIP [12] vs SAT ATTACK [8] (10% protection, ours; scale 1/{})",
         args.scale

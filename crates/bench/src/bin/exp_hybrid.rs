@@ -13,7 +13,10 @@ use gshe_core::{protect_delay_aware, Provisioning};
 fn main() {
     let args = HarnessArgs::parse();
     let model = DelayModel::cmos_45nm();
-    let config = AttackConfig { timeout: args.timeout, ..Default::default() };
+    let config = AttackConfig {
+        timeout: args.timeout,
+        ..Default::default()
+    };
     println!(
         "SEC. V-A — DELAY-AWARE HYBRID CMOS-GSHE PROTECTION (scale 1/{})",
         args.scale
@@ -29,8 +32,7 @@ fn main() {
             continue;
         }
         let nl = benchmark_scaled(spec(name).expect("spec"), args.scale, args.seed);
-        let (protected, hybrid) =
-            protect_delay_aware(&nl, &model, args.seed).expect("all-16 flow");
+        let (protected, hybrid) = protect_delay_aware(&nl, &model, args.seed).expect("all-16 flow");
         assert_eq!(protected.provisioning, Provisioning::SplitManufacturing);
         fractions.push(hybrid.fraction);
 
@@ -56,7 +58,10 @@ fn main() {
     if !fractions.is_empty() {
         let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
         println!("{:-<76}", "");
-        println!("mean replaced fraction: {:.1}% (paper: 5-15%)", mean * 100.0);
+        println!(
+            "mean replaced fraction: {:.1}% (paper: 5-15%)",
+            mean * 100.0
+        );
         println!("zero delay overhead enforced by construction; attacks should time out");
         println!("(paper: unresolved after 240 h, mostly with solver failures).");
     }

@@ -18,7 +18,10 @@ fn main() {
     let fraction = 0.015;
     let runs = args.samples.clamp(10, 100) as u64;
     let nl = benchmark_scaled(&S38584, args.scale, args.seed);
-    let config = AttackConfig { timeout: args.timeout, ..Default::default() };
+    let config = AttackConfig {
+        timeout: args.timeout,
+        ..Default::default()
+    };
 
     println!(
         "SEC. II EXPERIMENT — s38584 under cost-limited STT-LUT [25] ({}% of {} gates, {} runs)",
@@ -42,7 +45,10 @@ fn main() {
         if out.status == AttackStatus::Success {
             let v = verify_key(&nl, &keyed, out.key.as_ref().expect("key on success"))
                 .expect("key width");
-            assert!(v.functionally_equivalent, "run {run}: recovered key is wrong");
+            assert!(
+                v.functionally_equivalent,
+                "run {run}: recovered key is wrong"
+            );
             solved += 1;
         }
     }

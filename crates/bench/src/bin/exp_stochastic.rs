@@ -3,110 +3,130 @@
 //! input-output observations; the attacks return wrong keys or collapse.
 //! Includes the AppSAT contender (fn. 6) and the device-level derivation of
 //! the error-rate knob (clock period vs. Fig. 4 delay distribution).
+//!
+//! The whole study — five device Monte Carlo sweeps plus a 4-accuracy ×
+//! 2-attack × 5-trial grid — is one campaign: every cell runs as a pooled
+//! job, so the trials that used to run back-to-back now run in parallel.
 
 use gshe_bench::HarnessArgs;
-use gshe_core::attacks::{
-    appsat_attack, sat_attack, verify_key, AppSatConfig, AttackConfig, AttackStatus,
-    NetlistOracle, StochasticOracle,
+use gshe_core::campaign::{
+    AttackSeeds, Campaign, CampaignSpec, JobKind, JobResult, JobSpec, JobStatus,
 };
-use gshe_core::camo::{camouflage, select_gates, CamoScheme};
-use gshe_core::device::SwitchParams;
-use gshe_core::error_rate_for_clock;
-use gshe_core::logic::suites::{benchmark_scaled, spec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gshe_core::prelude::{AttackKind, CamoScheme};
+
+const ACCURACIES: [f64; 4] = [1.0, 0.99, 0.95, 0.90];
+const TRIALS: u64 = 5;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let config = AttackConfig { timeout: args.timeout, ..Default::default() };
 
     // Device-level: how the error rate is tuned (Sec. V-B point (ii)).
-    let params = SwitchParams::table_i();
-    println!("SEC. V-B — STOCHASTIC SWITCHING AGAINST SAT ATTACKS");
-    println!("\nerror-rate knob (device Monte Carlo, I_S = 20 uA):");
-    for t_clk in [1.0e-9, 1.5e-9, 2.0e-9, 3.0e-9, 6.0e-9] {
-        let eps = error_rate_for_clock(&params, 20e-6, t_clk, args.samples.min(1000), args.seed);
-        println!("  clock {:>4.1} ns -> per-device error rate {:>5.1}%", t_clk * 1e9, eps * 100.0);
+    let clock_periods = [1.0e-9, 1.5e-9, 2.0e-9, 3.0e-9, 6.0e-9];
+    let mut jobs: Vec<JobSpec> = clock_periods
+        .iter()
+        .map(|&t_clk| JobSpec {
+            kind: JobKind::DeviceErrorRate {
+                i_s: 20e-6,
+                t_clk,
+                samples: args.samples.min(1000),
+                seed: args.seed,
+            },
+            timeout: args.timeout,
+        })
+        .collect();
+
+    // Attack grid: accuracy sweep × {SAT, AppSAT} × trials, all on the
+    // c7552-like benchmark at 20% protection (historical seeds: selection
+    // seed ^ 7, transform seed, per-trial oracle seed ^ t).
+    for &acc in &ACCURACIES {
+        for trial in 0..TRIALS {
+            for attack in [AttackKind::Sat, AttackKind::AppSat] {
+                jobs.push(JobSpec {
+                    kind: JobKind::Attack {
+                        benchmark: "c7552".to_string(),
+                        scheme: CamoScheme::GsheAll16,
+                        level: 0.20,
+                        attack,
+                        error_rate: 1.0 - acc,
+                        trial,
+                        seeds: AttackSeeds {
+                            select: args.seed ^ 7,
+                            transform: args.seed,
+                            oracle: args.seed ^ trial,
+                        },
+                    },
+                    timeout: args.timeout,
+                });
+            }
+        }
     }
 
-    let nl = benchmark_scaled(spec("c7552").expect("spec"), args.scale.max(40), args.seed);
-    let picks = select_gates(&nl, 0.20, args.seed ^ 7);
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).expect("all-16");
-    let trials = 5u64;
+    let spec = CampaignSpec {
+        name: "exp_stochastic".to_string(),
+        scale: args.scale.max(40),
+        seed: args.seed,
+        timeout: args.timeout,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let report = Campaign::run_jobs(&spec, jobs).expect("stochastic campaign");
+
+    println!("SEC. V-B — STOCHASTIC SWITCHING AGAINST SAT ATTACKS");
+    println!("\nerror-rate knob (device Monte Carlo, I_S = 20 uA):");
+    for row in &report.device {
+        println!(
+            "  clock {:>4.1} ns -> per-device error rate {:>5.1}%",
+            row.t_clk * 1e9,
+            row.value * 100.0
+        );
+    }
 
     println!(
         "\nattack success vs oracle accuracy (c7552-like, 20% protection, {} trials each):",
-        trials
+        TRIALS
     );
     println!(
         "{:>9} {:>14} {:>14} {:>16}",
         "accuracy", "SAT success", "AppSAT success", "typical outcome"
     );
     println!("{:-<60}", "");
-    for acc in [1.0, 0.99, 0.95, 0.90] {
+    for &acc in &ACCURACIES {
         let eps = 1.0 - acc;
-        let mut sat_ok = 0u64;
-        let mut app_ok = 0u64;
-        let mut last = "";
-        for t in 0..trials {
-            // Plain SAT attack.
-            let ok = if eps == 0.0 {
-                let mut oracle = NetlistOracle::new(&nl);
-                let out = sat_attack(&keyed, &mut oracle, &config);
-                matches!(out.status, AttackStatus::Success)
-                    && verify_key(&nl, &keyed, out.key.as_ref().expect("key"))
-                        .expect("width")
-                        .functionally_equivalent
-            } else {
-                let mut oracle = StochasticOracle::new(&keyed, eps, args.seed ^ t);
-                let out = sat_attack(&keyed, &mut oracle, &config);
-                last = match out.status {
-                    AttackStatus::Inconsistent => "inconsistent constraints",
-                    AttackStatus::Timeout => "timeout",
-                    AttackStatus::Success => "wrong key",
-                    AttackStatus::ResourceExhausted => "solver failure",
-                };
-                matches!(out.status, AttackStatus::Success)
-                    && verify_key(&nl, &keyed, out.key.as_ref().expect("key"))
-                        .expect("width")
-                        .functionally_equivalent
-            };
-            sat_ok += ok as u64;
-
-            // AppSAT (PAC-style contender, fn. 6).
-            let app_cfg = AppSatConfig {
-                base: config,
-                seed: args.seed ^ t,
-                ..Default::default()
-            };
-            let ok = if eps == 0.0 {
-                let mut oracle = NetlistOracle::new(&nl);
-                let out = appsat_attack(&keyed, &mut oracle, &app_cfg);
-                matches!(out.status, AttackStatus::Success)
-                    && verify_key(&nl, &keyed, out.key.as_ref().expect("key"))
-                        .expect("width")
-                        .functionally_equivalent
-            } else {
-                let mut oracle = StochasticOracle::new(&keyed, eps, args.seed ^ t);
-                let out = appsat_attack(&keyed, &mut oracle, &app_cfg);
-                matches!(out.status, AttackStatus::Success)
-                    && verify_key(&nl, &keyed, out.key.as_ref().expect("key"))
-                        .expect("width")
-                        .functionally_equivalent
-            };
-            app_ok += ok as u64;
-        }
-        if eps == 0.0 {
-            last = "exact key recovered";
-        }
+        let cell = |attack: AttackKind| -> Vec<&JobResult> {
+            report
+                .results
+                .iter()
+                .filter(|r| match &r.spec.kind {
+                    JobKind::Attack {
+                        attack: a,
+                        error_rate,
+                        ..
+                    } => *a == attack && (*error_rate - eps).abs() < 1e-12,
+                    _ => false,
+                })
+                .collect()
+        };
+        let sat = cell(AttackKind::Sat);
+        let app = cell(AttackKind::AppSat);
+        let sat_ok = sat.iter().filter(|r| r.key_recovered).count();
+        let app_ok = app.iter().filter(|r| r.key_recovered).count();
+        let last = if eps == 0.0 {
+            "exact key recovered"
+        } else {
+            match sat.last().map(|r| r.status) {
+                Some(JobStatus::Inconsistent) => "inconsistent constraints",
+                Some(JobStatus::TimedOut) => "timeout",
+                Some(JobStatus::Completed) => "wrong key",
+                _ => "solver failure",
+            }
+        };
         println!(
             "{:>8.0}% {:>11}/{} {:>13}/{} {:>18}",
             acc * 100.0,
             sat_ok,
-            trials,
+            TRIALS,
             app_ok,
-            trials,
+            TRIALS,
             last
         );
     }
@@ -114,4 +134,10 @@ fn main() {
     println!("paper claim: 95% accuracy implies 5% of observed patterns are wrong;");
     println!("SAT-style attacks assume a consistent oracle and fail — including");
     println!("AppSAT, whose PAC reasoning needs consistent input-output queries.");
+    println!(
+        "campaign: {} jobs on {} threads in {:.1}s wall",
+        report.results.len(),
+        report.threads,
+        report.wall_time.as_secs_f64()
+    );
 }

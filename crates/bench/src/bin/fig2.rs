@@ -8,7 +8,10 @@ fn main() {
     println!("FIG. 2 — CURRENT-CENTRIC TRUTH TABLES (logic 1/0 = +I/-I)");
     for f in [Bf2::NAND, Bf2::NOR] {
         let cfg = GsheConfig::for_function(f);
-        println!("\n{f}: wires = [{} {} {}]", cfg.currents[0], cfg.currents[1], cfg.currents[2]);
+        println!(
+            "\n{f}: wires = [{} {} {}]",
+            cfg.currents[0], cfg.currents[1], cfg.currents[2]
+        );
         for row in cfg.current_truth_table() {
             println!("  {row}");
         }

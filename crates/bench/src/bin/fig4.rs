@@ -32,7 +32,10 @@ fn main() {
         let max = h.fractions.iter().cloned().fold(0.0, f64::max);
         for (edge, frac) in h.bin_edges.iter().zip(&h.fractions) {
             if *frac > 0.0005 {
-                println!("{}", bar_line(&format!("{:.1} ns", edge * 1e9), *frac, max, 48));
+                println!(
+                    "{}",
+                    bar_line(&format!("{:.1} ns", edge * 1e9), *frac, max, 48)
+                );
             }
         }
     }

@@ -31,7 +31,11 @@ fn main() {
         let max = h.counts.iter().cloned().fold(0.0, f64::max);
         for (delay, count) in h.series() {
             if count > 0.0 {
-                let marker = if delay > 0.9 * h.max_delay() { " x (critical tail)" } else { "" };
+                let marker = if delay > 0.9 * h.max_delay() {
+                    " x (critical tail)"
+                } else {
+                    ""
+                };
                 println!(
                     "{}{}",
                     bar_line(&format!("{:.1} ns", delay * 1e9), count, max, 48),

@@ -1,7 +1,7 @@
 //! Regenerates **Table I**: material parameters of the GSHE switch,
 //! including the derived electrical quantities the paper lists.
 
-use gshe_core::device::{SwitchParams};
+use gshe_core::device::SwitchParams;
 
 fn main() {
     let p = SwitchParams::table_i();
@@ -30,8 +30,14 @@ fn main() {
             format!("{:.1e} J/m^3 (W-NM), {:.0e} J/m^3 (R-NM)", w.ku, r.ku),
         ),
         ("Spin current IS, determ. switching".into(), "20 uA".into()),
-        ("Resistance area product RAP".into(), format!("{:.0} Ohm um^2", p.rap * 1e12)),
-        ("Tunneling magnetoresistance TMR".into(), format!("{:.0}%", p.tmr * 100.0)),
+        (
+            "Resistance area product RAP".into(),
+            format!("{:.0} Ohm um^2", p.rap * 1e12),
+        ),
+        (
+            "Tunneling magnetoresistance TMR".into(),
+            format!("{:.0}%", p.tmr * 100.0),
+        ),
         (
             "Parallel conductance GP".into(),
             format!("{:.0} uS", p.g_parallel() * 1e6),
@@ -44,8 +50,14 @@ fn main() {
             "Resistivity of heavy metal (HM) rho".into(),
             format!("{:.1e} Ohm-m", hm.resistivity),
         ),
-        ("Spin-Hall angle thetaSH of HM".into(), format!("{}", hm.spin_hall_angle)),
-        ("Thickness tHM of HM".into(), format!("{:.0} nm", hm.thickness * 1e9)),
+        (
+            "Spin-Hall angle thetaSH of HM".into(),
+            format!("{}", hm.spin_hall_angle),
+        ),
+        (
+            "Thickness tHM of HM".into(),
+            format!("{:.0} nm", hm.thickness * 1e9),
+        ),
         (
             "Internal gain beta of HM".into(),
             format!(
@@ -64,7 +76,10 @@ fn main() {
         println!("{k:<42} {v}");
     }
     println!("{:-<78}", "");
-    println!("derived: layout area = {:.4} um^2 (paper: 0.0016 um^2)", p.layout_area() * 1e12);
+    println!(
+        "derived: layout area = {:.4} um^2 (paper: 0.0016 um^2)",
+        p.layout_area() * 1e12
+    );
     println!(
         "derived: thermal stability  W-NM delta = {:.2} kT, R-NM delta = {:.2} kT (300 K)",
         w.thermal_stability(300.0),

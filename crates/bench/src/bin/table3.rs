@@ -13,7 +13,16 @@ fn main() {
     println!("(italics = EPFL suite, bold = IBM superblue; both marked in the Suite column)");
     println!(
         "{:<14} {:>8} {:>8} {:>10}   {:<10} | scaled (1/{}): {:>6} {:>6} {:>8} {:>6}",
-        "Benchmark", "Inputs", "Outputs", "Gates", "Suite", args.scale, "PI", "PO", "Gates", "Depth"
+        "Benchmark",
+        "Inputs",
+        "Outputs",
+        "Gates",
+        "Suite",
+        args.scale,
+        "PI",
+        "PO",
+        "Gates",
+        "Depth"
     );
     println!("{:-<100}", "");
     for spec in TABLE_III.iter().chain(std::iter::once(&S38584)) {

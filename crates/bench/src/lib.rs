@@ -45,6 +45,8 @@ pub struct HarnessArgs {
     pub only: String,
     /// Protection levels as fractions (Table IV rows).
     pub levels: Vec<f64>,
+    /// Campaign worker threads (0 = available parallelism).
+    pub threads: usize,
 }
 
 impl Default for HarnessArgs {
@@ -56,6 +58,7 @@ impl Default for HarnessArgs {
             seed: 1,
             only: String::new(),
             levels: vec![0.10, 0.20, 0.30, 0.40],
+            threads: 0,
         }
     }
 }
@@ -85,11 +88,14 @@ impl HarnessArgs {
                 "--samples" => args.samples = value.parse().expect("--samples takes an integer"),
                 "--seed" => args.seed = value.parse().expect("--seed takes an integer"),
                 "--only" => args.only = value.clone(),
+                "--threads" => args.threads = value.parse().expect("--threads takes an integer"),
                 "--levels" => {
                     args.levels = value
                         .split(',')
                         .map(|v| {
-                            v.parse::<f64>().expect("--levels takes percents, e.g. 10,20") / 100.0
+                            v.parse::<f64>()
+                                .expect("--levels takes percents, e.g. 10,20")
+                                / 100.0
                         })
                         .collect()
                 }
@@ -108,7 +114,10 @@ pub fn bar_line(label: &str, value: f64, max: f64, width: usize) -> String {
     } else {
         0
     };
-    format!("{label:>10} | {:<width$} {value:.4}", "█".repeat(filled.min(width)))
+    format!(
+        "{label:>10} | {:<width$} {value:.4}",
+        "█".repeat(filled.min(width))
+    )
 }
 
 /// Formats a runtime cell for Table IV: seconds, or `t-o` on timeout, or

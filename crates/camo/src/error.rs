@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        let e = CamoError::KeyLengthMismatch { expected: 8, got: 3 };
+        let e = CamoError::KeyLengthMismatch {
+            expected: 8,
+            got: 3,
+        };
         assert!(e.to_string().contains('8') && e.to_string().contains('3'));
         assert!(CamoError::NotAGate(NodeId(4)).to_string().contains("n4"));
     }

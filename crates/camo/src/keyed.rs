@@ -71,7 +71,10 @@ impl CamoGate {
     ///
     /// Panics if `index` is out of range.
     pub fn encode(&self, index: usize, key: &mut [bool]) {
-        assert!(index < self.candidates.len(), "candidate index out of range");
+        assert!(
+            index < self.candidates.len(),
+            "candidate index out of range"
+        );
         for b in 0..self.key_bits() {
             key[self.key_offset + b] = (index >> b) & 1 == 1;
         }
@@ -100,7 +103,11 @@ impl KeyedNetlist {
     pub fn new(netlist: Netlist, camo_gates: Vec<CamoGate>, key_len: usize) -> Self {
         let total: usize = camo_gates.iter().map(|g| g.key_bits()).sum();
         assert_eq!(total, key_len, "key offsets inconsistent with key length");
-        KeyedNetlist { netlist, camo_gates, key_len }
+        KeyedNetlist {
+            netlist,
+            camo_gates,
+            key_len,
+        }
     }
 
     /// The underlying structure **with correct functions installed**
@@ -177,16 +184,14 @@ impl KeyedNetlist {
     ///
     /// Returns [`CamoError::KeyLengthMismatch`] or
     /// [`CamoError::InputCountMismatch`].
-    pub fn evaluate_with_key(
-        &self,
-        inputs: &[bool],
-        key: &[bool],
-    ) -> Result<Vec<bool>, CamoError> {
+    pub fn evaluate_with_key(&self, inputs: &[bool], key: &[bool]) -> Result<Vec<bool>, CamoError> {
         let resolved = self.resolve(key)?;
-        resolved.try_evaluate(inputs).map_err(|_| CamoError::InputCountMismatch {
-            expected: self.netlist.inputs().len(),
-            got: inputs.len(),
-        })
+        resolved
+            .try_evaluate(inputs)
+            .map_err(|_| CamoError::InputCountMismatch {
+                expected: self.netlist.inputs().len(),
+                got: inputs.len(),
+            })
     }
 
     /// `true` if `key` selects the correct function at every cell
@@ -194,7 +199,10 @@ impl KeyedNetlist {
     /// exist and are exactly what SAT attacks may legitimately return).
     pub fn key_is_structurally_correct(&self, key: &[bool]) -> bool {
         key.len() == self.key_len
-            && self.camo_gates.iter().all(|g| g.decode(key) == Some(g.correct_index))
+            && self
+                .camo_gates
+                .iter()
+                .all(|g| g.decode(key) == Some(g.correct_index))
     }
 }
 
@@ -205,7 +213,8 @@ fn set_gate1_function(nl: &mut Netlist, node: NodeId, f: Bf1) -> Result<(), Camo
     match nl.node(node).kind {
         NodeKind::Gate1 { a, .. } => {
             // Replace by rebuilding just this node's kind.
-            nl.set_gate1_function(node, f, a).map_err(|_| CamoError::NotAGate(node))
+            nl.set_gate1_function(node, f, a)
+                .map_err(|_| CamoError::NotAGate(node))
         }
         _ => Err(CamoError::NotAGate(node)),
     }
@@ -238,8 +247,14 @@ mod tests {
         let k = tiny_keyed();
         let key = k.correct_key();
         assert!(k.key_is_structurally_correct(&key));
-        assert_eq!(k.evaluate_with_key(&[true, true], &key).unwrap(), vec![true]);
-        assert_eq!(k.evaluate_with_key(&[true, false], &key).unwrap(), vec![false]);
+        assert_eq!(
+            k.evaluate_with_key(&[true, true], &key).unwrap(),
+            vec![true]
+        );
+        assert_eq!(
+            k.evaluate_with_key(&[true, false], &key).unwrap(),
+            vec![false]
+        );
     }
 
     #[test]
@@ -248,7 +263,10 @@ mod tests {
         let mut key = k.correct_key();
         // Select OR instead of AND.
         key.copy_from_slice(&[false, true, true, true]);
-        assert_eq!(k.evaluate_with_key(&[true, false], &key).unwrap(), vec![true]);
+        assert_eq!(
+            k.evaluate_with_key(&[true, false], &key).unwrap(),
+            vec![true]
+        );
         assert!(!k.key_is_structurally_correct(&key));
     }
 
@@ -257,7 +275,10 @@ mod tests {
         let k = tiny_keyed();
         assert!(matches!(
             k.evaluate_with_key(&[true, true], &[true]),
-            Err(CamoError::KeyLengthMismatch { expected: 4, got: 1 })
+            Err(CamoError::KeyLengthMismatch {
+                expected: 4,
+                got: 1
+            })
         ));
     }
 

@@ -7,7 +7,6 @@ use std::fmt;
 /// A camouflaging primitive: which Boolean functions one cloaked cell can
 /// hide among. Columns of Table IV, left to right.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[non_exhaustive]
 pub enum CamoScheme {
     /// Rajendran et al. \[2\]: look-alike NAND/NOR/XOR cell (3 functions).
     LookAlike,
@@ -45,9 +44,7 @@ impl CamoScheme {
     /// The candidate function set one cloaked cell hides among.
     pub fn candidates(self) -> Candidates {
         match self {
-            CamoScheme::LookAlike => {
-                Candidates::TwoInput(vec![Bf2::NAND, Bf2::NOR, Bf2::XOR])
-            }
+            CamoScheme::LookAlike => Candidates::TwoInput(vec![Bf2::NAND, Bf2::NOR, Bf2::XOR]),
             CamoScheme::ThresholdSttLut => Candidates::TwoInput(vec![
                 Bf2::NAND,
                 Bf2::NOR,

@@ -19,7 +19,10 @@ use rand::SeedableRng;
 ///
 /// Panics if `fraction` is not in `(0, 1]`.
 pub fn select_gates(netlist: &Netlist, fraction: f64, seed: u64) -> Vec<NodeId> {
-    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
     let count = ((netlist.gate_count() as f64) * fraction).round().max(1.0) as usize;
     select_gates_count(netlist, count, seed)
 }

@@ -148,8 +148,7 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
                     report.direct += 1;
                     (cell, pos, cell)
                 } else if let Some(pos) = fs.iter().position(|&g| g == f.complement()) {
-                    let cell =
-                        b.gate2(format!("{}__camocell", node.name), f.complement(), na, nb);
+                    let cell = b.gate2(format!("{}__camocell", node.name), f.complement(), na, nb);
                     let inv = b.gate1(node.name.clone(), Bf1::Inv, cell);
                     report.complemented += 1;
                     report.extra_gates += 1;
@@ -166,14 +165,16 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
                         report.extra_gates += 3;
                         (cell, pos, cell)
                     } else {
-                        let cell =
-                            b.gate2(format!("{}__camocell", node.name), Bf2::NAND, t2, t3);
+                        let cell = b.gate2(format!("{}__camocell", node.name), Bf2::NAND, t2, t3);
                         let inv = b.gate1(node.name.clone(), Bf1::Inv, cell);
                         report.extra_gates += 4;
                         (cell, pos, inv)
                     }
                 } else {
-                    return Err(CamoError::Uncloakable { node: old, function: f.name() });
+                    return Err(CamoError::Uncloakable {
+                        node: old,
+                        function: f.name(),
+                    });
                 }
             }
             (Candidates::TwoInput(fs), NodeKind::Gate1 { f, a }) => {
@@ -182,7 +183,7 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
                 let matches_direct =
                     |g: &Bf2| (0..2).all(|v| g.eval(v == 1, v == 1) == f.eval(v == 1));
                 let matches_compl =
-                    |g: &Bf2| (0..2).all(|v| g.eval(v == 1, v == 1) == !f.eval(v == 1));
+                    |g: &Bf2| (0..2).all(|v| g.eval(v == 1, v == 1) != f.eval(v == 1));
                 if let Some(pos) = fs.iter().position(matches_direct) {
                     let cell = b.gate2(node.name.clone(), fs[pos], na, na);
                     report.degenerate += 1;
@@ -194,12 +195,13 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
                     report.extra_gates += 1;
                     (cell, pos, inv)
                 } else {
-                    return Err(CamoError::Uncloakable { node: old, function: f.name() });
+                    return Err(CamoError::Uncloakable {
+                        node: old,
+                        function: f.name(),
+                    });
                 }
             }
-            (_, NodeKind::Input | NodeKind::Const(_)) => {
-                return Err(CamoError::NotAGate(old))
-            }
+            (_, NodeKind::Input | NodeKind::Const(_)) => return Err(CamoError::NotAGate(old)),
         };
 
         let bits = candidates.key_bits();
@@ -275,8 +277,7 @@ mod tests {
         let picks = select_gates(&nl, 0.3, 5);
         let mut rng = StdRng::seed_from_u64(3);
         for scheme in CamoScheme::ALL {
-            let (_, report) =
-                camouflage_with_report(&nl, &picks, scheme, &mut rng).unwrap();
+            let (_, report) = camouflage_with_report(&nl, &picks, scheme, &mut rng).unwrap();
             assert_eq!(report.protected(), picks.len(), "{scheme}");
         }
     }

@@ -47,11 +47,17 @@ fn random_wrong_keys_usually_corrupt_the_function() {
         let key: Vec<bool> = (0..keyed.key_len()).map(|_| krng.gen_bool(0.5)).collect();
         let resolved = keyed.resolve(&key).unwrap();
         let mut erng = StdRng::seed_from_u64(t ^ 99);
-        if random_equivalence_check(&nl, &resolved, 4, &mut erng).unwrap().is_none() {
+        if random_equivalence_check(&nl, &resolved, 4, &mut erng)
+            .unwrap()
+            .is_none()
+        {
             intact += 1;
         }
     }
-    assert!(intact <= 2, "{intact}/{trials} random keys left the function intact");
+    assert!(
+        intact <= 2,
+        "{intact}/{trials} random keys left the function intact"
+    );
 }
 
 #[test]
@@ -83,8 +89,7 @@ fn report_extra_gates_bounded_by_rules() {
         let mut rng = StdRng::seed_from_u64(17);
         let (_, report) = camouflage_with_report(&nl, &picks, scheme, &mut rng).unwrap();
         assert!(
-            report.extra_gates
-                <= report.complemented + 4 * report.decomposed + report.protected(),
+            report.extra_gates <= report.complemented + 4 * report.decomposed + report.protected(),
             "{scheme}: {report:?}"
         );
     }
@@ -92,8 +97,12 @@ fn report_extra_gates_bounded_by_rules() {
 
 #[test]
 fn camo_netlists_remain_structurally_valid() {
-    for (seed, scheme) in [(1u64, CamoScheme::LookAlike), (2, CamoScheme::FourFn),
-                           (3, CamoScheme::InvBuf), (4, CamoScheme::DwmPolymorphic)] {
+    for (seed, scheme) in [
+        (1u64, CamoScheme::LookAlike),
+        (2, CamoScheme::FourFn),
+        (3, CamoScheme::InvBuf),
+        (4, CamoScheme::DwmPolymorphic),
+    ] {
         let nl = workload(seed);
         let picks = select_gates(&nl, 0.4, seed);
         let mut rng = StdRng::seed_from_u64(seed);

@@ -1,0 +1,243 @@
+//! Sharded, shared oracle-response cache.
+//!
+//! Every attack job against the same benchmark queries the same working
+//! chip, and SAT-style attacks re-discover overlapping discriminating
+//! input patterns across schemes and protection levels. Simulating each
+//! pattern once per *campaign* instead of once per *job* removes that
+//! redundancy: the cache maps `(netlist fingerprint, input pattern)` to
+//! the simulated outputs and is shared by all workers.
+//!
+//! The map is split into [`SHARDS`] independently-locked shards selected
+//! by the key's hash, so concurrent workers rarely contend on the same
+//! lock. Entries are immutable once inserted (a deterministic oracle
+//! always answers the same), which keeps the protocol to a get-or-insert.
+
+use crate::job::hash_mix;
+use gshe_attacks::Oracle;
+use gshe_logic::{Netlist, NodeKind, PatternBlock, Simulator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently-locked shards.
+pub const SHARDS: usize = 16;
+
+/// Key: (netlist fingerprint, bit-packed input pattern).
+type Key = (u64, Vec<u64>);
+
+/// A process-wide cache of oracle responses, safe to share across workers.
+#[derive(Debug, Default)]
+pub struct OracleCache {
+    shards: [Mutex<HashMap<Key, Vec<bool>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OracleCache {
+    /// An empty cache behind an [`Arc`], ready to hand to workers.
+    pub fn shared() -> Arc<OracleCache> {
+        Arc::new(OracleCache::default())
+    }
+
+    /// Looks up `pattern` for the netlist identified by `fingerprint`,
+    /// computing and memoizing via `compute` on a miss.
+    ///
+    /// `compute` runs *outside* the shard lock so concurrent workers on
+    /// the same shard never serialize their simulations; entries are
+    /// immutable, so the rare duplicate compute under a race is harmless
+    /// (first insert wins).
+    pub fn get_or_insert(
+        &self,
+        fingerprint: u64,
+        pattern: &[bool],
+        compute: impl FnOnce() -> Vec<bool>,
+    ) -> Vec<bool> {
+        let key = (fingerprint, pack_bits(pattern));
+        let shard = &self.shards[(hash_key(&key) as usize) % SHARDS];
+        if let Some(hit) = shard.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        shard
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| value.clone());
+        value
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Packs a boolean pattern into 64-bit words (bit `i % 64` of word
+/// `i / 64` is input `i`), appending the length so `[T]`/`[T, F]` differ
+/// from `[T, F, F]`.
+fn pack_bits(pattern: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; pattern.len().div_ceil(64) + 1];
+    for (i, &b) in pattern.iter().enumerate() {
+        if b {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    *words.last_mut().expect("non-empty") = pattern.len() as u64;
+    words
+}
+
+fn hash_key(key: &Key) -> u64 {
+    let mut h = key.0;
+    for &w in &key.1 {
+        h = hash_mix(h ^ w);
+    }
+    h
+}
+
+/// A stable structural fingerprint of a netlist, independent of memory
+/// addresses: hashes the node kinds, wiring, and output list.
+pub fn netlist_fingerprint(netlist: &Netlist) -> u64 {
+    let mut h = hash_mix(netlist.len() as u64);
+    for node in netlist.nodes() {
+        let tag = match node.kind {
+            NodeKind::Input => 0x11,
+            NodeKind::Const(c) => 0x20 | c as u64,
+            NodeKind::Gate1 { f, a } => 0x3000 | ((f as u64) << 32) | (a.index() as u64),
+            NodeKind::Gate2 { f, a, b } => {
+                0x4000
+                    | ((f.truth_table() as u64) << 48)
+                    | ((a.index() as u64) << 24)
+                    | (b.index() as u64)
+            }
+        };
+        h = hash_mix(h ^ tag);
+    }
+    for out in netlist.outputs() {
+        h = hash_mix(h ^ (0x5000 | out.index() as u64));
+    }
+    h
+}
+
+/// A deterministic oracle over a shared netlist that answers through the
+/// campaign-wide [`OracleCache`], bit-parallel on block queries.
+#[derive(Debug, Clone)]
+pub struct CachedOracle {
+    netlist: Arc<Netlist>,
+    fingerprint: u64,
+    cache: Arc<OracleCache>,
+    count: u64,
+}
+
+impl CachedOracle {
+    /// Wraps `netlist` with the shared `cache`.
+    pub fn new(netlist: Arc<Netlist>, cache: Arc<OracleCache>) -> Self {
+        let fingerprint = netlist_fingerprint(&netlist);
+        CachedOracle {
+            netlist,
+            fingerprint,
+            cache,
+            count: 0,
+        }
+    }
+}
+
+impl Oracle for CachedOracle {
+    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        self.count += 1;
+        let netlist = &self.netlist;
+        self.cache
+            .get_or_insert(self.fingerprint, inputs, || netlist.evaluate(inputs))
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.netlist.inputs().len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.netlist.outputs().len()
+    }
+
+    fn queries(&self) -> u64 {
+        self.count
+    }
+
+    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+        // Whole blocks bypass the per-pattern map: one bit-parallel pass is
+        // already cheaper than 64 lookups.
+        self.count += block.count as u64;
+        Simulator::new(&self.netlist)
+            .run_masked(block)
+            .expect("oracle input arity mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+
+    #[test]
+    fn cache_hits_on_repeat_queries_across_oracles() {
+        let nl = Arc::new(parse_bench(C17_BENCH).unwrap());
+        let cache = OracleCache::shared();
+        let pattern = [true, false, true, false, true];
+
+        let mut a = CachedOracle::new(Arc::clone(&nl), Arc::clone(&cache));
+        let ya = a.query(&pattern);
+        assert_eq!(cache.stats(), (0, 1));
+
+        // A *different* oracle instance over the same netlist hits.
+        let mut b = CachedOracle::new(Arc::clone(&nl), Arc::clone(&cache));
+        let yb = b.query(&pattern);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(ya, yb);
+        assert_eq!(ya, nl.evaluate(&pattern));
+
+        // Query counting is per-oracle, unaffected by caching.
+        assert_eq!(a.queries(), 1);
+        assert_eq!(b.queries(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let c17 = parse_bench(C17_BENCH).unwrap();
+        let fp_a = netlist_fingerprint(&c17);
+        // Identical structure → identical fingerprint, regardless of
+        // allocation identity.
+        assert_eq!(netlist_fingerprint(&c17.clone()), fp_a);
+
+        // A genuinely different circuit gets a different fingerprint.
+        let tiny = parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        assert_ne!(netlist_fingerprint(&tiny), fp_a);
+    }
+
+    #[test]
+    fn pattern_length_is_part_of_the_key() {
+        assert_ne!(pack_bits(&[true]), pack_bits(&[true, false]));
+        assert_ne!(pack_bits(&[]), pack_bits(&[false]));
+    }
+
+    #[test]
+    fn block_queries_count_and_match_scalar() {
+        let nl = Arc::new(parse_bench(C17_BENCH).unwrap());
+        let cache = OracleCache::shared();
+        let mut o = CachedOracle::new(Arc::clone(&nl), cache);
+        let patterns: Vec<Vec<bool>> = (0..10u32)
+            .map(|p| (0..5).map(|k| (p >> k) & 1 == 1).collect())
+            .collect();
+        let block = PatternBlock::from_patterns(&patterns);
+        let lanes = o.query_block(&block);
+        assert_eq!(o.queries(), 10);
+        for (k, p) in patterns.iter().enumerate() {
+            let y = nl.evaluate(p);
+            for (i, &bit) in y.iter().enumerate() {
+                assert_eq!(bit, (lanes[i] >> k) & 1 == 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Campaign jobs: one protect→attack→measure experiment (or one device
+//! measurement) per job.
+//!
+//! A job is a plain `Send` value describing *what* to run; *where* and
+//! *when* it runs is the pool's business. Every random choice a job makes
+//! comes from seeds **stored in the job spec** — gate selection, transform,
+//! and oracle seeds for attack jobs, a Monte Carlo seed for device jobs —
+//! never from thread ids or submission order, so a campaign's results are
+//! a pure function of its spec at any thread count. The default expansion
+//! ([`crate::CampaignSpec::expand`]) derives those seeds from the campaign
+//! master seed plus the job's identity; the paper-table harnesses instead
+//! install the exact historical derivations (e.g. Table IV shares one gate
+//! selection per benchmark × level across all schemes — the paper's
+//! fairness protocol).
+
+use crate::cache::{CachedOracle, OracleCache};
+use gshe_attacks::{verify_key, AttackKind, AttackRunner, AttackStatus, StochasticOracle};
+use gshe_camo::{camouflage, select_gates, CamoScheme};
+use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
+use gshe_logic::Netlist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// SplitMix64 finalizer: the one-way mixer used for seed derivation and
+/// cache sharding.
+pub fn hash_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Stable 64-bit hash of a string (FNV-1a folded through SplitMix64).
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    hash_mix(h)
+}
+
+/// The seeds an attack job draws from, fixed at expansion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackSeeds {
+    /// Seed for the protected-gate selection.
+    pub select: u64,
+    /// Seed for the camouflaging transform's candidate shuffling.
+    pub transform: u64,
+    /// Seed for the stochastic oracle (and AppSAT's random queries).
+    pub oracle: u64,
+}
+
+/// What a single job computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// Camouflage a benchmark, attack it through an oracle, verify the
+    /// recovered key.
+    Attack {
+        /// Benchmark name (resolvable via `gshe_logic::suites::spec`).
+        benchmark: String,
+        /// Camouflaging scheme under attack.
+        scheme: CamoScheme,
+        /// Fraction of gates protected.
+        level: f64,
+        /// Attack algorithm.
+        attack: AttackKind,
+        /// Per-cell oracle error rate (0.0 = perfect deterministic chip).
+        error_rate: f64,
+        /// Trial index (campaigns repeat stochastic cells).
+        trial: u64,
+        /// The job's RNG seeds.
+        seeds: AttackSeeds,
+    },
+    /// Monte Carlo mean switching delay at a spin current (Table II's
+    /// measured row).
+    DeviceDelay {
+        /// Spin current, A.
+        i_s: f64,
+        /// Monte Carlo sample count.
+        samples: usize,
+        /// Monte Carlo master seed.
+        seed: u64,
+    },
+    /// Monte Carlo per-device error rate for a clock period (the Sec. V-B
+    /// error-rate knob).
+    DeviceErrorRate {
+        /// Spin current, A.
+        i_s: f64,
+        /// Clock period, s.
+        t_clk: f64,
+        /// Monte Carlo sample count.
+        samples: usize,
+        /// Monte Carlo master seed.
+        seed: u64,
+    },
+}
+
+/// One schedulable unit of campaign work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What to compute.
+    pub kind: JobKind,
+    /// Wall-clock budget for the job's attack phase.
+    pub timeout: Duration,
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job's attack (or measurement) ran to completion.
+    Completed,
+    /// The attack hit its wall-clock budget; partial metrics recorded.
+    TimedOut,
+    /// The attack's solver budget was exhausted.
+    Exhausted,
+    /// The attack's constraints became contradictory (stochastic oracle).
+    Inconsistent,
+    /// The job could not even be set up (unknown benchmark, transform
+    /// error); the message explains.
+    Failed,
+}
+
+impl JobStatus {
+    /// Short machine-friendly name for serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::TimedOut => "timed-out",
+            JobStatus::Exhausted => "exhausted",
+            JobStatus::Inconsistent => "inconsistent",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The measured outcome of one job. Everything except `elapsed` is a
+/// deterministic function of the job spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The spec this result answers.
+    pub spec: JobSpec,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// The attack recovered a functionally-correct key.
+    pub key_recovered: bool,
+    /// Oracle queries issued by the attack.
+    pub queries: u64,
+    /// DIP iterations performed by the attack.
+    pub iterations: u64,
+    /// Sampled output error rate of the recovered key's netlist vs. the
+    /// original (0.0 when exactly equivalent; NaN when no key).
+    pub output_error_rate: f64,
+    /// Scalar measurement for device jobs (mean delay in seconds, or
+    /// error rate), NaN for attack jobs.
+    pub measurement: f64,
+    /// Wall-clock runtime of the job (excluded from deterministic
+    /// serializations).
+    pub elapsed: Duration,
+    /// Failure detail for [`JobStatus::Failed`].
+    pub error: Option<String>,
+}
+
+/// Immutable context shared by every job in a campaign run.
+pub struct JobContext {
+    /// Pre-built original netlists, keyed by benchmark name, in spec
+    /// order.
+    pub netlists: Vec<(String, Arc<Netlist>)>,
+    /// Campaign-wide oracle-response cache.
+    pub cache: Arc<OracleCache>,
+    /// Device parameters for device jobs.
+    pub params: SwitchParams,
+}
+
+impl JobContext {
+    fn netlist(&self, name: &str) -> Option<&Arc<Netlist>> {
+        self.netlists
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, nl)| nl)
+    }
+}
+
+/// Executes one job to completion (respecting its budget) and returns the
+/// result. Never panics on attack-level failure; structural problems are
+/// reported as [`JobStatus::Failed`].
+pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
+    let start = Instant::now();
+    let mut result = JobResult {
+        spec: spec.clone(),
+        status: JobStatus::Failed,
+        key_recovered: false,
+        queries: 0,
+        iterations: 0,
+        output_error_rate: f64::NAN,
+        measurement: f64::NAN,
+        elapsed: Duration::ZERO,
+        error: None,
+    };
+    match &spec.kind {
+        JobKind::Attack {
+            benchmark,
+            scheme,
+            level,
+            attack,
+            error_rate,
+            trial: _,
+            seeds,
+        } => {
+            let Some(nl) = ctx.netlist(benchmark) else {
+                result.error = Some(format!("unknown benchmark `{benchmark}`"));
+                result.elapsed = start.elapsed();
+                return result;
+            };
+            let picks = select_gates(nl, *level, seeds.select);
+            let mut rng = StdRng::seed_from_u64(seeds.transform);
+            let keyed = match camouflage(nl, &picks, *scheme, &mut rng) {
+                Ok(k) => k,
+                Err(e) => {
+                    result.error = Some(format!("camouflage failed: {e}"));
+                    result.elapsed = start.elapsed();
+                    return result;
+                }
+            };
+            let runner = AttackRunner::new(*attack, spec.timeout, seeds.oracle);
+            let out = if *error_rate > 0.0 {
+                let mut oracle = StochasticOracle::new(&keyed, *error_rate, seeds.oracle);
+                runner.run(&keyed, &mut oracle)
+            } else {
+                let mut oracle = CachedOracle::new(Arc::clone(nl), Arc::clone(&ctx.cache));
+                runner.run(&keyed, &mut oracle)
+            };
+            result.status = match out.status {
+                AttackStatus::Success => JobStatus::Completed,
+                AttackStatus::Timeout => JobStatus::TimedOut,
+                AttackStatus::ResourceExhausted => JobStatus::Exhausted,
+                AttackStatus::Inconsistent => JobStatus::Inconsistent,
+            };
+            result.queries = out.queries;
+            result.iterations = out.iterations;
+            if let Some(key) = &out.key {
+                match verify_key(nl, &keyed, key) {
+                    Ok(v) => {
+                        result.key_recovered = v.functionally_equivalent;
+                        result.output_error_rate = v.sampled_error_rate;
+                    }
+                    Err(e) => {
+                        result.status = JobStatus::Failed;
+                        result.error = Some(format!("verification failed: {e}"));
+                    }
+                }
+            }
+        }
+        JobKind::DeviceDelay { i_s, samples, seed } => {
+            match run_mc_budgeted(ctx, *i_s, *samples, *seed, start + spec.timeout) {
+                Some(runs) => {
+                    result.measurement = gshe_device::mean_switched_delay(&runs);
+                    result.status = JobStatus::Completed;
+                }
+                None => result.status = JobStatus::TimedOut,
+            }
+        }
+        JobKind::DeviceErrorRate {
+            i_s,
+            t_clk,
+            samples,
+            seed,
+        } => {
+            match run_mc_budgeted(ctx, *i_s, *samples, *seed, start + spec.timeout) {
+                Some(runs) => {
+                    // 1 − switching probability, over the same sample set a
+                    // standalone `MonteCarlo::switching_probability` draws.
+                    let hits = runs
+                        .iter()
+                        .filter(|s| s.switched && s.delay <= *t_clk)
+                        .count();
+                    result.measurement = 1.0 - hits as f64 / runs.len().max(1) as f64;
+                    result.status = JobStatus::Completed;
+                }
+                None => result.status = JobStatus::TimedOut,
+            }
+        }
+    }
+    result.elapsed = start.elapsed();
+    result
+}
+
+/// Samples per deadline check in budgeted Monte Carlo jobs.
+const MC_BUDGET_CHUNK: usize = 128;
+
+/// Runs a Monte Carlo sweep on the worker thread in chunks, checking the
+/// wall-clock `deadline` between chunks. Returns `None` when the budget
+/// runs out. The per-sample seeding makes the chunked result identical to
+/// a standalone full run at any thread count.
+fn run_mc_budgeted(
+    ctx: &JobContext,
+    i_s: f64,
+    samples: usize,
+    seed: u64,
+    deadline: Instant,
+) -> Option<Vec<gshe_device::DelaySample>> {
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        params: ctx.params,
+        samples,
+        seed,
+        threads: 1,
+    });
+    let mut runs = Vec::with_capacity(samples);
+    let mut done = 0;
+    while done < samples {
+        if Instant::now() >= deadline {
+            return None;
+        }
+        let count = MC_BUDGET_CHUNK.min(samples - done);
+        runs.extend(mc.run_range(i_s, done, count));
+        done += count;
+    }
+    Some(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attack_kind(trial: u64) -> JobKind {
+        JobKind::Attack {
+            benchmark: "ex1010".into(),
+            scheme: CamoScheme::InvBuf,
+            level: 0.2,
+            attack: AttackKind::Sat,
+            error_rate: 0.0,
+            trial,
+            seeds: AttackSeeds {
+                select: 1,
+                transform: 2,
+                oracle: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn hashes_are_stable_and_spread() {
+        assert_eq!(hash_str("c7552"), hash_str("c7552"));
+        assert_ne!(hash_str("c7552"), hash_str("c7553"));
+        assert_ne!(hash_mix(0), hash_mix(1));
+    }
+
+    #[test]
+    fn unknown_benchmark_fails_cleanly() {
+        let spec = JobSpec {
+            kind: attack_kind(0),
+            timeout: Duration::from_secs(1),
+        };
+        let ctx = JobContext {
+            netlists: Vec::new(),
+            cache: OracleCache::shared(),
+            params: SwitchParams::table_i(),
+        };
+        let out = run_job(&spec, &ctx);
+        assert_eq!(out.status, JobStatus::Failed);
+        assert!(out
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn device_jobs_respect_their_budget() {
+        let spec = JobSpec {
+            kind: JobKind::DeviceDelay {
+                i_s: 60e-6,
+                samples: 1_000_000,
+                seed: 3,
+            },
+            timeout: Duration::from_millis(0),
+        };
+        let ctx = JobContext {
+            netlists: Vec::new(),
+            cache: OracleCache::shared(),
+            params: SwitchParams::table_i(),
+        };
+        let out = run_job(&spec, &ctx);
+        assert_eq!(out.status, JobStatus::TimedOut);
+        assert!(out.measurement.is_nan());
+    }
+
+    #[test]
+    fn device_delay_job_measures() {
+        let spec = JobSpec {
+            kind: JobKind::DeviceDelay {
+                i_s: 60e-6,
+                samples: 24,
+                seed: 3,
+            },
+            timeout: Duration::from_secs(10),
+        };
+        let ctx = JobContext {
+            netlists: Vec::new(),
+            cache: OracleCache::shared(),
+            params: SwitchParams::table_i(),
+        };
+        let out = run_job(&spec, &ctx);
+        assert_eq!(out.status, JobStatus::Completed);
+        assert!(
+            out.measurement > 0.0 && out.measurement < 10e-9,
+            "{}",
+            out.measurement
+        );
+    }
+}

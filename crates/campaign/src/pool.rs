@@ -1,0 +1,198 @@
+//! A work-stealing thread pool for campaign jobs.
+//!
+//! Jobs are coarse (one protect→attack→measure experiment each) and their
+//! runtimes vary by orders of magnitude — a timed-out SAT attack costs
+//! seconds while a cache-hit measurement costs microseconds — so static
+//! chunking wastes workers. Here every worker owns a deque seeded
+//! round-robin at submission; a worker pops from the *front* of its own
+//! deque and, when empty, steals from the *back* of a sibling's, so the
+//! pool drains imbalanced queues without a central dispatcher. Everything
+//! is `std::sync` — the build environment has no external registry, so
+//! `crossbeam` is off the table.
+//!
+//! Results are returned **in submission order**, which is what makes
+//! campaign reports byte-identical across `threads = 1` and `threads = N`:
+//! scheduling affects only *when* a job runs, never *which RNG stream* it
+//! sees (seeds are derived from job identity) nor *where* its result lands.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One pending task: its submission index plus the closure to run.
+struct Task<R> {
+    index: usize,
+    run: Box<dyn FnOnce() -> R + Send>,
+}
+
+/// Result slots shared between workers, indexed by submission order.
+type ResultSlots<R> = Arc<Mutex<Vec<Option<Result<R, String>>>>>;
+
+/// Executes `tasks` on `threads` workers with work stealing; returns the
+/// results in submission order.
+///
+/// A panicking task poisons nothing: the panic is caught per-task and
+/// re-raised after the pool drains, so sibling jobs still complete.
+pub fn run_all<R: Send + 'static>(
+    threads: usize,
+    tasks: Vec<Box<dyn FnOnce() -> R + Send>>,
+) -> Vec<R> {
+    let threads = threads.max(1);
+    let n = tasks.len();
+
+    // Per-worker deques, seeded round-robin.
+    let queues: Vec<Arc<Mutex<VecDeque<Task<R>>>>> = (0..threads)
+        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+        .collect();
+    for (index, run) in tasks.into_iter().enumerate() {
+        queues[index % threads]
+            .lock()
+            .unwrap()
+            .push_back(Task { index, run });
+    }
+
+    let results: ResultSlots<R> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = queues.clone();
+            let results = Arc::clone(&results);
+            scope.spawn(move || {
+                loop {
+                    // Own queue first (front), then steal (back).
+                    let task = pop_own(&queues[me]).or_else(|| steal(&queues, me));
+                    let Some(task) = task else { break };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.run))
+                        .map_err(|payload| panic_message(&payload));
+                    results.lock().unwrap()[task.index] = Some(outcome);
+                }
+            });
+        }
+    });
+
+    let collected = Arc::into_inner(results)
+        .expect("workers joined")
+        .into_inner()
+        .expect("results lock clean");
+    collected
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match slot.expect("every task ran") {
+            Ok(r) => r,
+            Err(msg) => panic!("campaign job {i} panicked: {msg}"),
+        })
+        .collect()
+}
+
+fn pop_own<R>(queue: &Mutex<VecDeque<Task<R>>>) -> Option<Task<R>> {
+    queue.lock().unwrap().pop_front()
+}
+
+fn steal<R>(queues: &[Arc<Mutex<VecDeque<Task<R>>>>], me: usize) -> Option<Task<R>> {
+    let n = queues.len();
+    (1..n).find_map(|offset| queues[(me + offset) % n].lock().unwrap().pop_back())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn boxed(
+        fs: Vec<impl FnOnce() -> usize + Send + 'static>,
+    ) -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+        fs.into_iter()
+            .map(|f| Box::new(f) as Box<dyn FnOnce() -> usize + Send>)
+            .collect()
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        for threads in [1, 2, 4, 8] {
+            let tasks = boxed((0..50).map(|i| move || i * i).collect::<Vec<_>>());
+            let out = run_all(threads, tasks);
+            assert_eq!(
+                out,
+                (0..50).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn imbalanced_queues_get_stolen() {
+        // Thread 0's queue holds all the slow tasks (round-robin over 2
+        // workers with slow tasks at even indices); stealing must spread
+        // them or the wall clock doubles.
+        let slow_ran = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                let slow_ran = Arc::clone(&slow_ran);
+                Box::new(move || {
+                    if i % 2 == 0 {
+                        std::thread::sleep(Duration::from_millis(40));
+                        slow_ran.fetch_add(1, Ordering::SeqCst);
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let out = run_all(4, tasks);
+        let elapsed = start.elapsed();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(slow_ran.load(Ordering::SeqCst), 4);
+        // 4 slow tasks × 40 ms on 4 workers ≈ 40–80 ms; without stealing
+        // they serialize on worker 0 at 160 ms.
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "no stealing? took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_one() {
+        let out = run_all(0, boxed(vec![|| 7usize]));
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let out: Vec<usize> = run_all(4, Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn task_panic_is_reported_after_drain() {
+        let completed = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                let completed = Arc::clone(&completed);
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("job exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_all(2, tasks)));
+        assert!(result.is_err());
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            5,
+            "siblings must still run"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Campaign reports: aggregation plus JSON/CSV serialization.
+//!
+//! Serializers are hand-rolled (the environment has no serde); they cover
+//! exactly the report shape. Two JSON flavors exist: [`CampaignReport::to_json`]
+//! includes wall-clock runtimes, while [`CampaignReport::deterministic_json`]
+//! omits every timing field — that form is byte-identical across thread
+//! counts and is what the determinism tests compare.
+
+use crate::aggregate::{aggregate, DeviceRow, TableRow};
+use crate::job::{JobKind, JobResult};
+use crate::spec::scheme_name;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Everything a campaign run produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// Raw per-job results, in submission order.
+    pub results: Vec<JobResult>,
+    /// Aggregated attack-grid rows.
+    pub rows: Vec<TableRow>,
+    /// Device-measurement rows.
+    pub device: Vec<DeviceRow>,
+    /// Worker threads the run actually used.
+    pub threads: usize,
+    /// Total wall-clock time of the run.
+    pub wall_time: Duration,
+    /// Oracle cache hits / misses.
+    pub cache_hits: u64,
+    /// Oracle cache misses.
+    pub cache_misses: u64,
+}
+
+impl CampaignReport {
+    /// Builds a report by aggregating `results`.
+    pub fn new(
+        name: String,
+        results: Vec<JobResult>,
+        threads: usize,
+        wall_time: Duration,
+        cache_stats: (u64, u64),
+    ) -> Self {
+        let (rows, device) = aggregate(&results);
+        CampaignReport {
+            name,
+            results,
+            rows,
+            device,
+            threads,
+            wall_time,
+            cache_hits: cache_stats.0,
+            cache_misses: cache_stats.1,
+        }
+    }
+
+    /// Full JSON, including wall-clock timings and run metadata.
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// JSON with every timing and machine-dependent field omitted: a pure
+    /// function of the campaign spec, byte-identical at any thread count.
+    pub fn deterministic_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, timing: bool) -> String {
+        let mut out = String::new();
+        out.push('{');
+        json_str(&mut out, "campaign", &self.name);
+        if timing {
+            out.push(',');
+            let _ = write!(
+                out,
+                "\"threads\":{},\"wall_time_secs\":{},\"cache_hits\":{},\"cache_misses\":{}",
+                self.threads,
+                json_f64(self.wall_time.as_secs_f64()),
+                self.cache_hits,
+                self.cache_misses
+            );
+        }
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_str(&mut out, "benchmark", &row.key.benchmark);
+            out.push(',');
+            json_str(&mut out, "scheme", scheme_name(row.key.scheme));
+            out.push(',');
+            json_str(&mut out, "attack", row.key.attack.name());
+            let _ = write!(
+                out,
+                ",\"level\":{},\"error_rate\":{},\"trials\":{},\
+                 \"completed\":{},\"timed_out\":{},\"exhausted\":{},\
+                 \"inconsistent\":{},\"failed\":{},\
+                 \"key_recovery_rate\":{},\"mean_queries\":{},\
+                 \"mean_iterations\":{},\"mean_output_error\":{}",
+                json_f64(row.key.level),
+                json_f64(row.key.error_rate),
+                row.trials,
+                row.status_counts[0],
+                row.status_counts[1],
+                row.status_counts[2],
+                row.status_counts[3],
+                row.status_counts[4],
+                json_f64(row.key_recovery_rate),
+                json_f64(row.mean_queries),
+                json_f64(row.mean_iterations),
+                json_f64(row.mean_output_error),
+            );
+            if timing {
+                let _ = write!(
+                    out,
+                    ",\"runtime_p50\":{},\"runtime_p90\":{},\"runtime_max\":{}",
+                    json_f64(row.runtime_p50),
+                    json_f64(row.runtime_p90),
+                    json_f64(row.runtime_max),
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("],\"device\":[");
+        for (i, row) in self.device.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_str(&mut out, "kind", row.kind);
+            let _ = write!(
+                out,
+                ",\"i_s\":{},\"t_clk\":{},\"samples\":{},\"value\":{}",
+                json_f64(row.i_s),
+                json_f64(row.t_clk),
+                row.samples,
+                json_f64(row.value),
+            );
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// CSV of the aggregated attack rows (always includes the runtime
+    /// columns; consumers that need determinism should use
+    /// [`CampaignReport::deterministic_json`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "benchmark,scheme,level,attack,error_rate,trials,completed,timed_out,\
+             exhausted,inconsistent,failed,key_recovery_rate,mean_queries,\
+             mean_iterations,mean_output_error,runtime_p50,runtime_p90,runtime_max\n",
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                row.key.benchmark,
+                scheme_name(row.key.scheme),
+                row.key.level,
+                row.key.attack.name(),
+                row.key.error_rate,
+                row.trials,
+                row.status_counts[0],
+                row.status_counts[1],
+                row.status_counts[2],
+                row.status_counts[3],
+                row.status_counts[4],
+                row.key_recovery_rate,
+                row.mean_queries,
+                row.mean_iterations,
+                row.mean_output_error,
+                row.runtime_p50,
+                row.runtime_p90,
+                row.runtime_max,
+            );
+        }
+        out
+    }
+
+    /// Results belonging to one grid cell, in trial order — convenience
+    /// for harnesses that render per-cell output (Table IV cells).
+    pub fn cell_results(
+        &self,
+        benchmark: &str,
+        scheme: gshe_camo::CamoScheme,
+        level: f64,
+    ) -> Vec<&JobResult> {
+        self.results
+            .iter()
+            .filter(|r| match &r.spec.kind {
+                JobKind::Attack {
+                    benchmark: b,
+                    scheme: s,
+                    level: l,
+                    ..
+                } => b == benchmark && *s == scheme && (*l - level).abs() < 1e-12,
+                _ => false,
+            })
+            .collect()
+    }
+}
+
+/// JSON-compatible float rendering: finite values via Rust's shortest
+/// round-trip formatting, NaN/infinities as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AttackSeeds, JobSpec, JobStatus};
+    use gshe_attacks::AttackKind;
+    use gshe_camo::CamoScheme;
+
+    fn sample_report() -> CampaignReport {
+        let result = JobResult {
+            spec: JobSpec {
+                kind: JobKind::Attack {
+                    benchmark: "c7552".into(),
+                    scheme: CamoScheme::GsheAll16,
+                    level: 0.2,
+                    attack: AttackKind::Sat,
+                    error_rate: 0.0,
+                    trial: 0,
+                    seeds: AttackSeeds {
+                        select: 0,
+                        transform: 0,
+                        oracle: 0,
+                    },
+                },
+                timeout: Duration::from_secs(60),
+            },
+            status: JobStatus::Completed,
+            key_recovered: true,
+            queries: 12,
+            iterations: 12,
+            output_error_rate: 0.0,
+            measurement: f64::NAN,
+            elapsed: Duration::from_millis(1234),
+            error: None,
+        };
+        CampaignReport::new(
+            "unit".into(),
+            vec![result],
+            4,
+            Duration::from_secs(2),
+            (3, 9),
+        )
+    }
+
+    #[test]
+    fn json_shapes_differ_only_in_timing() {
+        let report = sample_report();
+        let full = report.to_json();
+        let det = report.deterministic_json();
+        assert!(full.contains("\"wall_time_secs\""));
+        assert!(full.contains("\"runtime_p50\""));
+        assert!(!det.contains("runtime"));
+        assert!(!det.contains("wall_time"));
+        assert!(det.contains("\"key_recovery_rate\":1"));
+        assert!(det.contains("\"mean_queries\":12"));
+    }
+
+    #[test]
+    fn nan_serializes_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("benchmark,scheme"));
+        assert!(lines[1].starts_with("c7552,gshe16,0.2,sat,"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        json_str(&mut out, "k", "a\"b\\c\nd");
+        assert_eq!(out, "\"k\":\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn cell_results_filters() {
+        let report = sample_report();
+        assert_eq!(
+            report
+                .cell_results("c7552", CamoScheme::GsheAll16, 0.2)
+                .len(),
+            1
+        );
+        assert!(report
+            .cell_results("c7552", CamoScheme::InvBuf, 0.2)
+            .is_empty());
+    }
+}

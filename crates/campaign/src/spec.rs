@@ -1,0 +1,424 @@
+//! Campaign specification: the experiment grid and its expansion to jobs.
+//!
+//! A [`CampaignSpec`] is the cartesian product the paper's evaluation
+//! tables iterate by hand: benchmark suite × camouflaging scheme grid ×
+//! attack grid × oracle error-rate sweep × trials, plus the shared knobs
+//! (netlist scale, per-job wall-clock budget, master seed, worker count).
+//! [`CampaignSpec::expand`] unrolls the grid into [`JobSpec`]s with
+//! identity-derived seeds; the paper-table harnesses build the job list
+//! themselves when they need a historical seed derivation.
+//!
+//! Specs can be read from a minimal TOML subset (see
+//! [`CampaignSpec::parse_toml`] and the crate-level docs).
+
+use crate::job::{hash_mix, hash_str, AttackSeeds, JobKind, JobSpec};
+use gshe_attacks::AttackKind;
+use gshe_camo::CamoScheme;
+use std::time::Duration;
+
+/// Machine-friendly scheme names used in spec files and CSV output.
+pub fn scheme_name(scheme: CamoScheme) -> &'static str {
+    match scheme {
+        CamoScheme::LookAlike => "look-alike",
+        CamoScheme::ThresholdSttLut => "stt-lut",
+        CamoScheme::SiNw => "sinw",
+        CamoScheme::InvBuf => "inv-buf",
+        CamoScheme::FourFn => "four-fn",
+        CamoScheme::DwmPolymorphic => "dwm",
+        CamoScheme::GsheAll16 => "gshe16",
+    }
+}
+
+/// Parses [`scheme_name`] back into a scheme.
+pub fn parse_scheme(name: &str) -> Option<CamoScheme> {
+    CamoScheme::ALL
+        .into_iter()
+        .find(|&s| scheme_name(s) == name)
+}
+
+/// A declarative description of one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (report header, output file stem).
+    pub name: String,
+    /// Benchmark selectors, resolved via
+    /// [`gshe_logic::suites::resolve_selector`] (`"all"`, `"suite:itc99"`,
+    /// or a single name).
+    pub benchmarks: Vec<String>,
+    /// Benchmark-scale divisor (1 = paper-scale gate counts).
+    pub scale: usize,
+    /// Protection levels (fraction of gates camouflaged).
+    pub levels: Vec<f64>,
+    /// Camouflaging schemes under study.
+    pub schemes: Vec<CamoScheme>,
+    /// Attack algorithms to launch.
+    pub attacks: Vec<AttackKind>,
+    /// Oracle per-cell error rates (0.0 = perfect chip).
+    pub error_rates: Vec<f64>,
+    /// Trials per grid cell (stochastic cells need repeats).
+    pub trials: u64,
+    /// Master seed; all job seeds derive from it and the job identity.
+    pub seed: u64,
+    /// Per-job wall-clock budget.
+    pub timeout: Duration,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".to_string(),
+            benchmarks: vec!["c7552".to_string()],
+            scale: 20,
+            levels: vec![0.2],
+            schemes: vec![CamoScheme::GsheAll16],
+            attacks: vec![AttackKind::Sat],
+            error_rates: vec![0.0],
+            trials: 1,
+            seed: 1,
+            timeout: Duration::from_secs(60),
+            threads: 0,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Resolves the benchmark selectors to concrete benchmark names,
+    /// deduplicated, in selector order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first selector that matches nothing.
+    pub fn resolve_benchmarks(&self) -> Result<Vec<String>, String> {
+        let mut names: Vec<String> = Vec::new();
+        for selector in &self.benchmarks {
+            let specs = gshe_logic::suites::resolve_selector(selector);
+            if specs.is_empty() {
+                return Err(format!("benchmark selector `{selector}` matches nothing"));
+            }
+            for s in specs {
+                if !names.iter().any(|n| n == s.name) {
+                    names.push(s.name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    /// Unrolls the grid into jobs, in canonical order (benchmark, level,
+    /// scheme, attack, error rate, trial — outermost first).
+    ///
+    /// Seed policy: gate selection depends only on (campaign seed,
+    /// benchmark, level) — the paper's fairness protocol, every scheme
+    /// sees the same protected gates; the transform seed adds the scheme;
+    /// the oracle seed adds attack, error rate, and trial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates benchmark-resolution failures.
+    pub fn expand(&self) -> Result<Vec<JobSpec>, String> {
+        let benchmarks = self.resolve_benchmarks()?;
+        let mut jobs = Vec::new();
+        for benchmark in &benchmarks {
+            let bench_hash = hash_str(benchmark);
+            for &level in &self.levels {
+                let select = hash_mix(self.seed ^ bench_hash ^ (level * 1e4) as u64);
+                for &scheme in &self.schemes {
+                    let transform = hash_mix(select ^ hash_str(scheme_name(scheme)));
+                    for &attack in &self.attacks {
+                        for &error_rate in &self.error_rates {
+                            for trial in 0..self.trials.max(1) {
+                                let oracle = hash_mix(
+                                    transform
+                                        ^ hash_str(attack.name())
+                                        ^ ((error_rate * 1e6) as u64)
+                                            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                                        ^ trial,
+                                );
+                                jobs.push(JobSpec {
+                                    kind: JobKind::Attack {
+                                        benchmark: benchmark.clone(),
+                                        scheme,
+                                        level,
+                                        attack,
+                                        error_rate,
+                                        trial,
+                                        seeds: AttackSeeds {
+                                            select,
+                                            transform,
+                                            oracle,
+                                        },
+                                    },
+                                    timeout: self.timeout,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Parses a campaign spec from the TOML subset documented at the crate
+    /// level: `key = value` lines, `#` comments, strings in double quotes,
+    /// homogeneous `[ ... ]` arrays of strings/numbers on one line.
+    ///
+    /// Unknown keys are rejected so typos fail loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse_toml(text: &str) -> Result<CampaignSpec, String> {
+        let mut spec = CampaignSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() || line.starts_with('[') {
+                // Blank, comment, or a table header like [campaign] —
+                // headers are accepted and ignored (single-table format).
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let fail = |what: &str| format!("line {}: {what}", lineno + 1);
+            match key {
+                "name" => spec.name = parse_string(value).ok_or_else(|| fail("bad string"))?,
+                "benchmarks" => {
+                    spec.benchmarks =
+                        parse_string_array(value).ok_or_else(|| fail("bad string array"))?
+                }
+                "scale" => {
+                    spec.scale = value.parse().map_err(|_| fail("bad integer"))?;
+                }
+                "levels" => {
+                    spec.levels =
+                        parse_number_array(value).ok_or_else(|| fail("bad number array"))?
+                }
+                "schemes" => {
+                    let names =
+                        parse_string_array(value).ok_or_else(|| fail("bad string array"))?;
+                    spec.schemes = names
+                        .iter()
+                        .map(|n| {
+                            if n == "all" {
+                                Ok(CamoScheme::ALL.to_vec())
+                            } else {
+                                parse_scheme(n)
+                                    .map(|s| vec![s])
+                                    .ok_or_else(|| fail(&format!("unknown scheme `{n}`")))
+                            }
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                }
+                "attacks" => {
+                    let names =
+                        parse_string_array(value).ok_or_else(|| fail("bad string array"))?;
+                    spec.attacks = names
+                        .iter()
+                        .map(|n| {
+                            AttackKind::parse(n)
+                                .ok_or_else(|| fail(&format!("unknown attack `{n}`")))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "error_rates" => {
+                    spec.error_rates =
+                        parse_number_array(value).ok_or_else(|| fail("bad number array"))?
+                }
+                "trials" => spec.trials = value.parse().map_err(|_| fail("bad integer"))?,
+                "seed" => spec.seed = value.parse().map_err(|_| fail("bad integer"))?,
+                "timeout_secs" => {
+                    spec.timeout =
+                        Duration::from_secs(value.parse().map_err(|_| fail("bad integer"))?)
+                }
+                "threads" => spec.threads = value.parse().map_err(|_| fail("bad integer"))?,
+                other => return Err(fail(&format!("unknown key `{other}`"))),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// Drops a `#` comment, but only when the `#` sits outside a
+/// double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_string())
+}
+
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| parse_string(item.trim()))
+        .collect()
+}
+
+fn parse_number_array(value: &str) -> Option<Vec<f64>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| item.trim().parse().ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_covers_the_grid_in_order() {
+        let spec = CampaignSpec {
+            benchmarks: vec!["c7552".into(), "ex1010".into()],
+            levels: vec![0.1, 0.2],
+            schemes: vec![CamoScheme::InvBuf, CamoScheme::GsheAll16],
+            attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
+            error_rates: vec![0.0, 0.05],
+            trials: 3,
+            ..Default::default()
+        };
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2 * 2 * 3);
+        // Outermost loop is the benchmark.
+        let JobKind::Attack { benchmark, .. } = &jobs[0].kind else {
+            panic!()
+        };
+        assert_eq!(benchmark, "c7552");
+        let JobKind::Attack { benchmark, .. } = &jobs.last().unwrap().kind else {
+            panic!()
+        };
+        assert_eq!(benchmark, "ex1010");
+    }
+
+    #[test]
+    fn selection_seed_is_shared_across_schemes_and_attacks() {
+        let spec = CampaignSpec {
+            schemes: vec![CamoScheme::InvBuf, CamoScheme::GsheAll16],
+            attacks: vec![AttackKind::Sat, AttackKind::AppSat],
+            ..Default::default()
+        };
+        let jobs = spec.expand().unwrap();
+        let selects: Vec<u64> = jobs
+            .iter()
+            .map(|j| {
+                let JobKind::Attack { seeds, .. } = &j.kind else {
+                    panic!()
+                };
+                seeds.select
+            })
+            .collect();
+        assert!(
+            selects.windows(2).all(|w| w[0] == w[1]),
+            "fairness protocol broken"
+        );
+
+        // But the oracle seed must distinguish attacks.
+        let oracles: Vec<u64> = jobs
+            .iter()
+            .map(|j| {
+                let JobKind::Attack { seeds, .. } = &j.kind else {
+                    panic!()
+                };
+                seeds.oracle
+            })
+            .collect();
+        assert_eq!(oracles.len(), 4);
+        assert!(oracles.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn suite_selectors_expand() {
+        let spec = CampaignSpec {
+            benchmarks: vec!["suite:itc99".into()],
+            ..Default::default()
+        };
+        assert_eq!(spec.resolve_benchmarks().unwrap(), ["b14", "b21"]);
+        let bad = CampaignSpec {
+            benchmarks: vec!["nope".into()],
+            ..Default::default()
+        };
+        assert!(bad.resolve_benchmarks().is_err());
+    }
+
+    #[test]
+    fn toml_round_trip() {
+        let text = r#"
+# A worked example.
+[campaign]
+name = "smoke"
+benchmarks = ["c7552", "suite:itc99"]
+scale = 40
+levels = [0.1, 0.2]
+schemes = ["inv-buf", "gshe16"]
+attacks = ["sat", "appsat"]
+error_rates = [0.0, 0.05]
+trials = 2
+seed = 9
+timeout_secs = 30
+threads = 4
+"#;
+        let spec = CampaignSpec::parse_toml(text).unwrap();
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.benchmarks, ["c7552", "suite:itc99"]);
+        assert_eq!(spec.scale, 40);
+        assert_eq!(spec.levels, [0.1, 0.2]);
+        assert_eq!(spec.schemes, [CamoScheme::InvBuf, CamoScheme::GsheAll16]);
+        assert_eq!(spec.attacks, [AttackKind::Sat, AttackKind::AppSat]);
+        assert_eq!(spec.error_rates, [0.0, 0.05]);
+        assert_eq!(spec.trials, 2);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.timeout, Duration::from_secs(30));
+        assert_eq!(spec.threads, 4);
+    }
+
+    #[test]
+    fn toml_rejects_unknown_keys_and_schemes() {
+        assert!(CampaignSpec::parse_toml("bogus = 1").is_err());
+        assert!(CampaignSpec::parse_toml(r#"schemes = ["nope"]"#).is_err());
+        assert!(CampaignSpec::parse_toml("name = unquoted").is_err());
+    }
+
+    #[test]
+    fn hash_inside_quoted_string_is_not_a_comment() {
+        let spec = CampaignSpec::parse_toml("name = \"run#3\" # trailing comment").unwrap();
+        assert_eq!(spec.name, "run#3");
+    }
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for scheme in CamoScheme::ALL {
+            assert_eq!(parse_scheme(scheme_name(scheme)), Some(scheme));
+        }
+        assert_eq!(parse_scheme("nope"), None);
+    }
+
+    #[test]
+    fn all_scheme_selector_expands() {
+        let spec = CampaignSpec::parse_toml(r#"schemes = ["all"]"#).unwrap();
+        assert_eq!(spec.schemes, CamoScheme::ALL.to_vec());
+    }
+}

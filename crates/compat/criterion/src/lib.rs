@@ -1,0 +1,277 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io registry, so this workspace
+//! vendors the slice of Criterion's API that `crates/bench/benches` uses:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, and [`black_box`].
+//!
+//! Instead of Criterion's statistical pipeline, each benchmark runs a short
+//! warm-up followed by `sample_size` timed iterations and reports min /
+//! mean / max wall-clock per iteration. Passing `--test` (as `cargo test
+//! --benches` does for `harness = false` targets) runs every closure once
+//! and skips timing, so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark driver: collects and runs benchmark closures.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = argv.iter().any(|a| a == "--test");
+        // First non-flag argument filters benchmarks by substring, matching
+        // Criterion's CLI convention.
+        let filter = argv.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            sample_size: 100,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            rounds: if self.test_mode { 1 } else { self.sample_size },
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+            return;
+        }
+        let mut line = format!("{name:<48}");
+        if bencher.samples.is_empty() {
+            line.push_str(" (no samples)");
+        } else {
+            let min = bencher.samples.iter().min().unwrap();
+            let max = bencher.samples.iter().max().unwrap();
+            let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+            let _ = write!(
+                line,
+                " [{} .. {} .. {}] ({} samples)",
+                fmt_duration(*min),
+                fmt_duration(mean),
+                fmt_duration(*max),
+                bencher.samples.len()
+            );
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<N: ToString, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.to_string());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A function-name/parameter identifier pair.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass (also the only pass in `--test` mode).
+        black_box(routine());
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configure(filter: Option<&str>, test_mode: bool) -> Criterion {
+        Criterion {
+            sample_size: 3,
+            test_mode,
+            filter: filter.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut runs = 0usize;
+        configure(None, false).bench_function("counting", |b| {
+            b.iter(|| runs += 1);
+        });
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut runs = 0usize;
+        configure(None, true).bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut runs = 0usize;
+        configure(Some("zzz"), false).bench_function("abc", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = configure(None, true);
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| ()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -1,0 +1,372 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io registry, so this workspace
+//! vendors the slice of proptest's API that the test suites use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`, `ident in strategy`
+//! and `ident: Type` parameters), range/tuple/`any`/`prop::collection::vec`
+//! strategies, and the `prop_assert*` macros.
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case is
+//! reported with its seed and case index instead of a minimized input. Case
+//! generation is deterministic per test (seeded from the case index), so
+//! failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Runner configuration: how many cases each property runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A value generator ("strategy" in proptest terms).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::Rng::gen_bool(rng, 0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen::<u64>(rng) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy producing arbitrary values of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy: any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec` et al.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Vec<S::Value>` with length drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rand::Rng::gen_range(rng, self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size_range)`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a `proptest!` test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Internal runtime used by the [`proptest!`](crate::proptest) expansion.
+    pub use rand::SeedableRng;
+
+    /// Runs `body` for each case with a per-case deterministic RNG.
+    pub fn run_cases(
+        test_name: &str,
+        config: crate::ProptestConfig,
+        mut body: impl FnMut(&mut crate::TestRng) -> Result<(), String>,
+    ) {
+        // Per-test stream: hash the name so sibling tests draw distinct data.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        for case in 0..config.cases {
+            let mut rng = <crate::TestRng as SeedableRng>::seed_from_u64(h ^ (case as u64) << 1);
+            if let Err(msg) = body(&mut rng) {
+                panic!("proptest case {case}/{} failed: {msg}", config.cases);
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l != *r {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l != *r {
+            return Err(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Supports the subset of upstream syntax used in
+/// this repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u8..16, flag: bool) {
+///         prop_assert!(x < 16 || flag);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ( $($params:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__rt::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                $config,
+                |__proptest_rng| {
+                    $crate::__proptest_bind! { rng = __proptest_rng; $($params)* }
+                    #[allow(unreachable_code)]
+                    {
+                        $body
+                        Ok(())
+                    }
+                },
+            );
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( rng = $rng:ident; ) => {};
+    ( rng = $rng:ident; $name:ident in $strategy:expr, $($rest:tt)* ) => {
+        let $name = $crate::Strategy::generate(&($strategy), $rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+    ( rng = $rng:ident; $name:ident in $strategy:expr ) => {
+        let $name = $crate::Strategy::generate(&($strategy), $rng);
+    };
+    ( rng = $rng:ident; $name:ident : $ty:ty, $($rest:tt)* ) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+    ( rng = $rng:ident; $name:ident : $ty:ty ) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges and `any` bind and stay in bounds.
+        #[test]
+        fn binds_work(x in 0u8..16, y in 1usize..=8, f in -1.0f64..1.0, b: bool) {
+            prop_assert!(x < 16);
+            prop_assert!((1..=8).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = b;
+        }
+
+        /// Nested collection + tuple strategies generate within spec.
+        #[test]
+        fn collections_work(
+            rows in prop::collection::vec(
+                prop::collection::vec((1i64..8, any::<bool>()), 1..4),
+                1..20,
+            ),
+        ) {
+            prop_assert!(!rows.is_empty() && rows.len() < 20);
+            for row in &rows {
+                prop_assert!(!row.is_empty() && row.len() < 4);
+                for &(v, _) in row {
+                    prop_assert!((1..8).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failing_case_reports() {
+        let result = std::panic::catch_unwind(|| {
+            crate::__rt::run_cases("t", ProptestConfig::with_cases(4), |_| {
+                Err("boom".to_string())
+            })
+        });
+        assert!(result.is_err());
+    }
+}

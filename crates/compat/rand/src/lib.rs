@@ -1,0 +1,311 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! workspace vendors the small slice of `rand`'s 0.8 API that the
+//! reproduction uses: [`Rng`] (`gen`, `gen_range`, `gen_bool`),
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], [`rngs::ThreadRng`],
+//! and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256** seeded through
+//! SplitMix64 — high-quality and fully deterministic per seed, which is all
+//! the repository relies on (it never assumes the upstream ChaCha stream).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A random-number generator: the subset of `rand::Rng` used here.
+///
+/// Implemented for anything that can produce uniform `u64`s via
+/// [`RngCore`]; all derived methods are provided.
+pub trait Rng: RngCore {
+    /// Samples a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        match range.sample_from(&mut || self.next_u64()) {
+            Ok(v) => v,
+            Err(e) => panic!("gen_range: {e}"),
+        }
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability must be in [0, 1]"
+        );
+        // 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Core entropy source: uniform `u64`s.
+pub trait RngCore {
+    /// The next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly from a raw `u64` (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Maps one uniform `u64` to a uniform value of `Self`.
+    fn sample(word: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(word: u64) -> Self {
+        word
+    }
+}
+impl Standard for u32 {
+    fn sample(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+impl Standard for bool {
+    fn sample(word: u64) -> Self {
+        word >> 63 == 1
+    }
+}
+impl Standard for f64 {
+    fn sample(word: u64) -> Self {
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value from the range; `Err` message when empty.
+    #[doc(hidden)]
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> Result<T, &'static str>;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> Result<$t, &'static str> {
+                if self.start >= self.end {
+                    return Err("empty range");
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = widening_mod(next(), span);
+                Ok((self.start as i128 + v as i128) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> Result<$t, &'static str> {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo > hi {
+                    return Err("empty range");
+                }
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = widening_mod(next(), span);
+                Ok((lo as i128 + v as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform-enough reduction of a 64-bit word into `[0, span)` via the
+/// widening-multiply trick (Lemire); `span` fits in 65 bits here.
+fn widening_mod(word: u64, span: u128) -> u128 {
+    (word as u128 * span) >> 64
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> Result<f64, &'static str> {
+        if self.start >= self.end {
+            return Err("empty range");
+        }
+        let u = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        Ok(self.start + u * (self.end - self.start))
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> Result<f64, &'static str> {
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo > hi {
+            return Err("empty range");
+        }
+        let u = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        Ok(lo + u * (hi - lo))
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> Result<f32, &'static str> {
+        if self.start >= self.end {
+            return Err("empty range");
+        }
+        let u = (next() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        Ok(self.start + u * (self.end - self.start))
+    }
+}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded through SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Placeholder for `rand`'s thread-local generator. Only used as a type
+    /// parameter (e.g. `None::<&mut ThreadRng>`); constructing one yields a
+    /// fixed-seed [`StdRng`] stream.
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(StdRng);
+
+    impl Default for ThreadRng {
+        fn default() -> Self {
+            ThreadRng(StdRng::seed_from_u64(0x7_EAD))
+        }
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling, the subset of `rand::seq::SliceRandom` used here.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -98,28 +98,74 @@ impl GsheConfig {
         match f {
             // maj(A, B, −I) = AND → R holds ¬AND; report R for NAND,
             // swap polarity for AND. maj(A, B, +I) = OR likewise.
-            Bf2::NAND => GsheConfig { currents: [A, B, MinusI], read: stat(false) },
-            Bf2::AND => GsheConfig { currents: [A, B, MinusI], read: stat(true) },
-            Bf2::NOR => GsheConfig { currents: [A, B, PlusI], read: stat(false) },
-            Bf2::OR => GsheConfig { currents: [A, B, PlusI], read: stat(true) },
+            Bf2::NAND => GsheConfig {
+                currents: [A, B, MinusI],
+                read: stat(false),
+            },
+            Bf2::AND => GsheConfig {
+                currents: [A, B, MinusI],
+                read: stat(true),
+            },
+            Bf2::NOR => GsheConfig {
+                currents: [A, B, PlusI],
+                read: stat(false),
+            },
+            Bf2::OR => GsheConfig {
+                currents: [A, B, PlusI],
+                read: stat(true),
+            },
             // Inhibitions / implications via transduced inverses.
-            Bf2::A_AND_NOT_B => GsheConfig { currents: [A, NotB, MinusI], read: stat(true) },
-            Bf2::NOT_A_OR_B => GsheConfig { currents: [A, NotB, MinusI], read: stat(false) },
-            Bf2::NOT_A_AND_B => GsheConfig { currents: [NotA, B, MinusI], read: stat(true) },
-            Bf2::A_OR_NOT_B => GsheConfig { currents: [NotA, B, MinusI], read: stat(false) },
+            Bf2::A_AND_NOT_B => GsheConfig {
+                currents: [A, NotB, MinusI],
+                read: stat(true),
+            },
+            Bf2::NOT_A_OR_B => GsheConfig {
+                currents: [A, NotB, MinusI],
+                read: stat(false),
+            },
+            Bf2::NOT_A_AND_B => GsheConfig {
+                currents: [NotA, B, MinusI],
+                read: stat(true),
+            },
+            Bf2::A_OR_NOT_B => GsheConfig {
+                currents: [NotA, B, MinusI],
+                read: stat(false),
+            },
             // Single-signal functions: all three wires carry the signal.
-            Bf2::BUF_A => GsheConfig { currents: [A, A, A], read: stat(true) },
-            Bf2::NOT_A => GsheConfig { currents: [A, A, A], read: stat(false) },
-            Bf2::BUF_B => GsheConfig { currents: [B, B, B], read: stat(true) },
-            Bf2::NOT_B => GsheConfig { currents: [B, B, B], read: stat(false) },
+            Bf2::BUF_A => GsheConfig {
+                currents: [A, A, A],
+                read: stat(true),
+            },
+            Bf2::NOT_A => GsheConfig {
+                currents: [A, A, A],
+                read: stat(false),
+            },
+            Bf2::BUF_B => GsheConfig {
+                currents: [B, B, B],
+                read: stat(true),
+            },
+            Bf2::NOT_B => GsheConfig {
+                currents: [B, B, B],
+                read: stat(false),
+            },
             // Constants.
-            Bf2::TRUE => GsheConfig { currents: [PlusI, PlusI, PlusI], read: stat(true) },
-            Bf2::FALSE => GsheConfig { currents: [PlusI, PlusI, PlusI], read: stat(false) },
+            Bf2::TRUE => GsheConfig {
+                currents: [PlusI, PlusI, PlusI],
+                read: stat(true),
+            },
+            Bf2::FALSE => GsheConfig {
+                currents: [PlusI, PlusI, PlusI],
+                read: stat(false),
+            },
             // XOR/XNOR: A writes the magnet, B drives the read voltages.
-            Bf2::XOR => {
-                GsheConfig { currents: [A, A, A], read: ReadMode::DataDrivenB { invert: false } }
-            }
-            _ => GsheConfig { currents: [A, A, A], read: ReadMode::DataDrivenB { invert: true } },
+            Bf2::XOR => GsheConfig {
+                currents: [A, A, A],
+                read: ReadMode::DataDrivenB { invert: false },
+            },
+            _ => GsheConfig {
+                currents: [A, A, A],
+                read: ReadMode::DataDrivenB { invert: true },
+            },
         }
     }
 
@@ -160,8 +206,15 @@ impl GsheConfig {
         for row in 0..4u8 {
             let a = row & 1 == 1;
             let b = row & 2 == 2;
-            let wires: Vec<String> =
-                self.currents.iter().map(|c| format!("{:+}I", c.current(a, b)).replace("+1I", "+I").replace("-1I", "-I")).collect();
+            let wires: Vec<String> = self
+                .currents
+                .iter()
+                .map(|c| {
+                    format!("{:+}I", c.current(a, b))
+                        .replace("+1I", "+I")
+                        .replace("-1I", "-I")
+                })
+                .collect();
             rows.push(format!(
                 "A={} B={} | wires: {} | out: {}",
                 fmt_i(a),
@@ -197,7 +250,12 @@ mod tests {
         // The Fig. 5 claim: every 2-input Boolean function is realizable.
         for f in Bf2::ALL {
             let cfg = GsheConfig::for_function(f);
-            assert_eq!(cfg.function(), f, "config for {f} computes {}", cfg.function());
+            assert_eq!(
+                cfg.function(),
+                f,
+                "config for {f} computes {}",
+                cfg.function()
+            );
         }
     }
 
@@ -248,9 +306,7 @@ mod tests {
                 currents: cfg.currents,
                 read: match cfg.read {
                     ReadMode::Static { invert } => ReadMode::Static { invert: !invert },
-                    ReadMode::DataDrivenB { invert } => {
-                        ReadMode::DataDrivenB { invert: !invert }
-                    }
+                    ReadMode::DataDrivenB { invert } => ReadMode::DataDrivenB { invert: !invert },
                 },
             };
             assert_eq!(swapped.function(), f.complement(), "{f}");

@@ -1,7 +1,8 @@
 //! Chip-level protection flows (Secs. IV and V-A).
 
-use gshe_camo::{camouflage_with_report, select_gates, CamoError, CamoReport, CamoScheme,
-    KeyedNetlist};
+use gshe_camo::{
+    camouflage_with_report, select_gates, CamoError, CamoReport, CamoScheme, KeyedNetlist,
+};
 use gshe_logic::{Netlist, NodeId};
 use gshe_timing::{delay_aware_replace, DelayModel, HybridResult};
 use rand::rngs::StdRng;
@@ -100,7 +101,9 @@ mod tests {
 
     fn sample(gates: usize, bias: f64) -> Netlist {
         NetlistGenerator::new(
-            GeneratorConfig::new("t", 16, 8, gates).with_seed(5).with_chain_bias(bias),
+            GeneratorConfig::new("t", 16, 8, gates)
+                .with_seed(5)
+                .with_chain_bias(bias),
         )
         .unwrap()
         .generate()
@@ -114,7 +117,10 @@ mod tests {
         assert_eq!(p.keyed.key_len(), 4 * p.selection.len());
         let resolved = p.keyed.resolve(&p.keyed.correct_key()).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(random_equivalence_check(&nl, &resolved, 6, &mut rng).unwrap(), None);
+        assert_eq!(
+            random_equivalence_check(&nl, &resolved, 6, &mut rng).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -138,7 +144,10 @@ mod tests {
         // Function preserved.
         let resolved = p.keyed.resolve(&p.keyed.correct_key()).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        assert_eq!(random_equivalence_check(&nl, &resolved, 4, &mut rng).unwrap(), None);
+        assert_eq!(
+            random_equivalence_check(&nl, &resolved, 4, &mut rng).unwrap(),
+            None
+        );
     }
 
     #[test]

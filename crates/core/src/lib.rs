@@ -22,8 +22,9 @@
 //!   options.
 //!
 //! All substrate crates are re-exported (`gshe_core::device`, `::logic`,
-//! `::sat`, `::camo`, `::timing`, `::attacks`), and [`prelude`] pulls in
-//! the common types.
+//! `::sat`, `::camo`, `::timing`, `::attacks`, `::campaign`), and
+//! [`prelude`] pulls in the common types — including the campaign engine's
+//! [`prelude::Campaign`] entry point for grid-scale experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +43,7 @@ pub use stochastic::{error_rate_for_clock, StochasticPrimitive};
 
 pub use gshe_attacks as attacks;
 pub use gshe_camo as camo;
+pub use gshe_campaign as campaign;
 pub use gshe_device as device;
 pub use gshe_logic as logic;
 pub use gshe_sat as sat;
@@ -54,10 +56,11 @@ pub mod prelude {
     pub use crate::primitive::GshePrimitive;
     pub use crate::stochastic::{error_rate_for_clock, StochasticPrimitive};
     pub use gshe_attacks::{
-        appsat_attack, double_dip_attack, sat_attack, verify_key, AttackConfig, AttackStatus,
-        NetlistOracle, Oracle, StochasticOracle,
+        appsat_attack, double_dip_attack, sat_attack, verify_key, AttackConfig, AttackKind,
+        AttackRunner, AttackStatus, NetlistOracle, Oracle, StochasticOracle,
     };
     pub use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
+    pub use gshe_campaign::{Campaign, CampaignReport, CampaignSpec, JobStatus};
     pub use gshe_device::{GsheSwitch, MonteCarlo, MonteCarloConfig, SwitchParams};
     pub use gshe_logic::{parse_bench, Bf1, Bf2, Netlist, NetlistBuilder, NodeId};
     pub use gshe_timing::{delay_aware_replace, DelayModel, TimingAnalysis};

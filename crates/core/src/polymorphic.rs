@@ -31,7 +31,9 @@ use rand::{Rng, SeedableRng};
 /// cannot absorb an input negation.
 pub fn morph_complement(nl: &mut Netlist, node: NodeId) -> Result<(), LogicError> {
     let NodeKind::Gate2 { f, .. } = nl.node(node).kind else {
-        return Err(LogicError::Validation(format!("{node} is not a two-input gate")));
+        return Err(LogicError::Validation(format!(
+            "{node} is not a two-input gate"
+        )));
     };
     if nl.outputs().contains(&node) {
         return Err(LogicError::Validation(format!(
@@ -117,7 +119,9 @@ impl<'a> RotatingOracle<'a> {
     pub fn new(keyed: &'a KeyedNetlist, period: u64, seed: u64) -> Self {
         assert!(period > 0, "rotation period must be positive");
         RotatingOracle {
-            resolved: keyed.resolve(&keyed.correct_key()).expect("correct key resolves"),
+            resolved: keyed
+                .resolve(&keyed.correct_key())
+                .expect("correct key resolves"),
             keyed,
             period,
             count: 0,
@@ -126,14 +130,16 @@ impl<'a> RotatingOracle<'a> {
     }
 
     fn rotate(&mut self) {
-        let key: Vec<bool> = (0..self.keyed.key_len()).map(|_| self.rng.gen_bool(0.5)).collect();
+        let key: Vec<bool> = (0..self.keyed.key_len())
+            .map(|_| self.rng.gen_bool(0.5))
+            .collect();
         self.resolved = self.keyed.resolve(&key).expect("key width is correct");
     }
 }
 
 impl Oracle for RotatingOracle<'_> {
     fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
-        if self.count > 0 && self.count % self.period == 0 {
+        if self.count > 0 && self.count.is_multiple_of(self.period) {
             self.rotate();
         }
         self.count += 1;
@@ -163,10 +169,9 @@ mod tests {
 
     #[test]
     fn morph_preserves_function() {
-        let original =
-            NetlistGenerator::new(GeneratorConfig::new("t", 10, 5, 150).with_seed(3))
-                .unwrap()
-                .generate();
+        let original = NetlistGenerator::new(GeneratorConfig::new("t", 10, 5, 150).with_seed(3))
+            .unwrap()
+            .generate();
         let mut morphed = original.clone();
         let gates = morphed.gate_ids();
         let changed = morph_random(&mut morphed, &gates, 99);
@@ -183,10 +188,9 @@ mod tests {
 
     #[test]
     fn repeated_morphs_keep_preserving_function() {
-        let original =
-            NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 80).with_seed(5))
-                .unwrap()
-                .generate();
+        let original = NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 80).with_seed(5))
+            .unwrap()
+            .generate();
         let mut morphed = original.clone();
         let gates = morphed.gate_ids();
         for epoch in 0..5 {
@@ -254,7 +258,10 @@ mod tests {
             };
             broken += failed as usize;
         }
-        assert!(broken >= trials as usize - 1, "rotation failed to stop the attack");
+        assert!(
+            broken >= trials as usize - 1,
+            "rotation failed to stop the attack"
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub fn error_rate_for_clock(
     samples: usize,
     seed: u64,
 ) -> f64 {
-    let mc = MonteCarlo::new(MonteCarloConfig { params: *params, samples, seed, threads: 0 });
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        params: *params,
+        samples,
+        seed,
+        threads: 0,
+    });
     1.0 - mc.switching_probability(i_s, t_clk)
 }
 
@@ -46,7 +51,10 @@ impl StochasticPrimitive {
     ///
     /// Panics if `error_rate` is outside `[0, 1]`.
     pub fn new(config: GsheConfig, error_rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&error_rate), "error rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&error_rate),
+            "error rate must be in [0, 1]"
+        );
         StochasticPrimitive {
             config,
             error_rate,
@@ -96,7 +104,10 @@ mod tests {
         let fast = error_rate_for_clock(&params, 20e-6, 0.8e-9, 64, 3);
         let slow = error_rate_for_clock(&params, 20e-6, 6e-9, 64, 3);
         assert!(slow <= fast, "slow clock {slow} vs fast clock {fast}");
-        assert!(slow < 0.05, "6 ns clock should be near-deterministic: {slow}");
+        assert!(
+            slow < 0.05,
+            "6 ns clock should be near-deterministic: {slow}"
+        );
         assert!(fast > 0.2, "0.8 ns clock should err often: {fast}");
     }
 

@@ -4,12 +4,14 @@
 //!
 //! Run with `cargo run --release -p gshe-device --example calib`.
 
-use gshe_device::{
-    DelayHistogram, GsheSwitch, MonteCarlo, MonteCarloConfig, SwitchParams,
-};
+use gshe_device::{DelayHistogram, GsheSwitch, MonteCarlo, MonteCarloConfig, SwitchParams};
 
 fn main() {
-    let mc = MonteCarlo::new(MonteCarloConfig { samples: 400, seed: 9, ..Default::default() });
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        samples: 400,
+        seed: 9,
+        ..Default::default()
+    });
     for i_s in [20e-6, 60e-6, 100e-6] {
         let s = mc.run(i_s);
         let h = DelayHistogram::from_samples(&s, 60, 6e-9);

@@ -116,15 +116,13 @@ pub fn this_work_metrics(params: &SwitchParams, measured_delay: f64) -> DeviceMe
 
 /// Monte Carlo estimate of the mean switching delay at `i_s`, s.
 pub fn measured_mean_delay(params: &SwitchParams, i_s: f64, samples: usize, seed: u64) -> f64 {
-    let mc = MonteCarlo::new(MonteCarloConfig { params: *params, samples, seed, threads: 0 });
-    let runs = mc.run(i_s);
-    let switched: Vec<f64> =
-        runs.iter().filter(|s| s.switched).map(|s| s.delay).collect();
-    if switched.is_empty() {
-        f64::NAN
-    } else {
-        switched.iter().sum::<f64>() / switched.len() as f64
-    }
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        params: *params,
+        samples,
+        seed,
+        threads: 0,
+    });
+    crate::montecarlo::mean_switched_delay(&mc.run(i_s))
 }
 
 /// Formats one row of Table II with engineering units, matching the paper's
@@ -157,15 +155,27 @@ mod tests {
         assert_eq!(m.functions, 16);
         let e = m.energy.unwrap();
         let p = m.power.unwrap();
-        assert!((e - 0.33e-15).abs() / 0.33e-15 < 0.025, "E = {} fJ", e * 1e15);
-        assert!((p - 0.2125e-6).abs() / 0.2125e-6 < 0.025, "P = {} uW", p * 1e6);
+        assert!(
+            (e - 0.33e-15).abs() / 0.33e-15 < 0.025,
+            "E = {} fJ",
+            e * 1e15
+        );
+        assert!(
+            (p - 0.2125e-6).abs() / 0.2125e-6 < 0.025,
+            "P = {} uW",
+            p * 1e6
+        );
     }
 
     #[test]
     fn this_work_cloaks_the_most_functions() {
         let ours = this_work_metrics(&SwitchParams::table_i(), NOMINAL_DELAY);
         for row in EMERGING_DEVICE_TABLE {
-            assert!(ours.functions > row.functions, "{} not dominated", row.publication);
+            assert!(
+                ours.functions > row.functions,
+                "{} not dominated",
+                row.publication
+            );
         }
     }
 

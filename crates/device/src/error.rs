@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = DeviceError::InvalidParameter { name: "ms", value: -1.0 };
+        let e = DeviceError::InvalidParameter {
+            name: "ms",
+            value: -1.0,
+        };
         let s = e.to_string();
         assert!(s.contains("ms"));
         assert!(s.starts_with("invalid"));

@@ -82,7 +82,10 @@ fn aharoni_nz(a: f64, b: f64, c: f64) -> f64 {
 ///
 /// Panics if any edge length is not strictly positive.
 pub fn demag_factors(lx: f64, ly: f64, lz: f64) -> Vec3 {
-    assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "edge lengths must be positive");
+    assert!(
+        lx > 0.0 && ly > 0.0 && lz > 0.0,
+        "edge lengths must be positive"
+    );
     let (a, b, c) = (lx / 2.0, ly / 2.0, lz / 2.0);
     // Nz from (a, b, c); Nx and Ny by cyclic permutation of the semi-axes.
     let nz = aharoni_nz(a, b, c);
@@ -104,7 +107,10 @@ pub struct UniaxialAnisotropy {
 impl UniaxialAnisotropy {
     /// Builds the anisotropy for a nanomagnet with easy axis along `axis`.
     pub fn for_magnet(nm: &Nanomagnet, axis: Vec3) -> Self {
-        UniaxialAnisotropy { h_k: nm.anisotropy_field(), axis: axis.normalized() }
+        UniaxialAnisotropy {
+            h_k: nm.anisotropy_field(),
+            axis: axis.normalized(),
+        }
     }
 
     /// Field at magnetization `m`, A/m.
@@ -131,7 +137,10 @@ pub struct Demagnetization {
 impl Demagnetization {
     /// Builds the demag field model for a nanomagnet.
     pub fn for_magnet(nm: &Nanomagnet) -> Self {
-        Demagnetization { n: nm.demag(), ms: nm.ms }
+        Demagnetization {
+            n: nm.demag(),
+            ms: nm.ms,
+        }
     }
 
     /// Field at magnetization `m`, A/m.
@@ -204,7 +213,9 @@ impl ThermalField {
     pub fn new(nm: &Nanomagnet, temperature: f64, dt: f64) -> Self {
         let variance =
             2.0 * nm.alpha * K_B * temperature / (MU_0 * MU_0 * GAMMA_E * nm.ms * nm.volume() * dt);
-        ThermalField { sigma: variance.sqrt() }
+        ThermalField {
+            sigma: variance.sqrt(),
+        }
     }
 
     /// A zero-strength thermal field (for deterministic, T = 0 runs).

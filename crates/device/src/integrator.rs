@@ -29,6 +29,7 @@ pub trait Integrator {
     ///
     /// Returns [`DeviceError::MidpointDiverged`] if an implicit solve fails
     /// to converge.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
         sys: &LlgsSystem,
@@ -75,7 +76,10 @@ pub struct MidpointIntegrator {
 
 impl Default for MidpointIntegrator {
     fn default() -> Self {
-        MidpointIntegrator { max_iterations: 16, tolerance: 1e-12 }
+        MidpointIntegrator {
+            max_iterations: 16,
+            tolerance: 1e-12,
+        }
     }
 }
 
@@ -104,16 +108,23 @@ impl Integrator for MidpointIntegrator {
                 m_r: (state.m_r + next.m_r) * 0.5,
             };
             let (dw, dr) = sys.rhs(mid, i_s, p, h_th_w, h_th_r);
-            let cand = PairState { m_w: state.m_w + dw * dt, m_r: state.m_r + dr * dt };
-            residual =
-                (cand.m_w - next.m_w).max_abs().max((cand.m_r - next.m_r).max_abs());
+            let cand = PairState {
+                m_w: state.m_w + dw * dt,
+                m_r: state.m_r + dr * dt,
+            };
+            residual = (cand.m_w - next.m_w)
+                .max_abs()
+                .max((cand.m_r - next.m_r).max_abs());
             next = cand;
             if residual < self.tolerance {
                 break;
             }
         }
         if !(residual.is_finite()) || !next.m_w.is_finite() || !next.m_r.is_finite() {
-            return Err(DeviceError::MidpointDiverged { time: 0.0, residual });
+            return Err(DeviceError::MidpointDiverged {
+                time: 0.0,
+                residual,
+            });
         }
         Ok(next.normalized())
     }
@@ -139,14 +150,20 @@ impl Integrator for StochasticHeun {
         dt: f64,
     ) -> Result<PairState, DeviceError> {
         let (dw0, dr0) = sys.rhs(state, i_s, p, h_th_w, h_th_r);
-        let pred = PairState { m_w: state.m_w + dw0 * dt, m_r: state.m_r + dr0 * dt };
+        let pred = PairState {
+            m_w: state.m_w + dw0 * dt,
+            m_r: state.m_r + dr0 * dt,
+        };
         let (dw1, dr1) = sys.rhs(pred, i_s, p, h_th_w, h_th_r);
         let next = PairState {
             m_w: state.m_w + (dw0 + dw1) * (0.5 * dt),
             m_r: state.m_r + (dr0 + dr1) * (0.5 * dt),
         };
         if !next.m_w.is_finite() || !next.m_r.is_finite() {
-            return Err(DeviceError::MidpointDiverged { time: 0.0, residual: f64::NAN });
+            return Err(DeviceError::MidpointDiverged {
+                time: 0.0,
+                residual: f64::NAN,
+            });
         }
         Ok(next.normalized())
     }
@@ -178,7 +195,9 @@ mod tests {
         let integ = MidpointIntegrator::default();
         let mut s = tilted();
         for _ in 0..500 {
-            s = integ.step(&sys, s, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12).unwrap();
+            s = integ
+                .step(&sys, s, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12)
+                .unwrap();
             assert!((s.m_w.norm() - 1.0).abs() < 1e-12);
             assert!((s.m_r.norm() - 1.0).abs() < 1e-12);
         }
@@ -190,7 +209,9 @@ mod tests {
         let integ = StochasticHeun;
         let mut s = tilted();
         for _ in 0..500 {
-            s = integ.step(&sys, s, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12).unwrap();
+            s = integ
+                .step(&sys, s, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12)
+                .unwrap();
             assert!((s.m_w.norm() - 1.0).abs() < 1e-12);
         }
     }
@@ -203,12 +224,20 @@ mod tests {
         let mut a = tilted();
         let mut b = tilted();
         for _ in 0..200 {
-            a = mid.step(&sys, a, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 0.5e-12).unwrap();
-            b = heun.step(&sys, b, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 0.5e-12).unwrap();
+            a = mid
+                .step(&sys, a, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 0.5e-12)
+                .unwrap();
+            b = heun
+                .step(&sys, b, 20e-6, Vec3::X, Vec3::ZERO, Vec3::ZERO, 0.5e-12)
+                .unwrap();
         }
         // Deterministic drive, same initial condition: trajectories must
         // track each other to within the schemes' O(dt²) differences.
-        assert!((a.m_w - b.m_w).norm() < 1e-2, "divergence {}", (a.m_w - b.m_w).norm());
+        assert!(
+            (a.m_w - b.m_w).norm() < 1e-2,
+            "divergence {}",
+            (a.m_w - b.m_w).norm()
+        );
     }
 
     #[test]
@@ -220,7 +249,9 @@ mod tests {
             m_r: Vec3::new(-0.7, -0.7, 0.14).normalized(),
         };
         for _ in 0..20_000 {
-            s = integ.step(&sys, s, 0.0, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12).unwrap();
+            s = integ
+                .step(&sys, s, 0.0, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12)
+                .unwrap();
         }
         // 20 ns of free relaxation: W settles on +x, R anti-parallel.
         assert!(s.m_w.x > 0.95, "m_w = {:?}", s.m_w);

@@ -58,7 +58,9 @@ pub use fields::{demag_factors, DipolarCoupling, ThermalField, UniaxialAnisotrop
 pub use integrator::{Integrator, IntegratorKind, MidpointIntegrator, StochasticHeun};
 pub use llgs::{LlgsSystem, Torque};
 pub use material::{HeavyMetal, Nanomagnet, SwitchParams};
-pub use montecarlo::{DelayHistogram, DelaySample, MonteCarlo, MonteCarloConfig};
+pub use montecarlo::{
+    mean_switched_delay, DelayHistogram, DelaySample, MonteCarlo, MonteCarloConfig,
+};
 pub use readout::{ReadoutCircuit, ReadoutPoint};
 pub use switch::{GsheSwitch, SwitchOutcome, WriteDrive};
 pub use vec3::Vec3;

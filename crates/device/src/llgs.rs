@@ -95,7 +95,12 @@ impl MagnetDynamics {
         } else {
             (Vec3::ZERO, Vec3::ZERO)
         };
-        Torque { precession, damping, stt, field_like }
+        Torque {
+            precession,
+            damping,
+            stt,
+            field_like,
+        }
     }
 
     /// `dm/dt` (rad/s) — the torque total.
@@ -112,8 +117,7 @@ impl MagnetDynamics {
     pub fn critical_field(&self) -> f64 {
         let n = self.demag.n;
         let ms = self.nm.ms;
-        self.nm.alpha
-            * (self.anisotropy.h_k + (n.y - n.x) * ms + 0.5 * (n.z - n.x) * ms)
+        self.nm.alpha * (self.anisotropy.h_k + (n.y - n.x) * ms + 0.5 * (n.z - n.x) * ms)
     }
 
     /// Critical spin current corresponding to [`Self::critical_field`], A.
@@ -148,12 +152,18 @@ pub struct PairState {
 impl PairState {
     /// Both magnets on the easy axis: W along `w_sign`·x, R anti-parallel.
     pub fn settled(w_sign: f64) -> Self {
-        PairState { m_w: Vec3::X * w_sign.signum(), m_r: Vec3::X * (-w_sign.signum()) }
+        PairState {
+            m_w: Vec3::X * w_sign.signum(),
+            m_r: Vec3::X * (-w_sign.signum()),
+        }
     }
 
     /// Renormalizes both members to unit length.
     pub fn normalized(self) -> Self {
-        PairState { m_w: self.m_w.normalized(), m_r: self.m_r.normalized() }
+        PairState {
+            m_w: self.m_w.normalized(),
+            m_r: self.m_r.normalized(),
+        }
     }
 }
 
@@ -165,11 +175,7 @@ impl LlgsSystem {
             write: MagnetDynamics::new(params.write),
             read: MagnetDynamics::new(params.read),
             coupling_w_to_r: DipolarCoupling::new(&params.write, params.coupling_distance, Vec3::Z),
-            coupling_r_to_w: DipolarCoupling::new(
-                &params.read,
-                params.coupling_distance,
-                -Vec3::Z,
-            ),
+            coupling_r_to_w: DipolarCoupling::new(&params.read, params.coupling_distance, -Vec3::Z),
         }
     }
 
@@ -281,9 +287,14 @@ mod tests {
         use crate::integrator::Integrator as _;
         let sys = table_i_system();
         let integ = crate::integrator::MidpointIntegrator::default();
-        let mut s = PairState { m_w: Vec3::X, m_r: Vec3::new(0.98, 0.199, 0.0).normalized() };
+        let mut s = PairState {
+            m_w: Vec3::X,
+            m_r: Vec3::new(0.98, 0.199, 0.0).normalized(),
+        };
         for _ in 0..8_000 {
-            s = integ.step(&sys, s, 0.0, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12).unwrap();
+            s = integ
+                .step(&sys, s, 0.0, Vec3::X, Vec3::ZERO, Vec3::ZERO, 1e-12)
+                .unwrap();
         }
         assert!(s.m_r.x < -0.9, "m_r = {:?}", s.m_r);
         assert!(s.m_w.x > 0.9, "m_w = {:?}", s.m_w);
@@ -292,7 +303,10 @@ mod tests {
     #[test]
     fn rhs_scales_linearly_in_thermal_field_direction() {
         let sys = table_i_system();
-        let s = PairState { m_w: Vec3::new(0.6, 0.8, 0.0), m_r: -Vec3::X };
+        let s = PairState {
+            m_w: Vec3::new(0.6, 0.8, 0.0),
+            m_r: -Vec3::X,
+        };
         let (d0, _) = sys.rhs(s, 0.0, Vec3::X, Vec3::ZERO, Vec3::ZERO);
         let (d1, _) = sys.rhs(s, 0.0, Vec3::X, Vec3::new(0.0, 0.0, 1e3), Vec3::ZERO);
         assert!((d1 - d0).norm() > 0.0);

@@ -342,7 +342,10 @@ mod tests {
     fn validation_rejects_nonpositive() {
         let mut w = Nanomagnet::write_nm();
         w.ms = 0.0;
-        assert!(matches!(w.validate(), Err(DeviceError::InvalidParameter { name: "ms", .. })));
+        assert!(matches!(
+            w.validate(),
+            Err(DeviceError::InvalidParameter { name: "ms", .. })
+        ));
         let mut p = SwitchParams::table_i();
         p.dt = f64::NAN;
         assert!(p.validate().is_err());

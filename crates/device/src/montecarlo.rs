@@ -5,7 +5,7 @@
 //! grows. [`MonteCarlo`] reproduces that experiment: each sample thermalizes
 //! the initial state, integrates the coupled pair under thermal noise, and
 //! records the first time the W/R pair reaches the target configuration.
-//! Sampling is parallelized with `crossbeam` scoped threads; a seeded
+//! Sampling is parallelized with `std::thread::scope`; a seeded
 //! per-sample RNG keeps runs reproducible regardless of thread count.
 
 use crate::material::SwitchParams;
@@ -39,7 +39,12 @@ pub struct MonteCarloConfig {
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        MonteCarloConfig { params: SwitchParams::table_i(), samples: 1000, seed: 0xD47E, threads: 0 }
+        MonteCarloConfig {
+            params: SwitchParams::table_i(),
+            samples: 1000,
+            seed: 0xD47E,
+            threads: 0,
+        }
     }
 }
 
@@ -65,38 +70,42 @@ impl MonteCarlo {
     pub fn run(&self, i_s: f64) -> Vec<DelaySample> {
         let n = self.config.samples;
         let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         };
         let chunk = n.div_ceil(threads.max(1));
         let mut results: Vec<Option<DelaySample>> = vec![None; n];
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slot) in results.chunks_mut(chunk).enumerate() {
                 let params = self.config.params;
                 let seed = self.config.seed;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let base = t * chunk;
                     for (j, out) in slot.iter_mut().enumerate() {
-                        let idx = (base + j) as u64;
-                        // Per-sample RNG: reproducible and thread-agnostic.
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        );
-                        let mut sw = GsheSwitch::new(params);
-                        // Alternate initial state so both polarities appear.
-                        let start = idx % 2 == 0;
-                        sw.set_state(start);
-                        let o = sw.write_thermal(i_s, !start, &mut rng);
-                        *out = Some(DelaySample { i_s, delay: o.delay, switched: o.switched });
+                        *out = Some(sample_at(&params, seed, (base + j) as u64, i_s));
                     }
                 });
             }
-        })
-        .expect("monte carlo worker panicked");
+        });
 
-        results.into_iter().map(|s| s.expect("all samples filled")).collect()
+        results
+            .into_iter()
+            .map(|s| s.expect("all samples filled"))
+            .collect()
+    }
+
+    /// Runs the samples with global indices `[start, start + count)` on
+    /// the calling thread — the exact per-sample streams of the
+    /// corresponding slice of [`MonteCarlo::run`], so chunked callers
+    /// (e.g. budget-checked campaign jobs) reproduce a full run's numbers.
+    pub fn run_range(&self, i_s: f64, start: usize, count: usize) -> Vec<DelaySample> {
+        (start..start + count)
+            .map(|idx| sample_at(&self.config.params, self.config.seed, idx as u64, i_s))
+            .collect()
     }
 
     /// Runs the full Fig. 4 sweep over the given currents.
@@ -115,8 +124,43 @@ impl MonteCarlo {
     /// rate for any switch can be tuned individually").
     pub fn switching_probability(&self, i_s: f64, t_clk: f64) -> f64 {
         let samples = self.run(i_s);
-        let hits = samples.iter().filter(|s| s.switched && s.delay <= t_clk).count();
+        let hits = samples
+            .iter()
+            .filter(|s| s.switched && s.delay <= t_clk)
+            .count();
         hits as f64 / samples.len() as f64
+    }
+}
+
+/// One seeded thermal switching event, keyed by its global sample index:
+/// reproducible regardless of threading or chunking.
+fn sample_at(params: &SwitchParams, seed: u64, idx: u64, i_s: f64) -> DelaySample {
+    let mut rng = StdRng::seed_from_u64(seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut sw = GsheSwitch::new(*params);
+    // Alternate initial state so both polarities appear.
+    let start = idx.is_multiple_of(2);
+    sw.set_state(start);
+    let o = sw.write_thermal(i_s, !start, &mut rng);
+    DelaySample {
+        i_s,
+        delay: o.delay,
+        switched: o.switched,
+    }
+}
+
+/// Mean delay over the switched samples, or NaN when none switched — the
+/// scalar that Table II's measured row and the campaign's device-delay
+/// jobs both report.
+pub fn mean_switched_delay(samples: &[DelaySample]) -> f64 {
+    let switched: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.switched)
+        .map(|s| s.delay)
+        .collect();
+    if switched.is_empty() {
+        f64::NAN
+    } else {
+        switched.iter().sum::<f64>() / switched.len() as f64
     }
 }
 
@@ -157,7 +201,11 @@ impl DelayHistogram {
             counts[b] += 1;
         }
         let n = samples.len().max(1);
-        let mean = if switched > 0 { sum / switched as f64 } else { f64::NAN };
+        let mean = if switched > 0 {
+            sum / switched as f64
+        } else {
+            f64::NAN
+        };
         let var = if switched > 1 {
             (sum_sq - sum * sum / switched as f64) / (switched as f64 - 1.0)
         } else {
@@ -193,7 +241,11 @@ mod tests {
     use super::*;
 
     fn quick_config(samples: usize) -> MonteCarloConfig {
-        MonteCarloConfig { samples, seed: 11, ..MonteCarloConfig::default() }
+        MonteCarloConfig {
+            samples,
+            seed: 11,
+            ..MonteCarloConfig::default()
+        }
     }
 
     #[test]
@@ -208,7 +260,10 @@ mod tests {
             h100.mean,
             h20.mean
         );
-        assert!(h100.std_dev < h20.std_dev, "spread must shrink with current");
+        assert!(
+            h100.std_dev < h20.std_dev,
+            "spread must shrink with current"
+        );
     }
 
     #[test]
@@ -217,6 +272,15 @@ mod tests {
         let a = mc.run(60e-6);
         let b = mc.run(60e-6);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_ranges_reproduce_a_full_run() {
+        let mc = MonteCarlo::new(quick_config(16));
+        let full = mc.run(60e-6);
+        let mut chunked = mc.run_range(60e-6, 0, 5);
+        chunked.extend(mc.run_range(60e-6, 5, 11));
+        assert_eq!(full, chunked);
     }
 
     #[test]

@@ -65,7 +65,13 @@ impl ReadoutCircuit {
         let power = v_out * v_out / self.r
             + (v_sup - v_out).powi(2) * self.g_p
             + (v_out + v_sup).powi(2) * self.g_ap;
-        ReadoutPoint { i_s, v_sup, v_out, i_out: i_s / self.beta, power }
+        ReadoutPoint {
+            i_s,
+            v_sup,
+            v_out,
+            i_out: i_s / self.beta,
+            power,
+        }
     }
 
     /// Read energy for a read lasting `duration` seconds, J.
@@ -108,7 +114,11 @@ mod tests {
     fn energy_matches_paper_0_33_fj() {
         let c = table_i_circuit();
         let e = c.energy(20e-6, 1.55e-9);
-        assert!((e - 0.33e-15).abs() / 0.33e-15 < 0.025, "E = {} fJ", e * 1e15);
+        assert!(
+            (e - 0.33e-15).abs() / 0.33e-15 < 0.025,
+            "E = {} fJ",
+            e * 1e15
+        );
     }
 
     #[test]
@@ -125,7 +135,11 @@ mod tests {
     fn operating_point_satisfies_kirchhoff() {
         let c = table_i_circuit();
         let pt = c.operating_point(20e-6);
-        assert!(c.kirchhoff_residual(&pt) < 1e-9, "residual {}", c.kirchhoff_residual(&pt));
+        assert!(
+            c.kirchhoff_residual(&pt) < 1e-9,
+            "residual {}",
+            c.kirchhoff_residual(&pt)
+        );
     }
 
     #[test]

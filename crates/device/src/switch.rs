@@ -29,7 +29,10 @@ impl WriteDrive {
     /// Drive from a *net charge current* through the heavy metal;
     /// the sign picks the target state, the gain β amplifies the magnitude.
     pub fn from_charge_current(i_c: f64, beta: f64) -> Self {
-        WriteDrive { spin_current: beta * i_c.abs(), target: i_c > 0.0 }
+        WriteDrive {
+            spin_current: beta * i_c.abs(),
+            target: i_c > 0.0,
+        }
     }
 
     /// Spin polarization unit vector for this drive.
@@ -128,7 +131,10 @@ impl GsheSwitch {
             m_w: Vec3::new(w_sign * theta0.cos(), theta0.sin(), 0.0).normalized(),
             m_r: Vec3::new(-w_sign * theta0.cos(), -theta0.sin(), 0.0).normalized(),
         };
-        let drive = WriteDrive { spin_current, target };
+        let drive = WriteDrive {
+            spin_current,
+            target,
+        };
         self.evolve(drive, None::<&mut rand::rngs::ThreadRng>)
     }
 
@@ -142,7 +148,10 @@ impl GsheSwitch {
     ) -> SwitchOutcome {
         let w_sign = if self.write_state() { 1.0 } else { -1.0 };
         self.state = thermalized_state(&self.params, w_sign, rng);
-        let drive = WriteDrive { spin_current, target };
+        let drive = WriteDrive {
+            spin_current,
+            target,
+        };
         self.evolve(drive, Some(rng))
     }
 
@@ -155,7 +164,8 @@ impl GsheSwitch {
             let h_w = tf_w.sample(rng);
             let h_r = tf_r.sample(rng);
             if let Ok(next) =
-                self.integrator.step(&self.system, self.state, 0.0, Vec3::X, h_w, h_r, dt)
+                self.integrator
+                    .step(&self.system, self.state, 0.0, Vec3::X, h_w, h_r, dt)
             {
                 self.state = next;
             }
@@ -200,7 +210,11 @@ impl GsheSwitch {
                 };
             }
         }
-        SwitchOutcome { switched: false, delay: self.params.horizon, final_state: self.state }
+        SwitchOutcome {
+            switched: false,
+            delay: self.params.horizon,
+            final_state: self.state,
+        }
     }
 
     /// Performs a write and reports an error on timeout.
@@ -218,7 +232,9 @@ impl GsheSwitch {
         if out.switched {
             Ok(out)
         } else {
-            Err(DeviceError::SwitchTimeout { horizon: self.params.horizon })
+            Err(DeviceError::SwitchTimeout {
+                horizon: self.params.horizon,
+            })
         }
     }
 }
@@ -242,7 +258,11 @@ pub(crate) fn thermalized_state<R: Rng + ?Sized>(
             sigma
         };
         let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
-        Vec3::new(sign * theta.cos(), theta.sin() * phi.cos(), theta.sin() * phi.sin())
+        Vec3::new(
+            sign * theta.cos(),
+            theta.sin() * phi.cos(),
+            theta.sin() * phi.sin(),
+        )
     };
     PairState {
         m_w: sample_tilt(&params.write, w_sign, rng),
@@ -266,7 +286,11 @@ mod tests {
         assert!(sw.write_state());
         // Read magnet is anti-parallel: logic inversion built into the pair.
         assert!(!sw.read_state());
-        assert!(out.delay > 0.1e-9 && out.delay < 10e-9, "delay = {}", out.delay);
+        assert!(
+            out.delay > 0.1e-9 && out.delay < 10e-9,
+            "delay = {}",
+            out.delay
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn midpoint_norm_conservation(
         theta in 0.05f64..3.0,
-        phi in 0.0f64..6.28,
+        phi in 0.0f64..std::f64::consts::TAU,
         i_s in 0.0f64..100e-6,
     ) {
         let sys = LlgsSystem::new(&SwitchParams::table_i());
@@ -76,7 +76,7 @@ proptest! {
     /// term) non-increasing along the trajectory — the Lyapunov property
     /// of dissipative LLG dynamics.
     #[test]
-    fn free_relaxation_decreases_energy(theta in 0.3f64..2.8, phi in 0.0f64..6.28) {
+    fn free_relaxation_decreases_energy(theta in 0.3f64..2.8, phi in 0.0f64..std::f64::consts::TAU) {
         let params = SwitchParams::table_i();
         let (w, r) = (params.write, params.read);
         let ua_w = UniaxialAnisotropy::for_magnet(&w, Vec3::X);

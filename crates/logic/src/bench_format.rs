@@ -52,7 +52,10 @@ fn parse_call(expr: &str, line: usize) -> Result<(String, Vec<String>), LogicErr
         .filter(|a| !a.is_empty())
         .collect();
     if args.is_empty() {
-        return Err(LogicError::Parse { line, message: format!("`{op}` has no operands") });
+        return Err(LogicError::Parse {
+            line,
+            message: format!("`{op}` has no operands"),
+        });
     }
     Ok((op, args))
 }
@@ -120,7 +123,12 @@ pub fn parse_bench_detailed(text: &str) -> Result<ParsedBench, LogicError> {
             outputs.extend(args);
         } else if let Some((lhs, rhs)) = parse_line(line) {
             let (op, args) = parse_call(rhs, line_no)?;
-            gates.push(RawGate { lhs: lhs.to_string(), op, args, line: line_no });
+            gates.push(RawGate {
+                lhs: lhs.to_string(),
+                op,
+                args,
+                line: line_no,
+            });
         } else {
             return Err(LogicError::Parse {
                 line: line_no,
@@ -183,8 +191,9 @@ pub fn parse_bench_detailed(text: &str) -> Result<ParsedBench, LogicError> {
             }
         }
     }
-    let mut queue: Vec<usize> =
-        (0..comb_gates.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut queue: Vec<usize> = (0..comb_gates.len())
+        .filter(|&i| indegree[i] == 0)
+        .collect();
     let mut emitted = 0usize;
     while let Some(i) = queue.pop() {
         emitted += 1;
@@ -208,7 +217,9 @@ pub fn parse_bench_detailed(text: &str) -> Result<ParsedBench, LogicError> {
     }
 
     for out in outputs.iter().chain(&pseudo_outputs) {
-        let id = *ids.get(out.as_str()).ok_or_else(|| LogicError::UnknownSignal(out.clone()))?;
+        let id = *ids
+            .get(out.as_str())
+            .ok_or_else(|| LogicError::UnknownSignal(out.clone()))?;
         b.output(id);
     }
     Ok(ParsedBench {
@@ -219,11 +230,7 @@ pub fn parse_bench_detailed(text: &str) -> Result<ParsedBench, LogicError> {
     })
 }
 
-fn emit_gate(
-    b: &mut NetlistBuilder,
-    g: &RawGate,
-    args: &[NodeId],
-) -> Result<NodeId, LogicError> {
+fn emit_gate(b: &mut NetlistBuilder, g: &RawGate, args: &[NodeId]) -> Result<NodeId, LogicError> {
     let unary_arity = |n: usize| -> Result<(), LogicError> {
         if n == 1 {
             Ok(())
@@ -474,7 +481,11 @@ y = AND(q, x)
         assert_eq!(nl.outputs().len(), 2);
         // With q = 1, x = 1: y = 1 and d = 0.
         let map = nl.name_map();
-        let xi = nl.inputs().iter().position(|i| nl.node(*i).name == "x").unwrap();
+        let xi = nl
+            .inputs()
+            .iter()
+            .position(|i| nl.node(*i).name == "x")
+            .unwrap();
         let mut vals = vec![false, false];
         vals[xi] = true;
         let qi = 1 - xi;
@@ -499,13 +510,19 @@ p = AND(a, q)
 q = OR(p, a)
 y = BUFF(p)
 ";
-        assert!(matches!(parse_bench(text), Err(LogicError::CombinationalLoop(_))));
+        assert!(matches!(
+            parse_bench(text),
+            Err(LogicError::CombinationalLoop(_))
+        ));
     }
 
     #[test]
     fn duplicate_definition_is_rejected() {
         let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n";
-        assert!(matches!(parse_bench(text), Err(LogicError::DuplicateSignal(_))));
+        assert!(matches!(
+            parse_bench(text),
+            Err(LogicError::DuplicateSignal(_))
+        ));
     }
 
     #[test]

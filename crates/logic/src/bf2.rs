@@ -139,7 +139,7 @@ impl Bf2 {
             let a = idx & 1;
             let b = (idx >> 1) & 1;
             let src = (1 - a) | (b << 1);
-            out |= (((self.0 >> src) & 1) << idx) as u8;
+            out |= ((self.0 >> src) & 1) << idx;
             idx += 1;
         }
         Bf2(out)
@@ -153,7 +153,7 @@ impl Bf2 {
             let a = idx & 1;
             let b = (idx >> 1) & 1;
             let src = a | ((1 - b) << 1);
-            out |= (((self.0 >> src) & 1) << idx) as u8;
+            out |= ((self.0 >> src) & 1) << idx;
             idx += 1;
         }
         Bf2(out)
@@ -217,8 +217,7 @@ impl Bf2 {
 
     /// The standard-cell-like subset the synthetic benchmark generator
     /// draws from (the functions CMOS libraries actually ship).
-    pub const STANDARD: [Bf2; 6] =
-        [Bf2::NAND, Bf2::NOR, Bf2::AND, Bf2::OR, Bf2::XOR, Bf2::XNOR];
+    pub const STANDARD: [Bf2; 6] = [Bf2::NAND, Bf2::NOR, Bf2::AND, Bf2::OR, Bf2::XOR, Bf2::XNOR];
 }
 
 impl fmt::Display for Bf2 {

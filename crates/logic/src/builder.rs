@@ -36,7 +36,10 @@ pub struct NetlistBuilder {
 impl NetlistBuilder {
     /// Starts a new design called `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        NetlistBuilder { name: name.into(), ..Default::default() }
+        NetlistBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     fn push(&mut self, kind: NodeKind, name: String) -> NodeId {
@@ -108,7 +111,10 @@ impl NetlistBuilder {
     pub fn gate1(&mut self, name: impl Into<String>, f: Bf1, a: NodeId) -> NodeId {
         let name = name.into();
         assert!(!self.names.contains(&name), "duplicate signal `{name}`");
-        assert!(a.index() < self.nodes.len(), "gate `{name}` references a missing node");
+        assert!(
+            a.index() < self.nodes.len(),
+            "gate `{name}` references a missing node"
+        );
         self.push(NodeKind::Gate1 { f, a }, name)
     }
 

@@ -58,9 +58,19 @@ mod tests {
 
     #[test]
     fn messages_mention_the_subject() {
-        assert!(LogicError::UnknownSignal("n42".into()).to_string().contains("n42"));
-        assert!(LogicError::Parse { line: 7, message: "bad".into() }.to_string().contains('7'));
-        let e = LogicError::InputCountMismatch { expected: 3, got: 1 };
+        assert!(LogicError::UnknownSignal("n42".into())
+            .to_string()
+            .contains("n42"));
+        assert!(LogicError::Parse {
+            line: 7,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains('7'));
+        let e = LogicError::InputCountMismatch {
+            expected: 3,
+            got: 1,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('1'));
     }
 

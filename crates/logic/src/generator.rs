@@ -88,9 +88,10 @@ impl GeneratorConfig {
         if self.functions.is_empty() {
             return Err(LogicError::Validation("function set is empty".into()));
         }
-        if !(0.0..=1.0).contains(&self.chain_bias) || !(0.0..=1.0).contains(&self.reuse_pressure)
-        {
-            return Err(LogicError::Validation("probabilities must be in [0, 1]".into()));
+        if !(0.0..=1.0).contains(&self.chain_bias) || !(0.0..=1.0).contains(&self.reuse_pressure) {
+            return Err(LogicError::Validation(
+                "probabilities must be in [0, 1]".into(),
+            ));
         }
         Ok(())
     }
@@ -254,12 +255,16 @@ mod tests {
     #[test]
     fn chain_bias_increases_depth() {
         let shallow = NetlistGenerator::new(
-            GeneratorConfig::new("t", 16, 8, 400).with_seed(5).with_chain_bias(0.0),
+            GeneratorConfig::new("t", 16, 8, 400)
+                .with_seed(5)
+                .with_chain_bias(0.0),
         )
         .unwrap()
         .generate();
         let deep = NetlistGenerator::new(
-            GeneratorConfig::new("t", 16, 8, 400).with_seed(5).with_chain_bias(0.8),
+            GeneratorConfig::new("t", 16, 8, 400)
+                .with_seed(5)
+                .with_chain_bias(0.8),
         )
         .unwrap()
         .generate();

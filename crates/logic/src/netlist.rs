@@ -101,7 +101,12 @@ impl Netlist {
         inputs: Vec<NodeId>,
         outputs: Vec<NodeId>,
     ) -> Result<Self, LogicError> {
-        let nl = Netlist { name: name.into(), nodes, inputs, outputs };
+        let nl = Netlist {
+            name: name.into(),
+            nodes,
+            inputs,
+            outputs,
+        };
         nl.check()?;
         Ok(nl)
     }
@@ -142,7 +147,11 @@ impl Netlist {
             }
         }
         let listed = self.inputs.len();
-        let actual = self.nodes.iter().filter(|nd| nd.kind == NodeKind::Input).count();
+        let actual = self
+            .nodes
+            .iter()
+            .filter(|nd| nd.kind == NodeKind::Input)
+            .count();
         if listed != actual {
             return Err(LogicError::Validation(format!(
                 "{actual} Input nodes but {listed} listed as primary inputs"
@@ -213,7 +222,10 @@ impl Netlist {
     /// Id of the node with signal name `name`, if any (linear scan; build a
     /// map via [`Netlist::name_map`] for repeated lookups).
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes.iter().position(|n| n.name == name).map(|i| NodeId(i as u32))
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
     }
 
     /// Name → id map for all signals.
@@ -240,7 +252,12 @@ impl Netlist {
     pub fn levels(&self) -> Vec<usize> {
         let mut level = vec![0usize; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
-            level[i] = node.kind.fanins().map(|f| level[f.index()] + 1).max().unwrap_or(0);
+            level[i] = node
+                .kind
+                .fanins()
+                .map(|f| level[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
         }
         level
     }
@@ -248,7 +265,11 @@ impl Netlist {
     /// Logic depth: the maximum level over all outputs.
     pub fn depth(&self) -> usize {
         let levels = self.levels();
-        self.outputs.iter().map(|o| levels[o.index()]).max().unwrap_or(0)
+        self.outputs
+            .iter()
+            .map(|o| levels[o.index()])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Evaluates the netlist on one input assignment (values in
@@ -330,12 +351,7 @@ impl Netlist {
     ///
     /// Returns [`LogicError::Validation`] if `id` is not a `Gate1` or the
     /// fanin does not match.
-    pub fn set_gate1_function(
-        &mut self,
-        id: NodeId,
-        f: Bf1,
-        a: NodeId,
-    ) -> Result<(), LogicError> {
+    pub fn set_gate1_function(&mut self, id: NodeId, f: Bf1, a: NodeId) -> Result<(), LogicError> {
         match &mut self.nodes[id.index()].kind {
             NodeKind::Gate1 { f: slot, a: fanin } if *fanin == a => {
                 *slot = f;
@@ -451,8 +467,7 @@ mod tests {
         for list in &fo {
             edges_from_fanouts += list.len();
         }
-        let edges_from_fanins: usize =
-            nl.nodes().iter().map(|n| n.kind.fanins().count()).sum();
+        let edges_from_fanins: usize = nl.nodes().iter().map(|n| n.kind.fanins().count()).sum();
         assert_eq!(edges_from_fanouts, edges_from_fanins);
     }
 
@@ -471,7 +486,10 @@ mod tests {
         let nl = full_adder();
         assert!(matches!(
             nl.try_evaluate(&[true]),
-            Err(LogicError::InputCountMismatch { expected: 3, got: 1 })
+            Err(LogicError::InputCountMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 
@@ -494,8 +512,14 @@ mod tests {
     #[test]
     fn check_rejects_duplicate_names() {
         let nodes = vec![
-            Node { kind: NodeKind::Input, name: "x".into() },
-            Node { kind: NodeKind::Input, name: "x".into() },
+            Node {
+                kind: NodeKind::Input,
+                name: "x".into(),
+            },
+            Node {
+                kind: NodeKind::Input,
+                name: "x".into(),
+            },
         ];
         let err =
             Netlist::from_parts("bad", nodes, vec![NodeId(0), NodeId(1)], vec![]).unwrap_err();
@@ -505,8 +529,17 @@ mod tests {
     #[test]
     fn check_rejects_non_topological_order() {
         let nodes = vec![
-            Node { kind: NodeKind::Gate1 { f: Bf1::Inv, a: NodeId(1) }, name: "g".into() },
-            Node { kind: NodeKind::Input, name: "x".into() },
+            Node {
+                kind: NodeKind::Gate1 {
+                    f: Bf1::Inv,
+                    a: NodeId(1),
+                },
+                name: "g".into(),
+            },
+            Node {
+                kind: NodeKind::Input,
+                name: "x".into(),
+            },
         ];
         let err = Netlist::from_parts("bad", nodes, vec![NodeId(1)], vec![]).unwrap_err();
         assert!(matches!(err, LogicError::Validation(_)));

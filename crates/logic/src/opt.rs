@@ -58,7 +58,10 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
     let mut emitted: Vec<Option<NodeId>> = vec![None; nl.len()];
 
     // Resolve an old node to (new node, inverted, const).
-    let resolve = |folds: &[Option<Fold>], emitted: &[Option<NodeId>], id: NodeId| -> Result<(NodeId, bool), bool> {
+    let resolve = |folds: &[Option<Fold>],
+                   emitted: &[Option<NodeId>],
+                   id: NodeId|
+     -> Result<(NodeId, bool), bool> {
         match folds[id.index()] {
             Some(Fold::Const(c)) => Err(c),
             Some(Fold::Alias { node, inverted }) => Ok((node, inverted)),
@@ -92,11 +95,17 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
                     report.folded_constants += 1;
                 }
                 (Bf1::Buf, Ok((n, inv))) => {
-                    folds[i] = Some(Fold::Alias { node: n, inverted: inv });
+                    folds[i] = Some(Fold::Alias {
+                        node: n,
+                        inverted: inv,
+                    });
                     report.collapsed += 1;
                 }
                 (Bf1::Inv, Ok((n, inv))) => {
-                    folds[i] = Some(Fold::Alias { node: n, inverted: !inv });
+                    folds[i] = Some(Fold::Alias {
+                        node: n,
+                        inverted: !inv,
+                    });
                     report.collapsed += 1;
                 }
             },
@@ -175,8 +184,14 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
     for &o in nl.outputs() {
         let id = match folds[o.index()] {
             Some(Fold::Const(c)) => b.constant(c),
-            Some(Fold::Alias { node, inverted: false }) => node,
-            Some(Fold::Alias { node, inverted: true }) => b.gate1_auto(Bf1::Inv, node),
+            Some(Fold::Alias {
+                node,
+                inverted: false,
+            }) => node,
+            Some(Fold::Alias {
+                node,
+                inverted: true,
+            }) => b.gate1_auto(Bf1::Inv, node),
             None => emitted[o.index()].expect("live output emitted"),
         };
         b.output(id);
@@ -196,11 +211,17 @@ fn partial(f0: bool, f1: bool, n: NodeId, report: &mut OptReport) -> Fold {
         }
         (false, true) => {
             report.collapsed += 1;
-            Fold::Alias { node: n, inverted: false }
+            Fold::Alias {
+                node: n,
+                inverted: false,
+            }
         }
         (true, false) => {
             report.collapsed += 1;
-            Fold::Alias { node: n, inverted: true }
+            Fold::Alias {
+                node: n,
+                inverted: true,
+            }
         }
     }
 }
@@ -290,11 +311,9 @@ mod tests {
     #[test]
     fn random_netlists_stay_equivalent() {
         for seed in 0..20 {
-            let nl = NetlistGenerator::new(
-                GeneratorConfig::new("t", 8, 4, 80).with_seed(seed),
-            )
-            .unwrap()
-            .generate();
+            let nl = NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 80).with_seed(seed))
+                .unwrap()
+                .generate();
             let (opt, _) = optimize(&nl);
             opt.check().unwrap();
             assert_eq!(opt.inputs().len(), 8);

@@ -32,8 +32,12 @@ impl SequentialCircuit {
     /// Propagates parser errors (see
     /// [`crate::bench_format::parse_bench_detailed`]).
     pub fn parse(text: &str) -> Result<Self, LogicError> {
-        let ParsedBench { netlist, real_inputs, real_outputs, dff_count } =
-            parse_bench_detailed(text)?;
+        let ParsedBench {
+            netlist,
+            real_inputs,
+            real_outputs,
+            dff_count,
+        } = parse_bench_detailed(text)?;
         Ok(SequentialCircuit {
             core: netlist,
             real_inputs,

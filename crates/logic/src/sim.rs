@@ -27,7 +27,10 @@ impl PatternBlock {
     /// Panics if more than 64 patterns are supplied, if zero patterns are
     /// supplied, or if rows have inconsistent widths.
     pub fn from_patterns(patterns: &[Vec<bool>]) -> Self {
-        assert!(!patterns.is_empty() && patterns.len() <= 64, "need 1..=64 patterns");
+        assert!(
+            !patterns.is_empty() && patterns.len() <= 64,
+            "need 1..=64 patterns"
+        );
         let width = patterns[0].len();
         let mut lanes = vec![0u64; width];
         for (k, row) in patterns.iter().enumerate() {
@@ -38,12 +41,18 @@ impl PatternBlock {
                 }
             }
         }
-        PatternBlock { lanes, count: patterns.len() }
+        PatternBlock {
+            lanes,
+            count: patterns.len(),
+        }
     }
 
     /// Draws 64 uniformly random patterns for `num_inputs` inputs.
     pub fn random<R: Rng + ?Sized>(num_inputs: usize, rng: &mut R) -> Self {
-        PatternBlock { lanes: (0..num_inputs).map(|_| rng.gen()).collect(), count: 64 }
+        PatternBlock {
+            lanes: (0..num_inputs).map(|_| rng.gen()).collect(),
+            count: 64,
+        }
     }
 
     /// Extracts pattern `k` as a `Vec<bool>`.
@@ -53,7 +62,10 @@ impl PatternBlock {
     /// Panics if `k >= self.count`.
     pub fn pattern(&self, k: usize) -> Vec<bool> {
         assert!(k < self.count, "pattern index out of range");
-        self.lanes.iter().map(|&lane| (lane >> k) & 1 == 1).collect()
+        self.lanes
+            .iter()
+            .map(|&lane| (lane >> k) & 1 == 1)
+            .collect()
     }
 
     /// Mask with one bit set per valid pattern.
@@ -77,7 +89,10 @@ pub struct Simulator<'a> {
 impl<'a> Simulator<'a> {
     /// Creates a simulator for `netlist`.
     pub fn new(netlist: &'a Netlist) -> Self {
-        Simulator { values: vec![0; netlist.len()], netlist }
+        Simulator {
+            values: vec![0; netlist.len()],
+            netlist,
+        }
     }
 
     /// The bound netlist.
@@ -121,6 +136,24 @@ impl<'a> Simulator<'a> {
             };
         }
         Ok(nl.outputs().iter().map(|o| values[o.index()]).collect())
+    }
+
+    /// Like [`Simulator::run`], but clears the bits of invalid lanes
+    /// (`k >= block.count`), so results compare bit-for-bit with a
+    /// pattern-at-a-time evaluation. Block-capable oracles answer through
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] if the block width does
+    /// not match the number of primary inputs.
+    pub fn run_masked(&mut self, block: &PatternBlock) -> Result<Vec<u64>, LogicError> {
+        let mut lanes = self.run(block)?;
+        let mask = block.valid_mask();
+        for lane in &mut lanes {
+            *lane &= mask;
+        }
+        Ok(lanes)
     }
 
     /// Values of *all* nodes from the most recent [`Simulator::run`] call.
@@ -230,7 +263,9 @@ mod tests {
         let s = b.find("s").unwrap();
         b.set_gate2_function(s, Bf2::XNOR).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let cex = random_equivalence_check(&a, &b, 8, &mut rng).unwrap().expect("must differ");
+        let cex = random_equivalence_check(&a, &b, 8, &mut rng)
+            .unwrap()
+            .expect("must differ");
         assert_ne!(a.evaluate(&cex), b.evaluate(&cex));
     }
 

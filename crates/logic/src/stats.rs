@@ -63,7 +63,11 @@ impl NetlistStats {
             gates: netlist.gate_count(),
             depth: netlist.depth(),
             max_fanout,
-            avg_fanout: if driven > 0 { fanout_sum as f64 / driven as f64 } else { 0.0 },
+            avg_fanout: if driven > 0 {
+                fanout_sum as f64 / driven as f64
+            } else {
+                0.0
+            },
             dead_gates,
         }
     }

@@ -160,11 +160,80 @@ pub const S38584: BenchmarkSpec = BenchmarkSpec {
 
 /// Looks up a Table III spec by name.
 pub fn spec(name: &str) -> Option<&'static BenchmarkSpec> {
-    TABLE_III.iter().find(|s| s.name == name).or(if name == "s38584" {
-        Some(&S38584)
-    } else {
-        None
-    })
+    TABLE_III
+        .iter()
+        .find(|s| s.name == name)
+        .or(if name == "s38584" {
+            Some(&S38584)
+        } else {
+            None
+        })
+}
+
+/// Names of every known benchmark (Table III plus `s38584`), in table
+/// order.
+pub fn all_names() -> impl Iterator<Item = &'static str> {
+    TABLE_III
+        .iter()
+        .map(|s| s.name)
+        .chain(std::iter::once(S38584.name))
+}
+
+/// All benchmarks belonging to one suite.
+pub fn by_suite(suite: Suite) -> Vec<&'static BenchmarkSpec> {
+    TABLE_III
+        .iter()
+        .chain(std::iter::once(&S38584))
+        .filter(|s| s.suite == suite)
+        .collect()
+}
+
+impl Suite {
+    /// Short machine-friendly name, used by suite selectors.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Iscas85 => "iscas85",
+            Suite::Iscas89 => "iscas89",
+            Suite::Mcnc => "mcnc",
+            Suite::Itc99 => "itc99",
+            Suite::Iwls => "iwls",
+            Suite::Epfl => "epfl",
+            Suite::Superblue => "superblue",
+        }
+    }
+
+    /// Parses [`Suite::name`] back into a suite.
+    pub fn parse(name: &str) -> Option<Suite> {
+        [
+            Suite::Iscas85,
+            Suite::Iscas89,
+            Suite::Mcnc,
+            Suite::Itc99,
+            Suite::Iwls,
+            Suite::Epfl,
+            Suite::Superblue,
+        ]
+        .into_iter()
+        .find(|s| s.name() == name)
+    }
+}
+
+/// Resolves a benchmark selector into specs:
+///
+/// * `"all"` — every Table III benchmark (excluding `s38584`);
+/// * `"suite:<name>"` — every benchmark of that suite (e.g. `suite:itc99`);
+/// * otherwise — the single named benchmark.
+///
+/// Returns an empty vector for unknown names, so callers can report the
+/// selector that failed.
+pub fn resolve_selector(selector: &str) -> Vec<&'static BenchmarkSpec> {
+    if selector == "all" {
+        return TABLE_III.iter().collect();
+    }
+    if let Some(suite_name) = selector.strip_prefix("suite:") {
+        return Suite::parse(suite_name).map(by_suite).unwrap_or_default();
+    }
+    spec(selector).into_iter().collect()
 }
 
 /// Instantiates a benchmark as a synthetic netlist.
@@ -185,7 +254,9 @@ pub fn benchmark(spec: &BenchmarkSpec, scale: usize, seed: u64) -> Netlist {
     let cfg = GeneratorConfig::new(spec.name, inputs, outputs, gates)
         .with_seed(seed ^ 0x5EED_0000)
         .with_chain_bias(spec.chain_bias);
-    NetlistGenerator::new(cfg).expect("specs are valid").generate()
+    NetlistGenerator::new(cfg)
+        .expect("specs are valid")
+        .generate()
 }
 
 /// Instantiates a benchmark with **proportional** scaling: gates *and*
@@ -205,7 +276,9 @@ pub fn benchmark_scaled(spec: &BenchmarkSpec, scale: usize, seed: u64) -> Netlis
     let cfg = GeneratorConfig::new(spec.name, inputs, outputs, gates)
         .with_seed(seed ^ 0x5CA1_ED00)
         .with_chain_bias(spec.chain_bias);
-    NetlistGenerator::new(cfg).expect("specs are valid").generate()
+    NetlistGenerator::new(cfg)
+        .expect("specs are valid")
+        .generate()
 }
 
 #[cfg(test)]
@@ -240,7 +313,10 @@ mod tests {
         let aes = spec("aes_core").unwrap();
         assert_eq!((aes.inputs, aes.outputs, aes.gates), (789, 668, 39_014));
         let sb12 = spec("sb12").unwrap();
-        assert_eq!((sb12.inputs, sb12.outputs, sb12.gates), (1_936, 4_629, 1_523_108));
+        assert_eq!(
+            (sb12.inputs, sb12.outputs, sb12.gates),
+            (1_936, 4_629, 1_523_108)
+        );
         let log2 = spec("log2").unwrap();
         assert_eq!((log2.inputs, log2.outputs, log2.gates), (32, 32, 51_627));
         assert_eq!(TABLE_III.len(), 12);
@@ -288,6 +364,43 @@ mod tests {
     #[test]
     fn unknown_benchmark_is_none() {
         assert_eq!(spec("c17_missing"), None);
+    }
+
+    #[test]
+    fn enumeration_helpers_cover_the_tables() {
+        assert_eq!(all_names().count(), TABLE_III.len() + 1);
+        assert!(all_names().any(|n| n == "s38584"));
+        let itc = by_suite(Suite::Itc99);
+        assert_eq!(
+            itc.iter().map(|s| s.name).collect::<Vec<_>>(),
+            ["b14", "b21"]
+        );
+        assert_eq!(by_suite(Suite::Iscas89).len(), 1);
+    }
+
+    #[test]
+    fn suite_names_round_trip() {
+        for suite in [
+            Suite::Iscas85,
+            Suite::Iscas89,
+            Suite::Mcnc,
+            Suite::Itc99,
+            Suite::Iwls,
+            Suite::Epfl,
+            Suite::Superblue,
+        ] {
+            assert_eq!(Suite::parse(suite.name()), Some(suite));
+        }
+        assert_eq!(Suite::parse("vtr"), None);
+    }
+
+    #[test]
+    fn selectors_resolve() {
+        assert_eq!(resolve_selector("all").len(), TABLE_III.len());
+        assert_eq!(resolve_selector("suite:epfl").len(), 1);
+        assert_eq!(resolve_selector("c7552").len(), 1);
+        assert!(resolve_selector("bogus").is_empty());
+        assert!(resolve_selector("suite:bogus").is_empty());
     }
 
     #[test]

@@ -55,7 +55,8 @@ impl CnfFormula {
     /// Evaluates the formula under a full assignment (index = var).
     pub fn evaluate(&self, assignment: &[bool]) -> bool {
         self.clauses.iter().all(|c| {
-            c.iter().any(|l| assignment[l.var().index()] == l.is_positive())
+            c.iter()
+                .any(|l| assignment[l.var().index()] == l.is_positive())
         })
     }
 

@@ -268,11 +268,22 @@ impl Solver {
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
         let id = self.clauses.len() as u32;
-        let w0 = Watch { clause: id, blocker: lits[1] };
-        let w1 = Watch { clause: id, blocker: lits[0] };
+        let w0 = Watch {
+            clause: id,
+            blocker: lits[1],
+        };
+        let w1 = Watch {
+            clause: id,
+            blocker: lits[0],
+        };
         self.watches[(!lits[0]).code()].push(w0);
         self.watches[(!lits[1]).code()].push(w1);
-        self.clauses.push(Clause { lits, learnt, lbd, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            lbd,
+            deleted: false,
+        });
         if learnt {
             self.learnt_count += 1;
             self.stats.learnts = self.learnt_count as u64;
@@ -323,7 +334,10 @@ impl Solver {
                     let l = self.clauses[cid].lits[k];
                     if self.value_lit(l) != LBool::False {
                         self.clauses[cid].lits.swap(1, k);
-                        self.watches[(!l).code()].push(Watch { clause: w.clause, blocker: first });
+                        self.watches[(!l).code()].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
                         watch_list.swap_remove(i);
                         found = true;
                         break;
@@ -343,7 +357,7 @@ impl Solver {
                 let _ = self.enqueue(first, w.clause);
                 i += 1;
             }
-            self.watches[p.code()].extend(watch_list.drain(..));
+            self.watches[p.code()].append(&mut watch_list);
             if conflict != CLAUSE_NONE {
                 return conflict;
             }
@@ -416,8 +430,12 @@ impl Solver {
             .enumerate()
             .map(|(i, &l)| i == 0 || !self.literal_is_redundant(l))
             .collect();
-        let mut minimized: Vec<Lit> =
-            learnt.iter().zip(&keep).filter(|(_, &k)| k).map(|(&l, _)| l).collect();
+        let mut minimized: Vec<Lit> = learnt
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(&l, _)| l)
+            .collect();
 
         // Clear seen flags for the literals we marked.
         for &l in &learnt {
@@ -438,8 +456,10 @@ impl Solver {
             }
             minimized.swap(1, max_i);
             let bt = self.level[minimized[1].var().index()];
-            let mut levels: Vec<u32> =
-                minimized.iter().map(|l| self.level[l.var().index()]).collect();
+            let mut levels: Vec<u32> = minimized
+                .iter()
+                .map(|l| self.level[l.var().index()])
+                .collect();
             levels.sort_unstable();
             levels.dedup();
             (bt, levels.len() as u32)
@@ -657,6 +677,7 @@ impl ClauseSink for Solver {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // hole index `j` ties pigeon rows together
 mod tests {
     use super::*;
 
@@ -720,8 +741,9 @@ mod tests {
         // PHP(3,2): classic small UNSAT instance requiring real search.
         let mut s = Solver::new();
         // p[i][j]: pigeon i in hole j.
-        let p: Vec<Vec<Lit>> =
-            (0..3).map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
         for row in &p {
             s.add_clause(row); // every pigeon somewhere
         }
@@ -739,8 +761,9 @@ mod tests {
     fn pigeonhole_5_into_5_is_sat() {
         let mut s = Solver::new();
         let n = 5;
-        let p: Vec<Vec<Lit>> =
-            (0..n).map(|_| (0..n).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
         for row in &p {
             s.add_clause(row);
         }
@@ -793,8 +816,9 @@ mod tests {
         // A hard instance (PHP 7 into 6) with a 1-conflict budget.
         let mut s = Solver::new();
         let n = 7;
-        let p: Vec<Vec<Lit>> =
-            (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
         for row in &p {
             s.add_clause(row);
         }
@@ -805,7 +829,10 @@ mod tests {
                 }
             }
         }
-        s.set_budget(Budget { max_conflicts: Some(1), max_vars: None });
+        s.set_budget(Budget {
+            max_conflicts: Some(1),
+            max_vars: None,
+        });
         assert_eq!(s.solve(), SolveResult::Unknown);
         // Raising the budget resolves it.
         s.set_budget(Budget::default());
@@ -815,7 +842,10 @@ mod tests {
     #[test]
     fn var_budget_is_enforced() {
         let mut s = Solver::new();
-        s.set_budget(Budget { max_conflicts: None, max_vars: Some(2) });
+        s.set_budget(Budget {
+            max_conflicts: None,
+            max_vars: Some(2),
+        });
         assert!(s.try_new_var().is_some());
         assert!(s.try_new_var().is_some());
         assert!(s.try_new_var().is_none());

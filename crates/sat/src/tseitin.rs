@@ -19,7 +19,10 @@ pub struct CircuitEncoder<'a, S: ClauseSink> {
 impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
     /// Wraps a sink.
     pub fn new(sink: &'a mut S) -> Self {
-        CircuitEncoder { sink, const_true: None }
+        CircuitEncoder {
+            sink,
+            const_true: None,
+        }
     }
 
     /// Releases the underlying sink.
@@ -172,8 +175,7 @@ impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
     /// Panics if the lists have different lengths or are empty.
     pub fn miter(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
         assert_eq!(a.len(), b.len(), "miter needs equal-width buses");
-        let diffs: Vec<Lit> =
-            a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect();
+        let diffs: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect();
         self.or_many(&diffs)
     }
 }
@@ -194,10 +196,7 @@ mod tests {
                     let mut enc = CircuitEncoder::new(&mut s);
                     enc.gate_tt(tt, a, b)
                 };
-                let assumptions = [
-                    if va { a } else { !a },
-                    if vb { b } else { !b },
-                ];
+                let assumptions = [if va { a } else { !a }, if vb { b } else { !b }];
                 assert_eq!(s.solve_with(&assumptions), SolveResult::Sat);
                 let expect = (tt >> ((va as u8) | ((vb as u8) << 1))) & 1 == 1;
                 assert_eq!(s.model_lit(z), expect, "tt={tt:04b} a={va} b={vb}");

@@ -1,3 +1,4 @@
+#![allow(clippy::needless_range_loop)] // index vars tie multiple slices together in these instances
 //! Stress and semantic tests for the CDCL solver beyond the unit suite:
 //! incremental-vs-monolithic agreement, assumption semantics, model
 //! validity on structured instances, and budget behavior.
@@ -95,7 +96,13 @@ fn models_satisfy_graph_coloring() {
     for len in [4usize, 5, 9, 12] {
         let mut s = Solver::new();
         let colors: Vec<[Lit; 3]> = (0..len)
-            .map(|_| [Lit::pos(s.new_var()), Lit::pos(s.new_var()), Lit::pos(s.new_var())])
+            .map(|_| {
+                [
+                    Lit::pos(s.new_var()),
+                    Lit::pos(s.new_var()),
+                    Lit::pos(s.new_var()),
+                ]
+            })
             .collect();
         for c in &colors {
             s.add_clause(c);
@@ -113,12 +120,10 @@ fn models_satisfy_graph_coloring() {
         }
         assert_eq!(s.solve(), SolveResult::Sat, "ring {len}");
         for v in 0..len {
-            let cv: Vec<usize> =
-                (0..3).filter(|&k| s.model_lit(colors[v][k])).collect();
+            let cv: Vec<usize> = (0..3).filter(|&k| s.model_lit(colors[v][k])).collect();
             assert_eq!(cv.len(), 1, "vertex {v} has {cv:?}");
             let w = (v + 1) % len;
-            let cw: Vec<usize> =
-                (0..3).filter(|&k| s.model_lit(colors[w][k])).collect();
+            let cw: Vec<usize> = (0..3).filter(|&k| s.model_lit(colors[w][k])).collect();
             assert_ne!(cv, cw, "edge {v}-{w} monochromatic");
         }
     }
@@ -144,8 +149,9 @@ fn budget_unknown_then_resolution() {
     // A moderately hard UNSAT instance: php(8,7).
     let mut s = Solver::new();
     let n = 8;
-    let p: Vec<Vec<Lit>> =
-        (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+    let p: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect())
+        .collect();
     for row in &p {
         s.add_clause(row);
     }
@@ -156,7 +162,10 @@ fn budget_unknown_then_resolution() {
             }
         }
     }
-    s.set_budget(Budget { max_conflicts: Some(10), max_vars: None });
+    s.set_budget(Budget {
+        max_conflicts: Some(10),
+        max_vars: None,
+    });
     assert_eq!(s.solve(), SolveResult::Unknown);
     s.set_budget(Budget::default());
     assert_eq!(s.solve(), SolveResult::Unsat);

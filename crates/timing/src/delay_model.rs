@@ -77,7 +77,10 @@ impl DelayModel {
 
     /// Per-node delay vector for a netlist, all CMOS.
     pub fn node_delays(&self, nl: &Netlist) -> Vec<f64> {
-        nl.nodes().iter().map(|n| self.delay_node(&n.kind)).collect()
+        nl.nodes()
+            .iter()
+            .map(|n| self.delay_node(&n.kind))
+            .collect()
     }
 
     /// Per-node delay vector under a hybrid technology assignment.

@@ -38,11 +38,7 @@ pub struct HybridResult {
 ///
 /// `slack_margin` reserves headroom (seconds) — pass 0.0 for the paper's
 /// zero-overhead criterion.
-pub fn delay_aware_replace(
-    nl: &Netlist,
-    model: &DelayModel,
-    slack_margin: f64,
-) -> HybridResult {
+pub fn delay_aware_replace(nl: &Netlist, model: &DelayModel, slack_margin: f64) -> HybridResult {
     let n = nl.len();
     let mut tech = vec![Technology::Cmos; n];
     let base_delays = model.node_delays(nl);
@@ -139,7 +135,9 @@ mod tests {
     #[test]
     fn never_increases_critical_delay() {
         let nl = NetlistGenerator::new(
-            GeneratorConfig::new("t", 32, 16, 600).with_seed(7).with_chain_bias(0.3),
+            GeneratorConfig::new("t", 32, 16, 600)
+                .with_seed(7)
+                .with_chain_bias(0.3),
         )
         .unwrap()
         .generate();
@@ -157,7 +155,9 @@ mod tests {
     fn deep_biased_circuit_yields_replacements() {
         // A circuit with a dominant critical chain leaves slack elsewhere.
         let nl = NetlistGenerator::new(
-            GeneratorConfig::new("t", 64, 32, 2000).with_seed(11).with_chain_bias(0.35),
+            GeneratorConfig::new("t", 64, 32, 2000)
+                .with_seed(11)
+                .with_chain_bias(0.35),
         )
         .unwrap()
         .generate();
@@ -171,7 +171,9 @@ mod tests {
     fn shallow_circuit_yields_nothing() {
         // Critical delay below the GSHE delay: no gate can absorb 1.55 ns.
         let nl = NetlistGenerator::new(
-            GeneratorConfig::new("t", 16, 8, 60).with_seed(13).with_chain_bias(0.0),
+            GeneratorConfig::new("t", 16, 8, 60)
+                .with_seed(13)
+                .with_chain_bias(0.0),
         )
         .unwrap()
         .generate();
@@ -194,7 +196,9 @@ mod tests {
     #[test]
     fn margin_reduces_coverage() {
         let nl = NetlistGenerator::new(
-            GeneratorConfig::new("t", 32, 16, 1000).with_seed(17).with_chain_bias(0.35),
+            GeneratorConfig::new("t", 32, 16, 1000)
+                .with_seed(17)
+                .with_chain_bias(0.35),
         )
         .unwrap()
         .generate();
@@ -222,7 +226,10 @@ mod tests {
         // Chain delay = 40 × 100 ps = 4 ns > 1.55 ns: side gate fits.
         let r = delay_aware_replace(&nl, &model, 0.0);
         let side_id = nl.find("side").unwrap();
-        assert!(r.gshe_gates.contains(&side_id), "side gate not converted: {r:?}");
+        assert!(
+            r.gshe_gates.contains(&side_id),
+            "side gate not converted: {r:?}"
+        );
         assert!(r.hybrid_critical <= r.baseline_critical + 1e-15);
     }
 }

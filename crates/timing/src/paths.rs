@@ -28,7 +28,11 @@ impl PathHistogram {
 
     /// Largest non-empty bin's upper delay edge, s (≈ critical delay).
     pub fn max_delay(&self) -> f64 {
-        let last = self.counts.iter().rposition(|&c| c > 0.0).map_or(0, |i| i + 1);
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0.0)
+            .map_or(0, |i| i + 1);
         last as f64 * self.bin_width
     }
 
@@ -70,16 +74,17 @@ pub fn path_delay_histogram(
     bin_width: f64,
 ) -> PathHistogram {
     assert_eq!(delays.len(), nl.len(), "delay vector width mismatch");
-    assert!(bins > 0 && bin_width > 0.0, "bins and bin_width must be positive");
+    assert!(
+        bins > 0 && bin_width > 0.0,
+        "bins and bin_width must be positive"
+    );
 
     // Internal resolution: 16 sub-bins per output bin, so gate delays far
     // below the output bin width still accumulate along paths.
     const SUB: usize = 16;
     let quantum = bin_width / SUB as f64;
     let ibins = bins * SUB;
-    let shift = |k: usize, d: f64| -> usize {
-        (k + (d / quantum).round() as usize).min(ibins - 1)
-    };
+    let shift = |k: usize, d: f64| -> usize { (k + (d / quantum).round() as usize).min(ibins - 1) };
 
     // dp[i][k] = number of PI→node-i partial paths with delay ≈ k·quantum.
     // Vectors are freed once every fanout has consumed them, keeping the
@@ -101,7 +106,9 @@ pub fn path_delay_histogram(
         let mut has_fanin = false;
         for f in node.kind.fanins() {
             has_fanin = true;
-            let fv = dp[f.index()].as_ref().expect("topological order keeps fanins live");
+            let fv = dp[f.index()]
+                .as_ref()
+                .expect("topological order keeps fanins live");
             for (k, &c) in fv.iter().enumerate() {
                 if c > 0.0 {
                     v[shift(k, delays[i])] += c;
@@ -175,8 +182,11 @@ mod tests {
         }
         b.output(prev);
         let nl = b.finish().unwrap();
-        let d: Vec<f64> =
-            nl.nodes().iter().map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 }).collect();
+        let d: Vec<f64> = nl
+            .nodes()
+            .iter()
+            .map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 })
+            .collect();
         let h = path_delay_histogram(&nl, &d, 16, 1.0);
         // Longest path has delay 5 (x through all five gates). y enters at
         // every stage, adding shorter paths.
@@ -191,14 +201,21 @@ mod tests {
         let nl = NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 60).with_seed(3))
             .unwrap()
             .generate();
-        let d: Vec<f64> =
-            nl.nodes().iter().map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 }).collect();
+        let d: Vec<f64> = nl
+            .nodes()
+            .iter()
+            .map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 })
+            .collect();
         let h = path_delay_histogram(&nl, &d, 256, 1.0);
         // Exact count.
         let mut paths = vec![0.0f64; nl.len()];
         for (i, node) in nl.nodes().iter().enumerate() {
             let s: f64 = node.kind.fanins().map(|f| paths[f.index()]).sum();
-            paths[i] = if node.kind.fanins().count() == 0 { 1.0 } else { s };
+            paths[i] = if node.kind.fanins().count() == 0 {
+                1.0
+            } else {
+                s
+            };
         }
         let exact: f64 = nl.outputs().iter().map(|o| paths[o.index()]).sum();
         assert!((h.total_paths() - exact).abs() < 1e-6 * exact.max(1.0));
@@ -209,12 +226,17 @@ mod tests {
         // The Fig. 6 shape: median path delay well below the critical
         // delay.
         let nl = NetlistGenerator::new(
-            GeneratorConfig::new("t", 64, 32, 3000).with_seed(5).with_chain_bias(0.25),
+            GeneratorConfig::new("t", 64, 32, 3000)
+                .with_seed(5)
+                .with_chain_bias(0.25),
         )
         .unwrap()
         .generate();
-        let d: Vec<f64> =
-            nl.nodes().iter().map(|n| if n.kind.is_gate() { 100e-12 } else { 0.0 }).collect();
+        let d: Vec<f64> = nl
+            .nodes()
+            .iter()
+            .map(|n| if n.kind.is_gate() { 100e-12 } else { 0.0 })
+            .collect();
         let h = path_delay_histogram(&nl, &d, 200, 100e-12);
         let median = h.quantile(0.5);
         let max = h.max_delay();
@@ -229,8 +251,11 @@ mod tests {
         let nl = NetlistGenerator::new(GeneratorConfig::new("t", 8, 4, 80).with_seed(9))
             .unwrap()
             .generate();
-        let d: Vec<f64> =
-            nl.nodes().iter().map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 }).collect();
+        let d: Vec<f64> = nl
+            .nodes()
+            .iter()
+            .map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 })
+            .collect();
         let h = path_delay_histogram(&nl, &d, 64, 1.0);
         assert!(h.quantile(0.1) <= h.quantile(0.5));
         assert!(h.quantile(0.5) <= h.quantile(0.95));

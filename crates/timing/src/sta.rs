@@ -24,12 +24,18 @@ impl TimingAnalysis {
         let n = nl.len();
         let mut arrival = vec![0.0f64; n];
         for (i, node) in nl.nodes().iter().enumerate() {
-            let in_arr =
-                node.kind.fanins().map(|f| arrival[f.index()]).fold(0.0f64, f64::max);
+            let in_arr = node
+                .kind
+                .fanins()
+                .map(|f| arrival[f.index()])
+                .fold(0.0f64, f64::max);
             arrival[i] = in_arr + delays[i];
         }
-        let critical =
-            nl.outputs().iter().map(|o| arrival[o.index()]).fold(0.0f64, f64::max);
+        let critical = nl
+            .outputs()
+            .iter()
+            .map(|o| arrival[o.index()])
+            .fold(0.0f64, f64::max);
 
         // Required times, backward pass.
         let mut required = vec![f64::INFINITY; n];
@@ -45,7 +51,11 @@ impl TimingAnalysis {
                 required[f.index()] = required[f.index()].min(at_inputs);
             }
         }
-        TimingAnalysis { arrival, required, critical }
+        TimingAnalysis {
+            arrival,
+            required,
+            critical,
+        }
     }
 
     /// Arrival time of every node, s.
@@ -70,7 +80,9 @@ impl TimingAnalysis {
 
     /// Indices of nodes on a critical path (zero slack within `eps`).
     pub fn critical_nodes(&self, eps: f64) -> Vec<usize> {
-        (0..self.arrival.len()).filter(|&i| self.slack(i).abs() <= eps).collect()
+        (0..self.arrival.len())
+            .filter(|&i| self.slack(i).abs() <= eps)
+            .collect()
     }
 }
 

@@ -4,10 +4,10 @@
 //!
 //! Run with `cargo run --release --example camouflage_and_attack`.
 
-use spin_hall_security::prelude::*;
-use spin_hall_security::logic::suites::{benchmark_scaled, spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spin_hall_security::logic::suites::{benchmark_scaled, spec};
+use spin_hall_security::prelude::*;
 
 fn main() {
     // A c7552-scale workload (scaled 1/20, interface proportional).

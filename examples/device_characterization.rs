@@ -11,7 +11,8 @@ use spin_hall_security::device::{
 fn main() {
     let params = SwitchParams::table_i();
     println!("GSHE switch, Table I parameters:");
-    println!("  G_P = {:.0} uS, G_AP = {:.1} uS, beta = {}, r = {:.0} Ohm",
+    println!(
+        "  G_P = {:.0} uS, G_AP = {:.1} uS, beta = {}, r = {:.0} Ohm",
         params.g_parallel() * 1e6,
         params.g_antiparallel() * 1e6,
         params.beta(),
@@ -26,11 +27,19 @@ fn main() {
         out.switched,
         out.delay * 1e9
     );
-    println!("  W-NM state = {}, R-NM state = {} (anti-parallel pair)",
-        sw.write_state(), sw.read_state());
+    println!(
+        "  W-NM state = {}, R-NM state = {} (anti-parallel pair)",
+        sw.write_state(),
+        sw.read_state()
+    );
 
     // Fig. 4 in miniature.
-    let mc = MonteCarlo::new(MonteCarloConfig { params, samples: 400, seed: 9, threads: 0 });
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        params,
+        samples: 400,
+        seed: 9,
+        threads: 0,
+    });
     println!("\nswitching-delay distributions (400 thermal samples each):");
     for i_s in [20e-6, 60e-6, 100e-6] {
         let h = DelayHistogram::from_samples(&mc.run(i_s), 30, 6e-9);
@@ -47,8 +56,15 @@ fn main() {
     let circuit = ReadoutCircuit::new(&params);
     let pt = circuit.operating_point(20e-6);
     println!("\nread-out at I_S = 20 uA:");
-    println!("  V_SUP = {:.2} mV, V_OUT = {:.2} mV, I_OUT = {:.2} uA",
-        pt.v_sup * 1e3, pt.v_out * 1e3, pt.i_out * 1e6);
-    println!("  P = {:.4} uW, E(1.55 ns) = {:.2} fJ  (paper: 0.2125 uW, 0.33 fJ)",
-        pt.power * 1e6, pt.power * 1.55e-9 * 1e15);
+    println!(
+        "  V_SUP = {:.2} mV, V_OUT = {:.2} mV, I_OUT = {:.2} uA",
+        pt.v_sup * 1e3,
+        pt.v_out * 1e3,
+        pt.i_out * 1e6
+    );
+    println!(
+        "  P = {:.4} uW, E(1.55 ns) = {:.2} fJ  (paper: 0.2125 uW, 0.33 fJ)",
+        pt.power * 1e6,
+        pt.power * 1.55e-9 * 1e15
+    );
 }

@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example hybrid_timing`.
 
-use spin_hall_security::prelude::*;
 use spin_hall_security::logic::suites::{benchmark_scaled, spec};
+use spin_hall_security::prelude::*;
 use spin_hall_security::timing::path_delay_histogram;
 
 fn main() {
@@ -43,7 +43,11 @@ fn main() {
     );
 
     let mut oracle = NetlistOracle::new(&design);
-    let outcome = sat_attack(&protected.keyed, &mut oracle, &AttackConfig::with_timeout_secs(20));
+    let outcome = sat_attack(
+        &protected.keyed,
+        &mut oracle,
+        &AttackConfig::with_timeout_secs(20),
+    );
     println!(
         "\nSAT attack on the hybrid design: {:?} after {} DIPs in {:.1} s",
         outcome.status,

@@ -11,7 +11,10 @@ fn main() {
     //    never changes, which is what defeats optical reverse engineering.
     let mut primitive = GshePrimitive::new(GsheConfig::for_function(Bf2::NAND));
     println!("loaded function: {}", primitive.behavioral());
-    println!("NAND(1,1) through the device physics = {}", primitive.evaluate_device(true, true));
+    println!(
+        "NAND(1,1) through the device physics = {}",
+        primitive.evaluate_device(true, true)
+    );
 
     primitive.set_function(Bf2::XOR);
     println!("reconfigured at runtime to {}", primitive.behavioral());
@@ -40,15 +43,29 @@ fn main() {
 
     // 3. The correct key restores the design; a wrong key breaks it.
     let correct = protected.keyed.correct_key();
-    let good = protected.keyed.evaluate_with_key(&[true, true, false], &correct).unwrap();
-    println!("with the correct key : {:?} (original: {:?})", good, design.evaluate(&[true, true, false]));
+    let good = protected
+        .keyed
+        .evaluate_with_key(&[true, true, false], &correct)
+        .unwrap();
+    println!(
+        "with the correct key : {:?} (original: {:?})",
+        good,
+        design.evaluate(&[true, true, false])
+    );
     let wrong: Vec<bool> = correct.iter().map(|&b| !b).collect();
-    let bad = protected.keyed.evaluate_with_key(&[true, true, false], &wrong).unwrap();
+    let bad = protected
+        .keyed
+        .evaluate_with_key(&[true, true, false], &wrong)
+        .unwrap();
     println!("with a wrong key     : {bad:?}");
 
     // 4. And the SAT attacker's view of the problem.
     let mut oracle = NetlistOracle::new(&design);
-    let outcome = sat_attack(&protected.keyed, &mut oracle, &AttackConfig::with_timeout_secs(10));
+    let outcome = sat_attack(
+        &protected.keyed,
+        &mut oracle,
+        &AttackConfig::with_timeout_secs(10),
+    );
     println!(
         "\nSAT attack on this toy design: {:?} after {} DIPs ({} oracle queries)",
         outcome.status, outcome.iterations, outcome.queries

@@ -3,10 +3,10 @@
 //!
 //! Run with `cargo run --release --example stochastic_defense`.
 
-use spin_hall_security::prelude::*;
-use spin_hall_security::logic::{GeneratorConfig, NetlistGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spin_hall_security::logic::{GeneratorConfig, NetlistGenerator};
+use spin_hall_security::prelude::*;
 
 fn main() {
     // Device level: the error rate is a *knob* — clock period vs the
@@ -15,7 +15,11 @@ fn main() {
     println!("error-rate knob (I_S = 20 uA, 500 Monte Carlo samples per point):");
     for t_clk in [1.0e-9, 2.0e-9, 4.0e-9] {
         let eps = error_rate_for_clock(&params, 20e-6, t_clk, 500, 3);
-        println!("  clock {:.1} ns -> per-device error rate {:.1}%", t_clk * 1e9, eps * 100.0);
+        println!(
+            "  clock {:.1} ns -> per-device error rate {:.1}%",
+            t_clk * 1e9,
+            eps * 100.0
+        );
     }
 
     // Logic level: a camouflaged design whose oracle is 95% accurate.
@@ -26,7 +30,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(17);
     let keyed = camouflage(&design, &picks, CamoScheme::GsheAll16, &mut rng).expect("camouflage");
 
-    println!("\nSAT attack vs oracle accuracy ({} camo cells, {} key bits):", picks.len(), keyed.key_len());
+    println!(
+        "\nSAT attack vs oracle accuracy ({} camo cells, {} key bits):",
+        picks.len(),
+        keyed.key_len()
+    );
     for accuracy in [1.0, 0.95, 0.90] {
         let eps = 1.0 - accuracy;
         let outcome = if eps == 0.0 {

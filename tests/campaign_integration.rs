@@ -1,0 +1,134 @@
+//! End-to-end campaign-engine tests: a two-scheme × two-attack campaign
+//! must (a) produce byte-identical deterministic reports across
+//! `threads = 1` and `threads = 4` for the same seed, and (b) mark jobs
+//! that exhaust their wall-clock budget `TimedOut` instead of hanging the
+//! pool.
+
+use spin_hall_security::campaign::{Campaign, CampaignSpec, JobStatus};
+use spin_hall_security::prelude::{AttackKind, CamoScheme};
+use std::time::{Duration, Instant};
+
+fn two_by_two_spec(threads: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "integration".to_string(),
+        benchmarks: vec!["ex1010".to_string()],
+        scale: 400, // floors to 64 gates / 32 inputs — tractable in seconds
+        levels: vec![0.15],
+        schemes: vec![CamoScheme::InvBuf, CamoScheme::FourFn],
+        attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
+        error_rates: vec![0.0],
+        trials: 2,
+        seed: 11,
+        timeout: Duration::from_secs(60),
+        threads,
+    }
+}
+
+#[test]
+fn results_are_identical_across_thread_counts() {
+    let single = Campaign::run(&two_by_two_spec(1)).expect("1-thread campaign");
+    let quad = Campaign::run(&two_by_two_spec(4)).expect("4-thread campaign");
+
+    // 1 benchmark × 1 level × 2 schemes × 2 attacks × 2 trials.
+    assert_eq!(single.results.len(), 8);
+    assert_eq!(single.rows.len(), 4, "one row per (scheme, attack) cell");
+
+    // The deterministic serialization must match byte-for-byte.
+    assert_eq!(
+        single.deterministic_json(),
+        quad.deterministic_json(),
+        "campaign results depend on thread count"
+    );
+
+    // These tiny instances must actually break: recovery everywhere.
+    for row in &single.rows {
+        assert_eq!(row.trials, 2);
+        assert_eq!(
+            row.key_recovery_rate, 1.0,
+            "expected full recovery for {:?}",
+            row.key
+        );
+    }
+
+    // When real parallel hardware is available, more workers must not be
+    // slower than one by more than scheduling noise; on a multi-core box
+    // the suite-scale speedup claim is exercised by the `campaign` binary.
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if cores >= 4 {
+        assert!(
+            quad.wall_time.as_secs_f64() < single.wall_time.as_secs_f64() * 1.10,
+            "4 threads ({:?}) should not lose to 1 thread ({:?}) on {cores} cores",
+            quad.wall_time,
+            single.wall_time,
+        );
+    }
+}
+
+#[test]
+fn exhausted_budgets_mark_jobs_timed_out_without_hanging_the_pool() {
+    // A near-zero budget on a hard instance: the attack must give up
+    // quickly and report TimedOut — the pool keeps draining.
+    let spec = CampaignSpec {
+        name: "timeout".to_string(),
+        benchmarks: vec!["c7552".to_string()],
+        scale: 20,
+        levels: vec![0.4],
+        schemes: vec![CamoScheme::GsheAll16],
+        attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
+        error_rates: vec![0.0],
+        trials: 1,
+        seed: 2,
+        timeout: Duration::from_millis(0),
+        threads: 4,
+    };
+    let start = Instant::now();
+    let report = Campaign::run(&spec).expect("timeout campaign");
+    assert_eq!(report.results.len(), 2);
+    for result in &report.results {
+        assert_eq!(
+            result.status,
+            JobStatus::TimedOut,
+            "zero budget must time out: {result:?}"
+        );
+        assert!(!result.key_recovered);
+    }
+    // A wedged pool would sit at the 60 s default; generous bound for slow CI.
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "pool appears wedged"
+    );
+
+    // The aggregate row records the timeouts.
+    assert_eq!(report.rows.len(), 2);
+    for row in &report.rows {
+        assert_eq!(row.status_counts[1], 1, "TimedOut count: {row:?}");
+        assert_eq!(row.key_recovery_rate, 0.0);
+    }
+}
+
+#[test]
+fn stochastic_cells_defeat_the_attack_in_campaign_form() {
+    // Sec. V-B through the engine: a noisy oracle must not yield the key.
+    let spec = CampaignSpec {
+        name: "stochastic".to_string(),
+        benchmarks: vec!["ex1010".to_string()],
+        scale: 400,
+        levels: vec![0.3],
+        schemes: vec![CamoScheme::GsheAll16],
+        attacks: vec![AttackKind::Sat],
+        error_rates: vec![0.25],
+        trials: 3,
+        seed: 4,
+        timeout: Duration::from_secs(30),
+        threads: 2,
+    };
+    let report = Campaign::run(&spec).expect("stochastic campaign");
+    let row = &report.rows[0];
+    assert_eq!(row.trials, 3);
+    assert!(
+        row.key_recovery_rate < 0.5,
+        "noisy oracle should defeat the attack: {row:?}"
+    );
+}

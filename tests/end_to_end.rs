@@ -17,8 +17,11 @@ fn full_pipeline_on_c17() {
     assert_eq!(protected.keyed.key_len(), 24); // 6 gates x 4 bits
 
     let mut oracle = NetlistOracle::new(&design);
-    let outcome =
-        sat_attack(&protected.keyed, &mut oracle, &AttackConfig::with_timeout_secs(30));
+    let outcome = sat_attack(
+        &protected.keyed,
+        &mut oracle,
+        &AttackConfig::with_timeout_secs(30),
+    );
     assert_eq!(outcome.status, AttackStatus::Success);
     let key = outcome.key.expect("key on success");
     let verdict = verify_key(&design, &protected.keyed, &key).expect("verify");
@@ -41,7 +44,9 @@ fn scheme_ordering_on_shared_selection() {
         assert_eq!(out.status, AttackStatus::Success, "{scheme}");
         let key = out.key.expect("key");
         assert!(
-            verify_key(&design, &keyed, &key).expect("verify").functionally_equivalent,
+            verify_key(&design, &keyed, &key)
+                .expect("verify")
+                .functionally_equivalent,
             "{scheme}"
         );
         effort.insert(format!("{scheme}"), out.solver_stats.decisions);
@@ -63,7 +68,11 @@ fn bench_round_trip_then_protect_then_attack() {
     let reparsed = parse_bench(&text).expect("round trip");
     let protected = protect(&reparsed, 0.25, 11).expect("camouflage");
     let mut oracle = NetlistOracle::new(&reparsed);
-    let out = sat_attack(&protected.keyed, &mut oracle, &AttackConfig::with_timeout_secs(30));
+    let out = sat_attack(
+        &protected.keyed,
+        &mut oracle,
+        &AttackConfig::with_timeout_secs(30),
+    );
     assert_eq!(out.status, AttackStatus::Success);
     let v = verify_key(&reparsed, &protected.keyed, &out.key.expect("key")).expect("verify");
     assert!(v.functionally_equivalent);
@@ -76,13 +85,14 @@ fn delay_aware_flow_end_to_end() {
     let (protected, hybrid) = protect_delay_aware(&design, &model, 13).expect("flow");
     assert!(hybrid.hybrid_critical <= hybrid.baseline_critical + 1e-15);
     // The hybrid keyed design under its correct key equals the original.
-    let resolved = protected.keyed.resolve(&protected.keyed.correct_key()).expect("resolve");
+    let resolved = protected
+        .keyed
+        .resolve(&protected.keyed.correct_key())
+        .expect("resolve");
     let mut rng = StdRng::seed_from_u64(17);
     assert_eq!(
-        spin_hall_security::logic::sim::random_equivalence_check(
-            &design, &resolved, 4, &mut rng
-        )
-        .expect("same interface"),
+        spin_hall_security::logic::sim::random_equivalence_check(&design, &resolved, 4, &mut rng)
+            .expect("same interface"),
         None
     );
 }
@@ -94,8 +104,11 @@ fn stochastic_oracle_breaks_attack_end_to_end() {
     let mut broken = 0;
     for seed in 0..3 {
         let mut oracle = StochasticOracle::new(&protected.keyed, 0.2, seed);
-        let out =
-            sat_attack(&protected.keyed, &mut oracle, &AttackConfig::with_timeout_secs(15));
+        let out = sat_attack(
+            &protected.keyed,
+            &mut oracle,
+            &AttackConfig::with_timeout_secs(15),
+        );
         let failed = match out.status {
             AttackStatus::Success => {
                 !verify_key(&design, &protected.keyed, &out.key.expect("key"))
@@ -106,7 +119,10 @@ fn stochastic_oracle_breaks_attack_end_to_end() {
         };
         broken += failed as usize;
     }
-    assert!(broken >= 2, "stochastic defense failed in {broken}/3 trials");
+    assert!(
+        broken >= 2,
+        "stochastic defense failed in {broken}/3 trials"
+    );
 }
 
 #[test]
@@ -114,7 +130,11 @@ fn rotating_key_oracle_breaks_attack_end_to_end() {
     let design = benchmark_scaled(spec("ex1010").expect("spec"), 80, 31);
     let protected = protect(&design, 0.4, 33).expect("camouflage");
     let mut oracle = RotatingOracle::new(&protected.keyed, 2, 1);
-    let out = sat_attack(&protected.keyed, &mut oracle, &AttackConfig::with_timeout_secs(15));
+    let out = sat_attack(
+        &protected.keyed,
+        &mut oracle,
+        &AttackConfig::with_timeout_secs(15),
+    );
     let broken = match out.status {
         AttackStatus::Success => {
             !verify_key(&design, &protected.keyed, &out.key.expect("key"))
