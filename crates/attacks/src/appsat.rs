@@ -19,6 +19,7 @@ use crate::encode::{
 use crate::oracle::Oracle;
 use crate::sat_attack::{solve_sliced, AttackConfig, AttackOutcome, AttackStatus};
 use gshe_camo::KeyedNetlist;
+use gshe_logic::{PatternBlock, Simulator};
 use gshe_sat::solver::Budget;
 use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver};
 use rand::rngs::StdRng;
@@ -162,15 +163,38 @@ pub fn appsat_attack(
                         let resolved = keyed
                             .resolve(&cand)
                             .expect("candidate key has correct width");
+                        // Block-query reinforcement: the sample patterns
+                        // are drawn exactly as the scalar loop drew them
+                        // (sample-major, bit-minor), then answered 64 at a
+                        // time — the chip through `query_block` (the
+                        // bit-parallel engine for block-capable oracles,
+                        // still one query per pattern), the candidate
+                        // through the bit-parallel simulator.
+                        let mut cand_sim = Simulator::new(&resolved);
                         let mut mismatches = 0usize;
                         let mut mismatching: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
-                        for _ in 0..config.samples_per_round {
-                            let x: Vec<bool> = (0..n_inputs).map(|_| rng.gen_bool(0.5)).collect();
-                            let y_chip = oracle.query(&x);
-                            let y_cand = resolved.evaluate(&x);
-                            if y_chip != y_cand {
-                                mismatches += 1;
-                                mismatching.push((x, y_chip));
+                        let mut remaining = config.samples_per_round;
+                        while remaining > 0 {
+                            let take = remaining.min(64);
+                            remaining -= take;
+                            let patterns: Vec<Vec<bool>> = (0..take)
+                                .map(|_| (0..n_inputs).map(|_| rng.gen_bool(0.5)).collect())
+                                .collect();
+                            let block = PatternBlock::from_patterns(&patterns);
+                            let y_chip = oracle.query_block(&block);
+                            let y_cand = cand_sim.run_masked(&block).expect("interface matches");
+                            let mut diff = 0u64;
+                            for (chip, cand_lane) in y_chip.iter().zip(&y_cand) {
+                                diff |= chip ^ cand_lane;
+                            }
+                            diff &= block.valid_mask();
+                            mismatches += diff.count_ones() as usize;
+                            while diff != 0 {
+                                let k = diff.trailing_zeros() as usize;
+                                diff &= diff - 1;
+                                let y_k: Vec<bool> =
+                                    y_chip.iter().map(|lane| (lane >> k) & 1 == 1).collect();
+                                mismatching.push((block.pattern(k), y_k));
                             }
                         }
                         let err = mismatches as f64 / config.samples_per_round as f64;

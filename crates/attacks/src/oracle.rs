@@ -1,10 +1,12 @@
 //! Attack oracles: the working chip the adversary owns.
+//!
+//! Every oracle here is a thin adapter over the bit-parallel evaluation
+//! engine in `gshe-logic` — [`Simulator`] for deterministic chips,
+//! [`FaultSimulator`] for the stochastic GSHE chip — so block queries
+//! answer 64 patterns per pass while query accounting stays per-pattern.
 
 use gshe_camo::KeyedNetlist;
-use gshe_logic::{Netlist, NodeId, NodeKind, PatternBlock, Simulator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use gshe_logic::{ErrorProfile, FaultSimulator, Netlist, NodeId, PatternBlock, Simulator};
 
 /// A black-box working chip: apply inputs, observe outputs.
 pub trait Oracle {
@@ -42,38 +44,46 @@ pub trait Oracle {
 }
 
 /// A perfect oracle backed by the original (unprotected) netlist.
+///
+/// The bit-parallel [`Simulator`] (and its scratch buffers) is hoisted
+/// into the oracle, so repeated block queries reuse one allocation.
 #[derive(Debug, Clone)]
 pub struct NetlistOracle<'a> {
-    netlist: &'a Netlist,
+    sim: Simulator<'a>,
     count: u64,
 }
 
 impl<'a> NetlistOracle<'a> {
     /// Wraps the original design.
     pub fn new(netlist: &'a Netlist) -> Self {
-        NetlistOracle { netlist, count: 0 }
+        NetlistOracle {
+            sim: Simulator::new(netlist),
+            count: 0,
+        }
     }
 }
 
 impl Oracle for NetlistOracle<'_> {
     fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
         self.count += 1;
-        self.netlist.evaluate(inputs)
+        self.sim
+            .run_scalar(inputs)
+            .expect("oracle input arity mismatch")
     }
 
     fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
         self.count += block.count as u64;
-        Simulator::new(self.netlist)
+        self.sim
             .run_masked(block)
             .expect("oracle input arity mismatch")
     }
 
     fn num_inputs(&self) -> usize {
-        self.netlist.inputs().len()
+        self.sim.netlist().inputs().len()
     }
 
     fn num_outputs(&self) -> usize {
-        self.netlist.outputs().len()
+        self.sim.netlist().outputs().len()
     }
 
     fn queries(&self) -> u64 {
@@ -82,80 +92,90 @@ impl Oracle for NetlistOracle<'_> {
 }
 
 /// The stochastic GSHE chip of Sec. V-B: every cloaked cell computes its
-/// *correct* function but its output flips with probability `error_rate`
-/// per evaluation (thermally induced stochastic switching, tunable per
+/// *correct* function but its output flips per evaluation according to an
+/// [`ErrorProfile`] (thermally induced stochastic switching, tunable per
 /// switch via I_S and the clock period). Errors at internal cells propagate
 /// and superpose, producing *stochastically correlated* behaviour at the
 /// primary outputs — precisely what breaks the consistency assumption of
 /// SAT-style attacks.
+///
+/// A thin adapter over [`FaultSimulator`]: the per-node rates live in a
+/// dense table (no per-node set probe on the hot path), scalar queries
+/// keep the historical one-`gen_bool`-per-noisy-node stream (seeded runs
+/// reproduce across the refactor), and [`Oracle::query_block`] answers 64
+/// patterns per engine pass with Bernoulli flip masks.
 #[derive(Debug, Clone)]
 pub struct StochasticOracle<'a> {
     keyed: &'a KeyedNetlist,
-    /// Per-cell flip probability (1 − accuracy).
+    engine: FaultSimulator<'a>,
+    /// Uniform per-cell rate the oracle was built with ([`f64::NAN`] when
+    /// constructed from a heterogeneous profile).
     error_rate: f64,
-    noisy_nodes: HashSet<NodeId>,
-    rng: StdRng,
     count: u64,
 }
 
 impl<'a> StochasticOracle<'a> {
     /// Creates a stochastic chip over the *defender's* keyed netlist
-    /// (correct functions installed) with uniform per-cell `error_rate`.
+    /// (correct functions installed) with uniform per-cell `error_rate`
+    /// at every cloaked cell.
     ///
     /// # Panics
     ///
     /// Panics if `error_rate` is outside `[0, 1]`.
     pub fn new(keyed: &'a KeyedNetlist, error_rate: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&error_rate),
-            "error rate must be in [0, 1]"
-        );
+        let nodes: Vec<NodeId> = keyed.camo_gates().iter().map(|g| g.node).collect();
+        let profile = ErrorProfile::uniform_at(keyed.netlist().len(), &nodes, error_rate);
+        let mut oracle = Self::with_profile(keyed, profile, seed);
+        oracle.error_rate = error_rate;
+        oracle
+    }
+
+    /// Creates a stochastic chip with an arbitrary per-node
+    /// [`ErrorProfile`] — the "error rate for any switch can be tuned
+    /// individually" knob. Nodes outside the cloaked set may be noisy too
+    /// (e.g. device-derived profiles over a full GSHE fabric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not cover the keyed netlist's nodes.
+    pub fn with_profile(keyed: &'a KeyedNetlist, profile: ErrorProfile, seed: u64) -> Self {
         StochasticOracle {
-            noisy_nodes: keyed.camo_gates().iter().map(|g| g.node).collect(),
+            engine: FaultSimulator::new(keyed.netlist(), profile, seed ^ 0x570C_4A57),
             keyed,
-            error_rate,
-            rng: StdRng::seed_from_u64(seed ^ 0x570C_4A57),
+            error_rate: f64::NAN,
             count: 0,
         }
     }
 
-    /// The configured per-cell error rate.
+    /// The uniform per-cell error rate, or the profile's maximum rate when
+    /// the oracle was built from a heterogeneous profile.
     pub fn error_rate(&self) -> f64 {
-        self.error_rate
+        if self.error_rate.is_nan() {
+            self.engine.profile().max_rate()
+        } else {
+            self.error_rate
+        }
+    }
+
+    /// The installed per-node error profile (dense).
+    pub fn profile(&self) -> &ErrorProfile {
+        self.engine.profile()
     }
 }
 
 impl Oracle for StochasticOracle<'_> {
     fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
         self.count += 1;
-        let nl = self.keyed.netlist();
-        assert_eq!(
-            inputs.len(),
-            nl.inputs().len(),
-            "oracle input arity mismatch"
-        );
-        let mut val = vec![false; nl.len()];
-        let mut next_input = 0usize;
-        for (i, node) in nl.nodes().iter().enumerate() {
-            let mut v = match node.kind {
-                NodeKind::Input => {
-                    let v = inputs[next_input];
-                    next_input += 1;
-                    v
-                }
-                NodeKind::Const(c) => c,
-                NodeKind::Gate1 { f, a } => f.eval(val[a.index()]),
-                NodeKind::Gate2 { f, a, b } => f.eval(val[a.index()], val[b.index()]),
-            };
-            if self.error_rate > 0.0
-                && self.noisy_nodes.contains(&NodeId(i as u32))
-                && self.rng.gen_bool(self.error_rate)
-            {
-                v = !v;
-            }
-            val[i] = v;
-        }
-        nl.outputs().iter().map(|o| val[o.index()]).collect()
+        self.engine
+            .run_scalar(inputs)
+            .expect("oracle input arity mismatch")
+    }
+
+    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+        self.count += block.count as u64;
+        self.engine
+            .run_masked(block)
+            .expect("oracle input arity mismatch")
     }
 
     fn num_inputs(&self) -> usize {
@@ -176,6 +196,8 @@ mod tests {
     use super::*;
     use gshe_camo::{camouflage, select_gates, CamoScheme};
     use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn c17_keyed() -> (Netlist, KeyedNetlist) {
         let nl = parse_bench(C17_BENCH).unwrap();
@@ -294,9 +316,10 @@ mod tests {
     }
 
     #[test]
-    fn default_block_query_counts_per_pattern() {
-        // StochasticOracle does not override query_block: the default
-        // implementation must still count one query per pattern.
+    fn stochastic_block_query_counts_per_pattern() {
+        // StochasticOracle's engine-backed query_block must count one
+        // query per pattern, and with zero error it must agree bit-for-bit
+        // with the deterministic bit-parallel path.
         let (_, keyed) = c17_keyed();
         let mut o = StochasticOracle::new(&keyed, 0.0, 1);
         let block = PatternBlock::from_patterns(&[vec![false; 5], vec![true; 5]]);
@@ -304,9 +327,67 @@ mod tests {
         assert_eq!(o.queries(), 2);
         assert_eq!(lanes.len(), o.num_outputs());
 
-        // With zero error the default path agrees with the fast path over
-        // the defender's netlist.
         let mut fast = NetlistOracle::new(keyed.netlist());
         assert_eq!(fast.query_block(&block), lanes);
+    }
+
+    #[test]
+    fn noisy_block_queries_flip_outputs() {
+        // At 50% per-cell error over six cloaked cells, a full block must
+        // disagree with the clean chip on many lanes.
+        let (nl, keyed) = c17_keyed();
+        let mut noisy = StochasticOracle::new(&keyed, 0.5, 9);
+        let mut clean = NetlistOracle::new(&nl);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut flipped = 0u32;
+        for _ in 0..8 {
+            let block = PatternBlock::random(5, &mut rng);
+            let a = noisy.query_block(&block);
+            let b = clean.query_block(&block);
+            flipped += a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum::<u32>();
+        }
+        assert!(flipped > 100, "only {flipped} lane flips at 50% error");
+    }
+
+    #[test]
+    fn scalar_path_uses_a_dense_rate_table() {
+        // Satellite regression: the scalar path must not probe a per-node
+        // hash set. The oracle exposes its engine profile — a dense
+        // per-node rate vector covering *every* node, with the cloaked
+        // cells (and only those) noisy.
+        let (_, keyed) = c17_keyed();
+        let o = StochasticOracle::new(&keyed, 0.25, 3);
+        let profile = o.profile();
+        assert_eq!(profile.len(), keyed.netlist().len(), "table must be dense");
+        let mut expected: Vec<_> = keyed.camo_gates().iter().map(|g| g.node).collect();
+        expected.sort_unstable();
+        assert_eq!(profile.noisy_nodes().collect::<Vec<_>>(), expected);
+        for node in profile.noisy_nodes() {
+            assert_eq!(profile.rate(node), 0.25);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_profile_targets_single_cell() {
+        // Per-switch tunability: only one cloaked cell noisy, at
+        // certainty. Scalar queries must flip deterministically whenever
+        // that cell's value matters.
+        let (nl, keyed) = c17_keyed();
+        let target = keyed.camo_gates()[0].node;
+        let profile = ErrorProfile::uniform_at(keyed.netlist().len(), &[target], 1.0);
+        let mut o = StochasticOracle::with_profile(&keyed, profile, 4);
+        assert!(o.error_rate() == 1.0, "max rate of the profile");
+        let mut disagreements = 0;
+        for p in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
+            if o.query(&v) != nl.evaluate(&v) {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements > 0, "a certain flip must reach an output");
     }
 }

@@ -1,0 +1,71 @@
+//! Oracle query-path benchmarks: the bit-parallel block path vs. 64
+//! pattern-at-a-time scalar queries, for the deterministic chip and the
+//! stochastic (noise-engine) chip of Sec. V-B.
+//!
+//! The acceptance target for the noise-aware engine is a ≥10× speedup of
+//! `StochasticOracle::query_block` over 64 scalar `query` calls on an
+//! ISCAS-89 s-suite benchmark (s38584, scaled).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gshe_core::logic::{suites, Netlist, PatternBlock};
+use gshe_core::prelude::{
+    camouflage, select_gates, CamoScheme, KeyedNetlist, NetlistOracle, Oracle, StochasticOracle,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn s38584_keyed() -> (Netlist, KeyedNetlist) {
+    let spec = suites::spec("s38584").expect("s-suite benchmark present");
+    let nl = suites::benchmark_scaled(spec, 40, 1);
+    let picks = select_gates(&nl, 0.1, 3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).expect("camouflage");
+    (nl, keyed)
+}
+
+fn bench_oracle_paths(c: &mut Criterion) {
+    let (nl, keyed) = s38584_keyed();
+    let n_inputs = nl.inputs().len();
+    let mut rng = StdRng::seed_from_u64(7);
+    let block = PatternBlock::random(n_inputs, &mut rng);
+    let patterns: Vec<Vec<bool>> = (0..64).map(|k| block.pattern(k)).collect();
+
+    let mut group = c.benchmark_group("oracle_s38584");
+
+    let mut stochastic = StochasticOracle::new(&keyed, 0.05, 11);
+    group.bench_function("stochastic_query_block_64", |b| {
+        b.iter(|| black_box(stochastic.query_block(black_box(&block))))
+    });
+
+    let mut stochastic_scalar = StochasticOracle::new(&keyed, 0.05, 11);
+    group.bench_function("stochastic_query_scalar_x64", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                black_box(stochastic_scalar.query(black_box(p)));
+            }
+        })
+    });
+
+    let mut netlist_oracle = NetlistOracle::new(&nl);
+    group.bench_function("netlist_query_block_64", |b| {
+        b.iter(|| black_box(netlist_oracle.query_block(black_box(&block))))
+    });
+
+    let mut netlist_scalar = NetlistOracle::new(&nl);
+    group.bench_function("netlist_query_scalar_x64", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                black_box(netlist_scalar.query(black_box(p)));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = oracle;
+    config = Criterion::default().sample_size(30);
+    targets = bench_oracle_paths
+}
+criterion_main!(oracle);

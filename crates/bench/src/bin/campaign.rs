@@ -7,6 +7,7 @@
 //! campaign --spec FILE.toml [--out PREFIX] [--deterministic]
 //! campaign [--benchmarks a,b|suite:itc99|all] [--schemes x,y|all]
 //!          [--attacks sat,appsat] [--levels 10,20] [--error-rates 0,0.05]
+//!          [--profiles uniform,output-cone,depth-gradient|all]
 //!          [--trials N] [--scale N] [--seed N] [--timeout SECS]
 //!          [--threads N] [--out PREFIX] [--deterministic]
 //! ```
@@ -19,7 +20,7 @@
 //! `--spec` is applied first; every other flag overrides the spec file's
 //! value regardless of where it appears on the command line.
 
-use gshe_core::campaign::{scheme_name, Campaign, CampaignSpec};
+use gshe_core::campaign::{scheme_name, Campaign, CampaignSpec, NoiseShape};
 use gshe_core::prelude::{AttackKind, CamoScheme};
 use std::time::Duration;
 
@@ -110,6 +111,19 @@ fn main() {
                     })
                     .collect()
             }
+            "--profiles" => {
+                spec.profiles = value
+                    .split(',')
+                    .flat_map(|n| {
+                        if n == "all" {
+                            NoiseShape::ALL.to_vec()
+                        } else {
+                            vec![NoiseShape::parse(n)
+                                .unwrap_or_else(|| fail(&format!("unknown profile `{n}`")))]
+                        }
+                    })
+                    .collect()
+            }
             "--trials" => {
                 spec.trials = value
                     .parse()
@@ -168,12 +182,13 @@ fn main() {
         report.cache_misses,
     );
     println!(
-        "{:<14} {:>8} {:<10} {:>5} {:>10}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>14}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",
         "benchmark",
         "scheme",
         "attack",
         "prot",
         "error",
+        "profile",
         "trials",
         "recov%",
         "queries",
@@ -184,12 +199,13 @@ fn main() {
     println!("{:-<120}", "");
     for row in &report.rows {
         println!(
-            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2}",
+            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>14}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2}",
             row.key.benchmark,
             scheme_name(row.key.scheme),
             row.key.attack.name(),
             row.key.level * 100.0,
             row.key.error_rate,
+            row.key.profile.name(),
             row.trials,
             row.key_recovery_rate * 100.0,
             row.mean_queries,

@@ -10,7 +10,7 @@
 
 use gshe_bench::HarnessArgs;
 use gshe_core::campaign::{
-    AttackSeeds, Campaign, CampaignSpec, JobKind, JobResult, JobSpec, JobStatus,
+    AttackSeeds, Campaign, CampaignSpec, JobKind, JobResult, JobSpec, JobStatus, NoiseShape,
 };
 use gshe_core::prelude::{AttackKind, CamoScheme};
 
@@ -48,6 +48,7 @@ fn main() {
                         level: 0.20,
                         attack,
                         error_rate: 1.0 - acc,
+                        profile: NoiseShape::Uniform,
                         trial,
                         seeds: AttackSeeds {
                             select: args.seed ^ 7,

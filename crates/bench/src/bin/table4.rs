@@ -15,7 +15,9 @@
 //! [--threads N]`
 
 use gshe_bench::{runtime_cell, HarnessArgs};
-use gshe_core::campaign::{AttackSeeds, Campaign, CampaignSpec, JobKind, JobSpec, JobStatus};
+use gshe_core::campaign::{
+    AttackSeeds, Campaign, CampaignSpec, JobKind, JobSpec, JobStatus, NoiseShape,
+};
 use gshe_core::prelude::{AttackKind, CamoScheme};
 
 const BENCHES: [&str; 7] = [
@@ -48,6 +50,7 @@ fn main() {
                         level,
                         attack: AttackKind::Sat,
                         error_rate: 0.0,
+                        profile: NoiseShape::Uniform,
                         trial: 0,
                         seeds: AttackSeeds {
                             select,

@@ -7,7 +7,7 @@
 //! t-o columns). Rows appear in first-seen result order, which is
 //! submission order, so aggregation is deterministic.
 
-use crate::job::{JobKind, JobResult, JobStatus};
+use crate::job::{JobKind, JobResult, JobStatus, NoiseShape};
 use crate::spec::scheme_name;
 use gshe_attacks::AttackKind;
 use gshe_camo::CamoScheme;
@@ -25,6 +25,8 @@ pub struct CellKey {
     pub attack: AttackKind,
     /// Oracle per-cell error rate.
     pub error_rate: f64,
+    /// Error-profile shape the rate was applied with.
+    pub profile: NoiseShape,
 }
 
 /// Aggregated metrics for one attack-grid cell.
@@ -97,6 +99,7 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                 level,
                 attack,
                 error_rate,
+                profile,
                 ..
             } => {
                 let key = CellKey {
@@ -105,6 +108,7 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                     level: *level,
                     attack: *attack,
                     error_rate: *error_rate,
+                    profile: *profile,
                 };
                 match rows.iter_mut().find(|(k, _)| *k == key) {
                     Some((_, bucket)) => bucket.push(result),
@@ -210,6 +214,7 @@ mod tests {
                     level: 0.2,
                     attack: AttackKind::Sat,
                     error_rate: 0.0,
+                    profile: NoiseShape::Uniform,
                     trial,
                     seeds: AttackSeeds {
                         select: 0,

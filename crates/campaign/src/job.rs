@@ -15,9 +15,9 @@
 
 use crate::cache::{CachedOracle, OracleCache};
 use gshe_attacks::{verify_key, AttackKind, AttackRunner, AttackStatus, StochasticOracle};
-use gshe_camo::{camouflage, select_gates, CamoScheme};
+use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
 use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
-use gshe_logic::Netlist;
+use gshe_logic::{ErrorProfile, Netlist, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -39,6 +39,115 @@ pub fn hash_str(s: &str) -> u64 {
         h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
     }
     hash_mix(h)
+}
+
+/// The *shape* of an oracle error profile: how a single error-rate number
+/// spreads over the cloaked cells of a keyed netlist. Campaigns sweep
+/// shapes the same way they sweep rates, so heterogeneous noise placements
+/// (the paper's "tuned individually" knob) become one more grid dimension.
+///
+/// Shapes are materialized per job by [`noise_profile`]; profile identity
+/// is folded into job seeds and report rows ([`NoiseShape::Uniform`] is
+/// the historical default and folds to a no-op, keeping pre-existing
+/// campaign outputs byte-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseShape {
+    /// Every cloaked cell flips at the cell error rate.
+    Uniform,
+    /// Only cloaked cells inside the fanin cone of the logically deepest
+    /// primary output are noisy — noise concentrated where one output
+    /// cone superposes it. If that cone contains *no* cloaked cell the
+    /// shape falls back to [`NoiseShape::Uniform`] rather than silently
+    /// running a noise-free "stochastic" job.
+    OutputCone,
+    /// Each cloaked cell's rate scales with its logic depth
+    /// (`rate × level / depth`): cells near the outputs flip more, where
+    /// logical masking is weakest.
+    DepthGradient,
+}
+
+impl NoiseShape {
+    /// All shapes, uniform first.
+    pub const ALL: [NoiseShape; 3] = [
+        NoiseShape::Uniform,
+        NoiseShape::OutputCone,
+        NoiseShape::DepthGradient,
+    ];
+
+    /// Short machine-friendly name (spec files, CSV, report rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            NoiseShape::Uniform => "uniform",
+            NoiseShape::OutputCone => "output-cone",
+            NoiseShape::DepthGradient => "depth-gradient",
+        }
+    }
+
+    /// Parses [`NoiseShape::name`] back into a shape.
+    pub fn parse(name: &str) -> Option<NoiseShape> {
+        NoiseShape::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Seed salt folded into the oracle seed: zero for the historical
+    /// uniform shape (seed derivation unchanged), the name hash otherwise.
+    pub fn seed_salt(self) -> u64 {
+        match self {
+            NoiseShape::Uniform => 0,
+            other => hash_str(other.name()),
+        }
+    }
+}
+
+impl std::fmt::Display for NoiseShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Materializes a [`NoiseShape`] over a keyed netlist into the dense
+/// [`ErrorProfile`] its stochastic oracle runs with.
+pub fn noise_profile(keyed: &KeyedNetlist, shape: NoiseShape, rate: f64) -> ErrorProfile {
+    let nl = keyed.netlist();
+    let cloaked: Vec<NodeId> = keyed.camo_gates().iter().map(|g| g.node).collect();
+    match shape {
+        NoiseShape::Uniform => ErrorProfile::uniform_at(nl.len(), &cloaked, rate),
+        NoiseShape::OutputCone => {
+            let levels = nl.levels();
+            let deepest = nl
+                .outputs()
+                .iter()
+                .copied()
+                .max_by_key(|o| levels[o.index()]);
+            let mut rates = vec![0.0; nl.len()];
+            if let Some(root) = deepest {
+                let mut in_cone = vec![false; nl.len()];
+                for id in nl.fanin_cone(root) {
+                    in_cone[id.index()] = true;
+                }
+                for node in cloaked.iter().filter(|n| in_cone[n.index()]) {
+                    rates[node.index()] = rate;
+                }
+            }
+            if rate > 0.0 && rates.iter().all(|&r| r == 0.0) {
+                // No cloaked cell in the cone: a quiet profile would
+                // report a deterministic chip as a "defeated" stochastic
+                // defense. Fall back to the uniform placement instead.
+                return noise_profile(keyed, NoiseShape::Uniform, rate);
+            }
+            ErrorProfile::from_rates(rates)
+        }
+        NoiseShape::DepthGradient => {
+            let levels = nl.levels();
+            let depth = nl.depth().max(1) as f64;
+            let mut rates = vec![0.0; nl.len()];
+            for node in &cloaked {
+                // Dangling gates can sit deeper than every primary output,
+                // so level/depth may exceed 1 — `rate` stays the ceiling.
+                rates[node.index()] = (rate * levels[node.index()] as f64 / depth).min(rate);
+            }
+            ErrorProfile::from_rates(rates)
+        }
+    }
 }
 
 /// The seeds an attack job draws from, fixed at expansion time.
@@ -68,6 +177,8 @@ pub enum JobKind {
         attack: AttackKind,
         /// Per-cell oracle error rate (0.0 = perfect deterministic chip).
         error_rate: f64,
+        /// How the error rate spreads over the cloaked cells.
+        profile: NoiseShape,
         /// Trial index (campaigns repeat stochastic cells).
         trial: u64,
         /// The job's RNG seeds.
@@ -205,6 +316,7 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
             level,
             attack,
             error_rate,
+            profile,
             trial: _,
             seeds,
         } => {
@@ -225,7 +337,8 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
             };
             let runner = AttackRunner::new(*attack, spec.timeout, seeds.oracle);
             let out = if *error_rate > 0.0 {
-                let mut oracle = StochasticOracle::new(&keyed, *error_rate, seeds.oracle);
+                let noise = noise_profile(&keyed, *profile, *error_rate);
+                let mut oracle = StochasticOracle::with_profile(&keyed, noise, seeds.oracle);
                 runner.run(&keyed, &mut oracle)
             } else {
                 let mut oracle = CachedOracle::new(Arc::clone(nl), Arc::clone(&ctx.cache));
@@ -330,6 +443,7 @@ mod tests {
             level: 0.2,
             attack: AttackKind::Sat,
             error_rate: 0.0,
+            profile: NoiseShape::Uniform,
             trial,
             seeds: AttackSeeds {
                 select: 1,
@@ -337,6 +451,92 @@ mod tests {
                 oracle: 3,
             },
         }
+    }
+
+    fn tiny_keyed() -> KeyedNetlist {
+        use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = select_gates(&nl, 1.0, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        gshe_camo::camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn shape_names_round_trip_and_uniform_salt_is_zero() {
+        for shape in NoiseShape::ALL {
+            assert_eq!(NoiseShape::parse(shape.name()), Some(shape));
+        }
+        assert_eq!(NoiseShape::parse("nope"), None);
+        assert_eq!(NoiseShape::Uniform.seed_salt(), 0);
+        assert_ne!(
+            NoiseShape::OutputCone.seed_salt(),
+            NoiseShape::DepthGradient.seed_salt()
+        );
+    }
+
+    #[test]
+    fn noise_profiles_materialize_per_shape() {
+        let keyed = tiny_keyed();
+        let nl = keyed.netlist();
+        let cloaked: Vec<_> = keyed.camo_gates().iter().map(|g| g.node).collect();
+
+        let uniform = noise_profile(&keyed, NoiseShape::Uniform, 0.1);
+        assert_eq!(uniform.noisy_count(), cloaked.len());
+        assert!(cloaked.iter().all(|&n| uniform.rate(n) == 0.1));
+
+        let cone = noise_profile(&keyed, NoiseShape::OutputCone, 0.1);
+        assert!(cone.noisy_count() <= uniform.noisy_count());
+        assert!(cone.noisy_count() > 0, "c17 cones contain cloaked cells");
+        for node in cone.noisy_nodes() {
+            assert!(cloaked.contains(&node));
+            assert_eq!(cone.rate(node), 0.1);
+        }
+
+        let gradient = noise_profile(&keyed, NoiseShape::DepthGradient, 0.1);
+        let levels = nl.levels();
+        let depth = nl.depth() as f64;
+        for &node in &cloaked {
+            let expected = 0.1 * levels[node.index()] as f64 / depth;
+            assert!((gradient.rate(node) - expected).abs() < 1e-12);
+        }
+        // The three shapes have distinct identities at the same rate.
+        assert_ne!(uniform.fingerprint(), cone.fingerprint());
+        assert_ne!(uniform.fingerprint(), gradient.fingerprint());
+    }
+
+    #[test]
+    fn output_cone_falls_back_to_uniform_when_cone_is_quiet() {
+        // The cloaked cell feeds only the *shallow* output; the deepest
+        // output's cone contains no cloaked cell. A quiet profile would
+        // masquerade as a stochastic defense, so the shape must fall back
+        // to uniform placement.
+        use gshe_camo::{CamoGate, Candidates};
+        use gshe_logic::{Bf1, Bf2, NetlistBuilder};
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.gate2("g", Bf2::AND, a, c); // cloaked, shallow cone
+        let d1 = b.gate2("d1", Bf2::OR, a, c);
+        let d2 = b.gate1("d2", Bf1::Inv, d1);
+        let d3 = b.gate1("d3", Bf1::Inv, d2); // deepest output's cone
+        b.output(g);
+        b.output(d3);
+        let nl = b.finish().unwrap();
+        let gate = CamoGate {
+            node: g,
+            candidates: Candidates::TwoInput(Bf2::ALL.to_vec()),
+            key_offset: 0,
+            correct_index: Bf2::AND.truth_table() as usize,
+        };
+        let keyed = KeyedNetlist::new(nl, vec![gate], 4);
+
+        let cone = noise_profile(&keyed, NoiseShape::OutputCone, 0.25);
+        assert_eq!(
+            cone,
+            noise_profile(&keyed, NoiseShape::Uniform, 0.25),
+            "quiet cone must fall back to uniform"
+        );
+        assert_eq!(cone.noisy_nodes().collect::<Vec<_>>(), vec![g]);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 //! schemes = ["gshe16"]       # scheme names, or "all" (["gshe16"])
 //! attacks = ["sat"]          # sat | double-dip | appsat (["sat"])
 //! error_rates = [0.0, 0.05]  # oracle per-cell error rates ([0.0])
+//! profiles = ["uniform"]     # error-profile shapes, or "all" (["uniform"])
 //! trials = 3                 # repeats per grid cell (1)
 //! seed = 1                   # master seed (1)
 //! timeout_secs = 60          # per-job attack budget (60)
@@ -69,6 +70,12 @@
 //!
 //! Scheme names: `look-alike`, `stt-lut`, `sinw`, `inv-buf`, `four-fn`,
 //! `dwm`, `gshe16`.
+//!
+//! Profile names: `uniform` (every cloaked cell at the rate),
+//! `output-cone` (only cloaked cells in the deepest output's fanin cone),
+//! `depth-gradient` (rate scaled by logic level). Profiles describe *how*
+//! each `error_rates` entry spreads over the cloaked cells; their oracles
+//! run on the bit-parallel [`gshe_logic::FaultSimulator`] noise engine.
 //!
 //! ## Determinism contract
 //!
@@ -98,7 +105,10 @@ pub mod spec;
 
 pub use aggregate::{CellKey, DeviceRow, TableRow};
 pub use cache::{netlist_fingerprint, CachedOracle, OracleCache};
-pub use job::{run_job, AttackSeeds, JobContext, JobKind, JobResult, JobSpec, JobStatus};
+pub use job::{
+    noise_profile, run_job, AttackSeeds, JobContext, JobKind, JobResult, JobSpec, JobStatus,
+    NoiseShape,
+};
 pub use report::CampaignReport;
 pub use spec::{parse_scheme, scheme_name, CampaignSpec};
 
@@ -215,6 +225,7 @@ mod tests {
             schemes: vec![CamoScheme::InvBuf, CamoScheme::FourFn],
             attacks: vec![AttackKind::Sat],
             error_rates: vec![0.0],
+            profiles: vec![job::NoiseShape::Uniform],
             trials: 1,
             seed: 5,
             timeout: Duration::from_secs(30),

@@ -7,7 +7,7 @@
 //! counts and is what the determinism tests compare.
 
 use crate::aggregate::{aggregate, DeviceRow, TableRow};
-use crate::job::{JobKind, JobResult};
+use crate::job::{JobKind, JobResult, NoiseShape};
 use crate::spec::scheme_name;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -112,6 +112,13 @@ impl CampaignReport {
                 json_f64(row.mean_iterations),
                 json_f64(row.mean_output_error),
             );
+            // The historical (uniform) profile is left implicit so JSON
+            // from profile-free specs stays byte-identical across the
+            // noise-engine refactor.
+            if row.key.profile != NoiseShape::Uniform {
+                out.push(',');
+                json_str(&mut out, "profile", row.key.profile.name());
+            }
             if timing {
                 let _ = write!(
                     out,
@@ -149,19 +156,20 @@ impl CampaignReport {
     /// [`CampaignReport::deterministic_json`]).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "benchmark,scheme,level,attack,error_rate,trials,completed,timed_out,\
+            "benchmark,scheme,level,attack,error_rate,profile,trials,completed,timed_out,\
              exhausted,inconsistent,failed,key_recovery_rate,mean_queries,\
              mean_iterations,mean_output_error,runtime_p50,runtime_p90,runtime_max\n",
         );
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 row.key.benchmark,
                 scheme_name(row.key.scheme),
                 row.key.level,
                 row.key.attack.name(),
                 row.key.error_rate,
+                row.key.profile.name(),
                 row.trials,
                 row.status_counts[0],
                 row.status_counts[1],
@@ -247,6 +255,7 @@ mod tests {
                     level: 0.2,
                     attack: AttackKind::Sat,
                     error_rate: 0.0,
+                    profile: NoiseShape::Uniform,
                     trial: 0,
                     seeds: AttackSeeds {
                         select: 0,
@@ -299,7 +308,29 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("benchmark,scheme"));
-        assert!(lines[1].starts_with("c7552,gshe16,0.2,sat,"));
+        assert!(lines[0].contains(",profile,"));
+        assert!(lines[1].starts_with("c7552,gshe16,0.2,sat,0,uniform,"));
+    }
+
+    #[test]
+    fn uniform_profile_is_implicit_in_json_but_named_otherwise() {
+        let mut report = sample_report();
+        assert!(!report.deterministic_json().contains("profile"));
+        let JobKind::Attack { profile, .. } = &mut report.results[0].spec.kind else {
+            panic!()
+        };
+        *profile = NoiseShape::OutputCone;
+        let rebuilt = CampaignReport::new(
+            report.name.clone(),
+            report.results.clone(),
+            1,
+            Duration::from_secs(1),
+            (0, 0),
+        );
+        assert!(rebuilt
+            .deterministic_json()
+            .contains("\"profile\":\"output-cone\""));
+        assert!(rebuilt.to_csv().contains(",output-cone,"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Specs can be read from a minimal TOML subset (see
 //! [`CampaignSpec::parse_toml`] and the crate-level docs).
 
-use crate::job::{hash_mix, hash_str, AttackSeeds, JobKind, JobSpec};
+use crate::job::{hash_mix, hash_str, AttackSeeds, JobKind, JobSpec, NoiseShape};
 use gshe_attacks::AttackKind;
 use gshe_camo::CamoScheme;
 use std::time::Duration;
@@ -55,6 +55,9 @@ pub struct CampaignSpec {
     pub attacks: Vec<AttackKind>,
     /// Oracle per-cell error rates (0.0 = perfect chip).
     pub error_rates: Vec<f64>,
+    /// Error-profile shapes: how each rate spreads over the cloaked cells
+    /// (heterogeneous noise placements as a grid dimension).
+    pub profiles: Vec<NoiseShape>,
     /// Trials per grid cell (stochastic cells need repeats).
     pub trials: u64,
     /// Master seed; all job seeds derive from it and the job identity.
@@ -75,6 +78,7 @@ impl Default for CampaignSpec {
             schemes: vec![CamoScheme::GsheAll16],
             attacks: vec![AttackKind::Sat],
             error_rates: vec![0.0],
+            profiles: vec![NoiseShape::Uniform],
             trials: 1,
             seed: 1,
             timeout: Duration::from_secs(60),
@@ -107,18 +111,25 @@ impl CampaignSpec {
     }
 
     /// Unrolls the grid into jobs, in canonical order (benchmark, level,
-    /// scheme, attack, error rate, trial — outermost first).
+    /// scheme, attack, error rate, profile, trial — outermost first).
     ///
     /// Seed policy: gate selection depends only on (campaign seed,
     /// benchmark, level) — the paper's fairness protocol, every scheme
     /// sees the same protected gates; the transform seed adds the scheme;
-    /// the oracle seed adds attack, error rate, and trial.
+    /// the oracle seed adds attack, error rate, profile shape, and trial.
+    /// The uniform profile's seed salt is zero, so specs that don't sweep
+    /// profiles derive exactly the seeds they always did.
     ///
     /// # Errors
     ///
     /// Propagates benchmark-resolution failures.
     pub fn expand(&self) -> Result<Vec<JobSpec>, String> {
         let benchmarks = self.resolve_benchmarks()?;
+        let profiles = if self.profiles.is_empty() {
+            vec![NoiseShape::Uniform]
+        } else {
+            self.profiles.clone()
+        };
         let mut jobs = Vec::new();
         for benchmark in &benchmarks {
             let bench_hash = hash_str(benchmark);
@@ -128,30 +139,42 @@ impl CampaignSpec {
                     let transform = hash_mix(select ^ hash_str(scheme_name(scheme)));
                     for &attack in &self.attacks {
                         for &error_rate in &self.error_rates {
-                            for trial in 0..self.trials.max(1) {
-                                let oracle = hash_mix(
-                                    transform
-                                        ^ hash_str(attack.name())
-                                        ^ ((error_rate * 1e6) as u64)
-                                            .wrapping_mul(0x2545_F491_4F6C_DD1D)
-                                        ^ trial,
-                                );
-                                jobs.push(JobSpec {
-                                    kind: JobKind::Attack {
-                                        benchmark: benchmark.clone(),
-                                        scheme,
-                                        level,
-                                        attack,
-                                        error_rate,
-                                        trial,
-                                        seeds: AttackSeeds {
-                                            select,
-                                            transform,
-                                            oracle,
+                            // A rate-0 chip is deterministic: every shape
+                            // collapses to the same (quiet) profile, so
+                            // sweep shapes only where they can matter.
+                            let cell_profiles: &[NoiseShape] = if error_rate > 0.0 {
+                                &profiles
+                            } else {
+                                &[NoiseShape::Uniform]
+                            };
+                            for &profile in cell_profiles {
+                                for trial in 0..self.trials.max(1) {
+                                    let oracle = hash_mix(
+                                        transform
+                                            ^ hash_str(attack.name())
+                                            ^ ((error_rate * 1e6) as u64)
+                                                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                                            ^ profile.seed_salt()
+                                            ^ trial,
+                                    );
+                                    jobs.push(JobSpec {
+                                        kind: JobKind::Attack {
+                                            benchmark: benchmark.clone(),
+                                            scheme,
+                                            level,
+                                            attack,
+                                            error_rate,
+                                            profile,
+                                            trial,
+                                            seeds: AttackSeeds {
+                                                select,
+                                                transform,
+                                                oracle,
+                                            },
                                         },
-                                    },
-                                    timeout: self.timeout,
-                                });
+                                        timeout: self.timeout,
+                                    });
+                                }
                             }
                         }
                     }
@@ -230,6 +253,25 @@ impl CampaignSpec {
                 "error_rates" => {
                     spec.error_rates =
                         parse_number_array(value).ok_or_else(|| fail("bad number array"))?
+                }
+                "profiles" => {
+                    let names =
+                        parse_string_array(value).ok_or_else(|| fail("bad string array"))?;
+                    spec.profiles = names
+                        .iter()
+                        .map(|n| {
+                            if n == "all" {
+                                Ok(NoiseShape::ALL.to_vec())
+                            } else {
+                                NoiseShape::parse(n)
+                                    .map(|s| vec![s])
+                                    .ok_or_else(|| fail(&format!("unknown profile `{n}`")))
+                            }
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                        .into_iter()
+                        .flatten()
+                        .collect();
                 }
                 "trials" => spec.trials = value.parse().map_err(|_| fail("bad integer"))?,
                 "seed" => spec.seed = value.parse().map_err(|_| fail("bad integer"))?,
@@ -348,6 +390,84 @@ mod tests {
             .collect();
         assert_eq!(oracles.len(), 4);
         assert!(oracles.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn profile_sweep_multiplies_the_grid_and_salts_seeds() {
+        let base = CampaignSpec {
+            error_rates: vec![0.05],
+            trials: 2,
+            ..Default::default()
+        };
+        let swept = CampaignSpec {
+            profiles: vec![NoiseShape::Uniform, NoiseShape::OutputCone],
+            ..base.clone()
+        };
+        let jobs = swept.expand().unwrap();
+        assert_eq!(jobs.len(), base.expand().unwrap().len() * 2);
+
+        // Uniform jobs keep the historical seed derivation; other shapes
+        // draw a distinct noise stream.
+        let oracle_of = |j: &JobSpec| {
+            let JobKind::Attack { seeds, profile, .. } = &j.kind else {
+                panic!()
+            };
+            (*profile, seeds.oracle)
+        };
+        let base_jobs = base.expand().unwrap();
+        let (shape0, seed0) = oracle_of(&jobs[0]);
+        assert_eq!(shape0, NoiseShape::Uniform);
+        assert_eq!(seed0, oracle_of(&base_jobs[0]).1);
+        let (shape1, seed1) = oracle_of(&jobs[2]);
+        assert_eq!(shape1, NoiseShape::OutputCone);
+        assert_ne!(seed1, seed0);
+    }
+
+    #[test]
+    fn rate_zero_cells_collapse_the_profile_sweep() {
+        // error_rate 0.0 makes every shape identical; only one (uniform)
+        // job per deterministic cell, shapes swept for the noisy cells.
+        let spec = CampaignSpec {
+            error_rates: vec![0.0, 0.05],
+            profiles: vec![NoiseShape::Uniform, NoiseShape::OutputCone],
+            ..Default::default()
+        };
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 1 + 2);
+        let shapes: Vec<(f64, NoiseShape)> = jobs
+            .iter()
+            .map(|j| {
+                let JobKind::Attack {
+                    error_rate,
+                    profile,
+                    ..
+                } = &j.kind
+                else {
+                    panic!()
+                };
+                (*error_rate, *profile)
+            })
+            .collect();
+        assert_eq!(
+            shapes,
+            [
+                (0.0, NoiseShape::Uniform),
+                (0.05, NoiseShape::Uniform),
+                (0.05, NoiseShape::OutputCone),
+            ]
+        );
+    }
+
+    #[test]
+    fn profiles_parse_from_toml() {
+        let spec = CampaignSpec::parse_toml(r#"profiles = ["uniform", "depth-gradient"]"#).unwrap();
+        assert_eq!(
+            spec.profiles,
+            [NoiseShape::Uniform, NoiseShape::DepthGradient]
+        );
+        let all = CampaignSpec::parse_toml(r#"profiles = ["all"]"#).unwrap();
+        assert_eq!(all.profiles, NoiseShape::ALL.to_vec());
+        assert!(CampaignSpec::parse_toml(r#"profiles = ["nope"]"#).is_err());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub use config::{CurrentInput, GsheConfig, ReadMode};
 pub use flows::{protect, protect_delay_aware, Protected, Provisioning};
 pub use polymorphic::{morph_complement, morph_random, RotatingOracle};
 pub use primitive::GshePrimitive;
-pub use stochastic::{error_rate_for_clock, StochasticPrimitive};
+pub use stochastic::{
+    error_profile_for_drives, error_rate_for_clock, StochasticPrimitive, SwitchDrive,
+};
 
 pub use gshe_attacks as attacks;
 pub use gshe_camo as camo;
@@ -54,13 +56,15 @@ pub mod prelude {
     pub use crate::config::{CurrentInput, GsheConfig, ReadMode};
     pub use crate::flows::{protect, protect_delay_aware, Protected, Provisioning};
     pub use crate::primitive::GshePrimitive;
-    pub use crate::stochastic::{error_rate_for_clock, StochasticPrimitive};
+    pub use crate::stochastic::{
+        error_profile_for_drives, error_rate_for_clock, StochasticPrimitive, SwitchDrive,
+    };
     pub use gshe_attacks::{
         appsat_attack, double_dip_attack, sat_attack, verify_key, AttackConfig, AttackKind,
         AttackRunner, AttackStatus, NetlistOracle, Oracle, StochasticOracle,
     };
     pub use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
-    pub use gshe_campaign::{Campaign, CampaignReport, CampaignSpec, JobStatus};
+    pub use gshe_campaign::{Campaign, CampaignReport, CampaignSpec, JobStatus, NoiseShape};
     pub use gshe_device::{GsheSwitch, MonteCarlo, MonteCarloConfig, SwitchParams};
     pub use gshe_logic::{parse_bench, Bf1, Bf2, Netlist, NetlistBuilder, NodeId};
     pub use gshe_timing::{delay_aware_replace, DelayModel, TimingAnalysis};

@@ -10,7 +10,7 @@
 
 use crate::config::GsheConfig;
 use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
-use gshe_logic::Bf2;
+use gshe_logic::{Bf2, ErrorProfile, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,6 +31,54 @@ pub fn error_rate_for_clock(
         threads: 0,
     });
     1.0 - mc.switching_probability(i_s, t_clk)
+}
+
+/// One switch's drive point: which netlist node it implements and how it
+/// is driven (spin current and clock period — the two per-switch knobs of
+/// Sec. V-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchDrive {
+    /// The netlist node the switch realizes.
+    pub node: NodeId,
+    /// Spin current, A.
+    pub i_s: f64,
+    /// Clock period, s.
+    pub t_clk: f64,
+}
+
+/// Derives a dense per-node [`ErrorProfile`] from per-switch drive points:
+/// each listed switch's flip rate comes from the device Monte Carlo
+/// ([`error_rate_for_clock`]); unlisted nodes are deterministic.
+///
+/// Distinct `(i_s, t_clk)` pairs are measured once and shared — a fabric
+/// with thousands of switches at a handful of operating points costs a
+/// handful of Monte Carlo sweeps.
+///
+/// # Panics
+///
+/// Panics if a drive's node index is outside `0..len`.
+pub fn error_profile_for_drives(
+    params: &SwitchParams,
+    len: usize,
+    drives: &[SwitchDrive],
+    samples: usize,
+    seed: u64,
+) -> ErrorProfile {
+    let mut rates = vec![0.0; len];
+    let mut measured: Vec<(u64, u64, f64)> = Vec::new();
+    for drive in drives {
+        let key = (drive.i_s.to_bits(), drive.t_clk.to_bits());
+        let rate = match measured.iter().find(|(i, t, _)| (*i, *t) == key) {
+            Some(&(_, _, r)) => r,
+            None => {
+                let r = error_rate_for_clock(params, drive.i_s, drive.t_clk, samples, seed);
+                measured.push((key.0, key.1, r));
+                r
+            }
+        };
+        rates[drive.node.index()] = rate;
+    }
+    ErrorProfile::from_rates(rates)
 }
 
 /// A GSHE primitive operated in the stochastic regime.
@@ -148,5 +196,38 @@ mod tests {
     #[should_panic(expected = "error rate")]
     fn error_rate_bounds_checked() {
         let _ = StochasticPrimitive::new(GsheConfig::for_function(Bf2::AND), -0.1, 0);
+    }
+
+    #[test]
+    fn drive_profile_orders_rates_by_clock() {
+        // Two switches at the same current: the aggressively-clocked one
+        // must be at least as noisy as the relaxed one, and unlisted nodes
+        // stay deterministic. Duplicate drive points share one Monte Carlo
+        // measurement (identical rates).
+        let params = SwitchParams::table_i();
+        let drives = [
+            SwitchDrive {
+                node: NodeId(1),
+                i_s: 20e-6,
+                t_clk: 0.8e-9,
+            },
+            SwitchDrive {
+                node: NodeId(3),
+                i_s: 20e-6,
+                t_clk: 6e-9,
+            },
+            SwitchDrive {
+                node: NodeId(4),
+                i_s: 20e-6,
+                t_clk: 0.8e-9,
+            },
+        ];
+        let profile = error_profile_for_drives(&params, 6, &drives, 64, 3);
+        assert_eq!(profile.len(), 6);
+        assert_eq!(profile.rate(NodeId(0)), 0.0);
+        assert_eq!(profile.rate(NodeId(2)), 0.0);
+        assert!(profile.rate(NodeId(1)) >= profile.rate(NodeId(3)));
+        assert!(profile.rate(NodeId(1)) > 0.2, "0.8 ns clock should err");
+        assert_eq!(profile.rate(NodeId(1)), profile.rate(NodeId(4)));
     }
 }

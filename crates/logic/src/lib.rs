@@ -30,6 +30,7 @@ pub mod builder;
 pub mod error;
 pub mod generator;
 pub mod netlist;
+pub mod noise;
 pub mod opt;
 pub mod seq;
 pub mod sim;
@@ -42,6 +43,7 @@ pub use builder::NetlistBuilder;
 pub use error::LogicError;
 pub use generator::{GeneratorConfig, NetlistGenerator};
 pub use netlist::{Netlist, Node, NodeId, NodeKind};
+pub use noise::{bernoulli_mask, ErrorProfile, FaultSimulator};
 pub use opt::{optimize, OptReport};
 pub use seq::scan_preprocess;
 pub use sim::{PatternBlock, Simulator};

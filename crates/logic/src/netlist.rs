@@ -68,6 +68,33 @@ impl NodeKind {
     pub const fn is_gate(&self) -> bool {
         matches!(self, NodeKind::Gate1 { .. } | NodeKind::Gate2 { .. })
     }
+
+    /// The single gate-evaluation core shared by every interpreter —
+    /// scalar [`Netlist::evaluate`], the bit-parallel
+    /// [`crate::Simulator`], and the noise-aware
+    /// [`crate::FaultSimulator`].
+    ///
+    /// Evaluates this node over 64 bit-packed lanes: `values` holds the
+    /// already-computed lanes of earlier nodes (fanins are strictly
+    /// earlier by the topological invariant), and `input` supplies the
+    /// lane word for [`NodeKind::Input`] nodes (ignored otherwise). Scalar
+    /// interpreters use lane 0 only; every operation is bitwise, so the
+    /// unused lanes are free.
+    #[inline]
+    pub fn eval_lanes(&self, values: &[u64], input: u64) -> u64 {
+        match *self {
+            NodeKind::Input => input,
+            NodeKind::Const(c) => {
+                if c {
+                    !0
+                } else {
+                    0
+                }
+            }
+            NodeKind::Gate1 { f, a } => f.eval_u64(values[a.index()]),
+            NodeKind::Gate2 { f, a, b } => f.eval_u64(values[a.index()], values[b.index()]),
+        }
+    }
 }
 
 /// A single node: its kind plus a (unique) signal name.
@@ -296,6 +323,10 @@ impl Netlist {
     /// Evaluates every node; returns one value per node in topological
     /// order. Useful for fault-injection and probing experiments.
     ///
+    /// Runs lane 0 of the shared bit-parallel gate core
+    /// ([`NodeKind::eval_lanes`]) so scalar and packed evaluation cannot
+    /// drift apart.
+    ///
     /// # Errors
     ///
     /// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
@@ -306,21 +337,19 @@ impl Netlist {
                 got: values.len(),
             });
         }
-        let mut val = vec![false; self.nodes.len()];
+        let mut lanes = vec![0u64; self.nodes.len()];
         let mut next_input = 0usize;
         for (i, node) in self.nodes.iter().enumerate() {
-            val[i] = match node.kind {
-                NodeKind::Input => {
-                    let v = values[next_input];
-                    next_input += 1;
-                    v
-                }
-                NodeKind::Const(c) => c,
-                NodeKind::Gate1 { f, a } => f.eval(val[a.index()]),
-                NodeKind::Gate2 { f, a, b } => f.eval(val[a.index()], val[b.index()]),
+            let input = if node.kind == NodeKind::Input {
+                let v = values[next_input] as u64;
+                next_input += 1;
+                v
+            } else {
+                0
             };
+            lanes[i] = node.kind.eval_lanes(&lanes, input);
         }
-        Ok(val)
+        Ok(lanes.iter().map(|&v| v & 1 == 1).collect())
     }
 
     /// Replaces the function of the two-input gate `id`.

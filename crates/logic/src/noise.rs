@@ -1,0 +1,495 @@
+//! Noise-aware bit-parallel evaluation: the engine behind every stochastic
+//! oracle.
+//!
+//! The paper's headline defense (Sec. V-B) is stochastic switching whose
+//! "error rate for any switch can be tuned individually". This module makes
+//! that tunability a first-class, *fast* object:
+//!
+//! * [`ErrorProfile`] — a dense per-node flip-rate table (`Vec<f64>`, one
+//!   entry per netlist node). Uniform rates, per-node vectors, and
+//!   device-derived per-switch rates (see `gshe_core::stochastic`) all
+//!   normalize to this one representation, so interpreters never do a
+//!   per-node set-membership probe.
+//! * [`FaultSimulator`] — a bit-parallel simulator that evaluates 64 input
+//!   patterns per pass (like [`Simulator`]) and injects faults as per-node
+//!   64-bit Bernoulli flip masks. A mask costs at most 32 RNG words
+//!   (usually fewer), so noise costs O(noisy nodes) per *block* instead of
+//!   one RNG call per node per pattern.
+//!
+//! With an all-zero profile the engine is bit-identical to [`Simulator`]
+//! (property-tested in `tests/fault_sim_props.rs`), so deterministic and
+//! stochastic evaluation share one gate-eval core:
+//! [`NodeKind::eval_lanes`].
+
+use crate::error::LogicError;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+use crate::sim::PatternBlock;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Fractional bits of precision in [`bernoulli_mask`]'s fixed-point
+/// representation of the flip probability.
+const BERNOULLI_BITS: u32 = 32;
+
+/// Draws a 64-bit mask whose bits are independently 1 with probability `p`
+/// (quantized to 32 fractional bits).
+///
+/// The mask is built by Horner-evaluating the binary expansion of `p` over
+/// uniform random words: processing digit `b` maps the running mask `m` to
+/// `r | m` (digit 1) or `r & m` (digit 0), which halves-and-shifts the
+/// per-bit probability exactly. Trailing zero digits are no-ops and are
+/// skipped, so dyadic rates (0.5, 0.25, …) cost only a few words and any
+/// rate costs at most 32 — versus 64 `gen_bool` calls for a
+/// pattern-at-a-time interpreter.
+///
+/// # Panics
+///
+/// Panics (debug) if `p` is outside `[0, 1]`.
+pub fn bernoulli_mask<R: RngCore + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p), "flip probability out of range");
+    let q = (p * (1u64 << BERNOULLI_BITS) as f64).round() as u64;
+    if q == 0 {
+        return 0;
+    }
+    if q >= 1u64 << BERNOULLI_BITS {
+        return !0;
+    }
+    let mut mask = 0u64;
+    for i in q.trailing_zeros()..BERNOULLI_BITS {
+        let r = rng.next_u64();
+        mask = if (q >> i) & 1 == 1 {
+            r | mask
+        } else {
+            r & mask
+        };
+    }
+    mask
+}
+
+/// A dense per-node error-rate table: entry `i` is the probability that
+/// node `i`'s computed value flips per evaluation.
+///
+/// This is the normal form every noise description reduces to — a uniform
+/// rate over a node subset, an explicit rate vector, or per-switch rates
+/// derived from spin current and clock period (Sec. V-B's knob). Dense
+/// storage keeps the hot simulation loop to an indexed load, with the
+/// noisy-node subset precomputed at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorProfile {
+    rates: Vec<f64>,
+    /// Indices with a nonzero rate, ascending (precomputed).
+    noisy: Vec<u32>,
+}
+
+impl ErrorProfile {
+    /// A profile of `len` nodes, all perfectly deterministic.
+    pub fn zero(len: usize) -> Self {
+        ErrorProfile {
+            rates: vec![0.0; len],
+            noisy: Vec::new(),
+        }
+    }
+
+    /// A profile with every node flipping at `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn uniform(len: usize, rate: f64) -> Self {
+        Self::from_rates(vec![rate; len])
+    }
+
+    /// A profile with `rate` at exactly the listed `nodes` and 0 elsewhere
+    /// — the uniform-over-cloaked-cells shape of the original
+    /// `StochasticOracle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]` or a node index is out of
+    /// range.
+    pub fn uniform_at(len: usize, nodes: &[NodeId], rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "error rate must be in [0, 1]");
+        let mut rates = vec![0.0; len];
+        for node in nodes {
+            rates[node.index()] = rate;
+        }
+        Self::from_rates(rates)
+    }
+
+    /// A profile from an explicit per-node rate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]` (NaN included).
+    pub fn from_rates(rates: Vec<f64>) -> Self {
+        assert!(
+            rates.iter().all(|r| (0.0..=1.0).contains(r)),
+            "error rate must be in [0, 1]"
+        );
+        let noisy = rates
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > 0.0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        ErrorProfile { rates, noisy }
+    }
+
+    /// Sets one node's rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]` or `node` is out of range.
+    pub fn set(&mut self, node: NodeId, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "error rate must be in [0, 1]");
+        self.rates[node.index()] = rate;
+        // Rebuild the noisy set; `set` is a construction-time operation.
+        self.noisy = self
+            .rates
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > 0.0)
+            .map(|(i, _)| i as u32)
+            .collect();
+    }
+
+    /// The flip rate of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn rate(&self, node: NodeId) -> f64 {
+        self.rates[node.index()]
+    }
+
+    /// The dense rate table (one entry per node).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of nodes the profile covers.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// `true` if the profile covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Ids of nodes with a nonzero rate, ascending.
+    pub fn noisy_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.noisy.iter().map(|&i| NodeId(i))
+    }
+
+    /// Number of nodes with a nonzero rate.
+    pub fn noisy_count(&self) -> usize {
+        self.noisy.len()
+    }
+
+    /// `true` if every rate is zero (the engine is then bit-identical to
+    /// [`Simulator`]).
+    pub fn is_quiet(&self) -> bool {
+        self.noisy.is_empty()
+    }
+
+    /// The largest per-node rate (0 for a quiet profile).
+    pub fn max_rate(&self) -> f64 {
+        self.noisy
+            .iter()
+            .map(|&i| self.rates[i as usize])
+            .fold(0.0, f64::max)
+    }
+
+    /// A stable identity hash of the profile (folds every rate's bit
+    /// pattern). Campaigns mix this into job seeds so distinct profiles
+    /// draw distinct noise streams, and report rows can name the profile
+    /// they measured.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = splitmix(self.rates.len() as u64 ^ 0x9027_1A5E);
+        for &r in &self.rates {
+            h = splitmix(h ^ r.to_bits());
+        }
+        h
+    }
+}
+
+/// SplitMix64 finalizer (local copy; `gshe-campaign` has the canonical
+/// seed-derivation one, but `gshe-logic` sits below it in the crate DAG).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Bit-parallel, noise-aware netlist simulator: evaluates 64 patterns per
+/// pass and flips each node's 64 computed values according to its
+/// [`ErrorProfile`] rate.
+///
+/// Faults at internal nodes propagate forward through the sweep and
+/// superpose — exactly the stochastically correlated output behaviour
+/// Sec. V-B relies on to break SAT-style attacks.
+///
+/// Two evaluation paths share one gate core ([`NodeKind::eval_lanes`]) but
+/// consume the RNG differently:
+///
+/// * [`FaultSimulator::run`] (block path) draws one Bernoulli *mask* per
+///   noisy node per block;
+/// * [`FaultSimulator::run_scalar`] (scalar path) draws one `gen_bool` per
+///   noisy node per pattern — the historical `StochasticOracle::query`
+///   stream, kept so seeded scalar experiments reproduce across the
+///   refactor.
+///
+/// Both are deterministic per (netlist, profile, seed).
+#[derive(Debug, Clone)]
+pub struct FaultSimulator<'a> {
+    netlist: &'a Netlist,
+    profile: ErrorProfile,
+    /// Scratch buffer reused across calls.
+    values: Vec<u64>,
+    rng: StdRng,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Creates an engine for `netlist` with the given `profile` and noise
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not cover exactly the netlist's nodes.
+    pub fn new(netlist: &'a Netlist, profile: ErrorProfile, seed: u64) -> Self {
+        assert_eq!(
+            profile.len(),
+            netlist.len(),
+            "error profile must cover every netlist node"
+        );
+        FaultSimulator {
+            values: vec![0; netlist.len()],
+            netlist,
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The bound netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The installed error profile.
+    pub fn profile(&self) -> &ErrorProfile {
+        &self.profile
+    }
+
+    /// Simulates a block of patterns with fault injection; returns one
+    /// `u64` per primary output (bit `k` = output value under pattern
+    /// `k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] if the block width does
+    /// not match the number of primary inputs.
+    pub fn run(&mut self, block: &PatternBlock) -> Result<Vec<u64>, LogicError> {
+        let nl = self.netlist;
+        if block.lanes.len() != nl.inputs().len() {
+            return Err(LogicError::InputCountMismatch {
+                expected: nl.inputs().len(),
+                got: block.lanes.len(),
+            });
+        }
+        let values = &mut self.values;
+        let rates = self.profile.rates();
+        let mut next_input = 0usize;
+        for (i, node) in nl.nodes().iter().enumerate() {
+            let input = if node.kind == NodeKind::Input {
+                let v = block.lanes[next_input];
+                next_input += 1;
+                v
+            } else {
+                0
+            };
+            let mut v = node.kind.eval_lanes(values, input);
+            let rate = rates[i];
+            if rate > 0.0 {
+                v ^= bernoulli_mask(&mut self.rng, rate);
+            }
+            values[i] = v;
+        }
+        Ok(nl.outputs().iter().map(|o| values[o.index()]).collect())
+    }
+
+    /// Like [`FaultSimulator::run`], but clears the bits of invalid lanes
+    /// (`k >= block.count`) so block-capable oracles can return the lanes
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
+    pub fn run_masked(&mut self, block: &PatternBlock) -> Result<Vec<u64>, LogicError> {
+        let mut lanes = self.run(block)?;
+        let mask = block.valid_mask();
+        for lane in &mut lanes {
+            *lane &= mask;
+        }
+        Ok(lanes)
+    }
+
+    /// Evaluates one pattern with fault injection, drawing exactly one
+    /// `gen_bool` per noisy node (the historical scalar stream: flips at
+    /// noisy nodes in topological order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
+    pub fn run_scalar(&mut self, inputs: &[bool]) -> Result<Vec<bool>, LogicError> {
+        let nl = self.netlist;
+        if inputs.len() != nl.inputs().len() {
+            return Err(LogicError::InputCountMismatch {
+                expected: nl.inputs().len(),
+                got: inputs.len(),
+            });
+        }
+        let values = &mut self.values;
+        let rates = self.profile.rates();
+        let mut next_input = 0usize;
+        // Lane 0 carries the pattern; the gate core is bitwise, so the
+        // remaining lanes are simply ignored.
+        for (i, node) in nl.nodes().iter().enumerate() {
+            let input = if node.kind == NodeKind::Input {
+                let v = inputs[next_input] as u64;
+                next_input += 1;
+                v
+            } else {
+                0
+            };
+            let mut v = node.kind.eval_lanes(values, input);
+            let rate = rates[i];
+            if rate > 0.0 && self.rng.gen_bool(rate) {
+                v ^= 1;
+            }
+            values[i] = v;
+        }
+        Ok(nl
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()] & 1 == 1)
+            .collect())
+    }
+
+    /// Values of *all* nodes from the most recent run (packed lanes; for
+    /// scalar runs only bit 0 is meaningful).
+    pub fn node_values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf2::Bf2;
+    use crate::builder::NetlistBuilder;
+    use crate::sim::Simulator;
+
+    fn adder() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.gate2("s", Bf2::XOR, x, y);
+        let c = b.gate2("c", Bf2::AND, x, y);
+        b.output(s);
+        b.output(c);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn quiet_profile_matches_plain_simulator() {
+        let nl = adder();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut plain = Simulator::new(&nl);
+        let mut noisy = FaultSimulator::new(&nl, ErrorProfile::zero(nl.len()), 1);
+        for _ in 0..8 {
+            let block = PatternBlock::random(2, &mut rng);
+            assert_eq!(plain.run(&block).unwrap(), noisy.run(&block).unwrap());
+        }
+    }
+
+    #[test]
+    fn scalar_and_block_agree_when_quiet() {
+        let nl = adder();
+        let mut sim = FaultSimulator::new(&nl, ErrorProfile::zero(nl.len()), 1);
+        for p in 0..4u32 {
+            let inputs: Vec<bool> = (0..2).map(|k| (p >> k) & 1 == 1).collect();
+            assert_eq!(sim.run_scalar(&inputs).unwrap(), nl.evaluate(&inputs));
+        }
+    }
+
+    #[test]
+    fn certain_flip_inverts_the_output() {
+        let nl = adder();
+        let s = nl.find("s").unwrap();
+        let profile = ErrorProfile::uniform_at(nl.len(), &[s], 1.0);
+        let mut sim = FaultSimulator::new(&nl, profile, 3);
+        let block = PatternBlock::from_patterns(&[vec![true, false]]);
+        let lanes = sim.run_masked(&block).unwrap();
+        // XOR(1,0) = 1, flipped with certainty → 0; AND untouched → 0.
+        assert_eq!(lanes[0] & 1, 0);
+        assert_eq!(lanes[1] & 1, 0);
+        let scalar = sim.run_scalar(&[true, false]).unwrap();
+        assert_eq!(scalar, vec![false, false]);
+    }
+
+    #[test]
+    fn bernoulli_mask_extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(bernoulli_mask(&mut rng, 0.0), 0);
+        assert_eq!(bernoulli_mask(&mut rng, 1.0), !0);
+    }
+
+    #[test]
+    fn bernoulli_mask_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &p in &[0.5, 0.25, 0.05, 0.9] {
+            let blocks = 4_000;
+            let ones: u64 = (0..blocks)
+                .map(|_| bernoulli_mask(&mut rng, p).count_ones() as u64)
+                .sum();
+            let freq = ones as f64 / (blocks * 64) as f64;
+            assert!((freq - p).abs() < 0.01, "p={p} observed {freq}");
+        }
+    }
+
+    #[test]
+    fn profile_construction_and_identity() {
+        let nl = adder();
+        let s = nl.find("s").unwrap();
+        let quiet = ErrorProfile::zero(nl.len());
+        assert!(quiet.is_quiet());
+        assert_eq!(quiet.noisy_count(), 0);
+        assert_eq!(quiet.max_rate(), 0.0);
+
+        let mut p = ErrorProfile::uniform_at(nl.len(), &[s], 0.1);
+        assert!(!p.is_quiet());
+        assert_eq!(p.noisy_nodes().collect::<Vec<_>>(), vec![s]);
+        assert_eq!(p.rate(s), 0.1);
+        assert_eq!(p.max_rate(), 0.1);
+        assert_ne!(p.fingerprint(), quiet.fingerprint());
+
+        p.set(s, 0.0);
+        assert!(p.is_quiet());
+        assert_eq!(p.fingerprint(), quiet.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn profile_rejects_out_of_range_rates() {
+        let _ = ErrorProfile::from_rates(vec![0.5, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every netlist node")]
+    fn engine_rejects_mismatched_profile() {
+        let nl = adder();
+        let _ = FaultSimulator::new(&nl, ErrorProfile::zero(nl.len() + 1), 0);
+    }
+}

@@ -55,6 +55,21 @@ impl PatternBlock {
         }
     }
 
+    /// Draws `count` uniformly random patterns for `num_inputs` inputs
+    /// (partial blocks let block-capable oracles answer an arbitrary
+    /// sample budget, e.g. AppSAT's reinforcement rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is outside `1..=64`.
+    pub fn random_n<R: Rng + ?Sized>(num_inputs: usize, count: usize, rng: &mut R) -> Self {
+        assert!((1..=64).contains(&count), "need 1..=64 patterns");
+        PatternBlock {
+            lanes: (0..num_inputs).map(|_| rng.gen()).collect(),
+            count,
+        }
+    }
+
     /// Extracts pattern `k` as a `Vec<bool>`.
     ///
     /// # Panics
@@ -108,34 +123,7 @@ impl<'a> Simulator<'a> {
     /// Returns [`LogicError::InputCountMismatch`] if the block width does
     /// not match the number of primary inputs.
     pub fn run(&mut self, block: &PatternBlock) -> Result<Vec<u64>, LogicError> {
-        let nl = self.netlist;
-        if block.lanes.len() != nl.inputs().len() {
-            return Err(LogicError::InputCountMismatch {
-                expected: nl.inputs().len(),
-                got: block.lanes.len(),
-            });
-        }
-        let values = &mut self.values;
-        let mut next_input = 0usize;
-        for (i, node) in nl.nodes().iter().enumerate() {
-            values[i] = match node.kind {
-                NodeKind::Input => {
-                    let v = block.lanes[next_input];
-                    next_input += 1;
-                    v
-                }
-                NodeKind::Const(c) => {
-                    if c {
-                        !0
-                    } else {
-                        0
-                    }
-                }
-                NodeKind::Gate1 { f, a } => f.eval_u64(values[a.index()]),
-                NodeKind::Gate2 { f, a, b } => f.eval_u64(values[a.index()], values[b.index()]),
-            };
-        }
-        Ok(nl.outputs().iter().map(|o| values[o.index()]).collect())
+        run_with_scratch(self.netlist, &mut self.values, block)
     }
 
     /// Like [`Simulator::run`], but clears the bits of invalid lanes
@@ -156,10 +144,99 @@ impl<'a> Simulator<'a> {
         Ok(lanes)
     }
 
+    /// Evaluates one pattern through lane 0 of the bit-parallel core,
+    /// reusing the simulator's scratch buffer — the allocation-free scalar
+    /// path for oracles answering pattern-at-a-time queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
+    pub fn run_scalar(&mut self, inputs: &[bool]) -> Result<Vec<bool>, LogicError> {
+        run_scalar_with_scratch(self.netlist, &mut self.values, inputs)
+    }
+
     /// Values of *all* nodes from the most recent [`Simulator::run`] call.
     pub fn node_values(&self) -> &[u64] {
         &self.values
     }
+}
+
+/// One bit-parallel pass of `netlist` over `block` using a caller-owned
+/// scratch buffer (resized to fit). This is [`Simulator::run`]'s engine,
+/// exposed for owners whose netlist changes *identity* but not size across
+/// calls — e.g. a key-rotating oracle that re-resolves per epoch — so every
+/// pass reuses one allocation.
+///
+/// # Errors
+///
+/// Returns [`LogicError::InputCountMismatch`] if the block width does not
+/// match the number of primary inputs.
+pub fn run_with_scratch(
+    netlist: &Netlist,
+    scratch: &mut Vec<u64>,
+    block: &PatternBlock,
+) -> Result<Vec<u64>, LogicError> {
+    if block.lanes.len() != netlist.inputs().len() {
+        return Err(LogicError::InputCountMismatch {
+            expected: netlist.inputs().len(),
+            got: block.lanes.len(),
+        });
+    }
+    scratch.resize(netlist.len(), 0);
+    let mut next_input = 0usize;
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let input = if node.kind == NodeKind::Input {
+            let v = block.lanes[next_input];
+            next_input += 1;
+            v
+        } else {
+            0
+        };
+        scratch[i] = node.kind.eval_lanes(scratch, input);
+    }
+    Ok(netlist
+        .outputs()
+        .iter()
+        .map(|o| scratch[o.index()])
+        .collect())
+}
+
+/// Scalar sibling of [`run_with_scratch`]: evaluates one pattern through
+/// lane 0 of the shared gate core with a caller-owned buffer, so repeated
+/// scalar queries (the SAT-attack DIP loop) allocate nothing per call
+/// beyond the output vector.
+///
+/// # Errors
+///
+/// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
+pub fn run_scalar_with_scratch(
+    netlist: &Netlist,
+    scratch: &mut Vec<u64>,
+    inputs: &[bool],
+) -> Result<Vec<bool>, LogicError> {
+    if inputs.len() != netlist.inputs().len() {
+        return Err(LogicError::InputCountMismatch {
+            expected: netlist.inputs().len(),
+            got: inputs.len(),
+        });
+    }
+    scratch.resize(netlist.len(), 0);
+    let mut next_input = 0usize;
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let input = if node.kind == NodeKind::Input {
+            let v = inputs[next_input] as u64;
+            next_input += 1;
+            v
+        } else {
+            0
+        };
+        scratch[i] = node.kind.eval_lanes(scratch, input);
+    }
+    Ok(netlist
+        .outputs()
+        .iter()
+        .map(|o| scratch[o.index()] & 1 == 1)
+        .collect())
 }
 
 /// Estimates whether two netlists with identical interfaces are functionally
@@ -246,6 +323,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn run_scalar_matches_evaluate() {
+        let nl = adder();
+        let mut sim = Simulator::new(&nl);
+        for p in 0..4u32 {
+            let inputs: Vec<bool> = (0..2).map(|k| (p >> k) & 1 == 1).collect();
+            assert_eq!(sim.run_scalar(&inputs).unwrap(), nl.evaluate(&inputs));
+        }
+        assert!(sim.run_scalar(&[true]).is_err(), "arity checked");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! that exhaust their wall-clock budget `TimedOut` instead of hanging the
 //! pool.
 
-use spin_hall_security::campaign::{Campaign, CampaignSpec, JobStatus};
+use spin_hall_security::campaign::{Campaign, CampaignSpec, JobStatus, NoiseShape};
 use spin_hall_security::prelude::{AttackKind, CamoScheme};
 use std::time::{Duration, Instant};
 
@@ -17,6 +17,7 @@ fn two_by_two_spec(threads: usize) -> CampaignSpec {
         schemes: vec![CamoScheme::InvBuf, CamoScheme::FourFn],
         attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
         error_rates: vec![0.0],
+        profiles: vec![NoiseShape::Uniform],
         trials: 2,
         seed: 11,
         timeout: Duration::from_secs(60),
@@ -78,6 +79,7 @@ fn exhausted_budgets_mark_jobs_timed_out_without_hanging_the_pool() {
         schemes: vec![CamoScheme::GsheAll16],
         attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
         error_rates: vec![0.0],
+        profiles: vec![NoiseShape::Uniform],
         trials: 1,
         seed: 2,
         timeout: Duration::from_millis(0),
@@ -119,6 +121,7 @@ fn stochastic_cells_defeat_the_attack_in_campaign_form() {
         schemes: vec![CamoScheme::GsheAll16],
         attacks: vec![AttackKind::Sat],
         error_rates: vec![0.25],
+        profiles: vec![NoiseShape::Uniform],
         trials: 3,
         seed: 4,
         timeout: Duration::from_secs(30),
