@@ -13,18 +13,10 @@
 //! probabilistic computation violates this assumption." The
 //! `stochastic_oracle_*` tests exercise exactly that failure mode.
 
-use crate::encode::{
-    assert_outputs_equal, assert_valid_key_codes, encode_keyed, encode_keyed_fixed,
-};
+use crate::dip_engine::{refine, RefinePolicy};
 use crate::oracle::Oracle;
-use crate::sat_attack::{solve_sliced, AttackConfig, AttackOutcome, AttackStatus};
+use crate::sat_attack::{AttackConfig, AttackOutcome};
 use gshe_camo::KeyedNetlist;
-use gshe_logic::{PatternBlock, Simulator};
-use gshe_sat::solver::Budget;
-use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// AppSAT-specific knobs on top of [`AttackConfig`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,211 +50,26 @@ impl Default for AppSatConfig {
 /// deterministic oracle it behaves like the exact SAT attack (plus
 /// reinforcement queries); with a positive threshold it may return an
 /// approximate key early.
+///
+/// This is the [`RefinePolicy::AppSat`] specialization of the shared
+/// [DIP-refinement engine](crate::dip_engine): the single-miter loop with
+/// a random-query reinforcement round every `reinforce_every` DIPs.
 pub fn appsat_attack(
     keyed: &KeyedNetlist,
     oracle: &mut dyn Oracle,
     config: &AppSatConfig,
 ) -> AttackOutcome {
-    let start = Instant::now();
-    let deadline = start + config.base.timeout;
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut solver = Solver::new();
-    solver.set_budget(Budget {
-        max_conflicts: None,
-        max_vars: config.base.max_vars,
-    });
-
-    let key1: Vec<Lit> = (0..keyed.key_len())
-        .map(|_| Lit::pos(solver.new_var()))
-        .collect();
-    let key2: Vec<Lit> = (0..keyed.key_len())
-        .map(|_| Lit::pos(solver.new_var()))
-        .collect();
-    let (diff_lit, input_lits) = {
-        let mut enc = CircuitEncoder::new(&mut solver);
-        assert_valid_key_codes(&mut enc, keyed, &key1);
-        assert_valid_key_codes(&mut enc, keyed, &key2);
-        let c1 = encode_keyed(&mut enc, keyed, &key1);
-        let c2 = encode_keyed(&mut enc, keyed, &key2);
-        for (a, b) in c1.inputs.iter().zip(&c2.inputs) {
-            enc.equal(*a, *b);
-        }
-        (enc.miter(&c1.outputs, &c2.outputs), c1.inputs)
-    };
-
-    let mut iterations = 0u64;
-    let queries_before = oracle.queries();
-    let n_inputs = input_lits.len();
-
-    let finish = |status: AttackStatus,
-                  key: Option<Vec<bool>>,
-                  iterations: u64,
-                  solver: &Solver,
-                  oracle: &dyn Oracle| AttackOutcome {
-        status,
-        key,
-        iterations,
-        queries: oracle.queries() - queries_before,
-        elapsed: start.elapsed(),
-        solver_stats: solver.stats(),
-    };
-
-    loop {
-        if Instant::now() >= deadline {
-            return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
-        }
-        if let Some(max) = config.base.max_iterations {
-            if iterations >= max {
-                return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
-            }
-        }
-        match solve_sliced(
-            &mut solver,
-            &[diff_lit],
-            deadline,
-            config.base.conflicts_per_slice,
-        ) {
-            None => return finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
-            Some(SolveResult::Sat) => {
-                iterations += 1;
-                let dip: Vec<bool> = input_lits.iter().map(|&l| solver.model_lit(l)).collect();
-                let y = oracle.query(&dip);
-                {
-                    let mut enc = CircuitEncoder::new(&mut solver);
-                    for key in [&key1, &key2] {
-                        let outs = encode_keyed_fixed(&mut enc, keyed, key, &dip);
-                        assert_outputs_equal(&mut enc, &outs, &y);
-                    }
-                }
-
-                // Reinforcement round.
-                if iterations.is_multiple_of(config.reinforce_every) {
-                    // Candidate key: any key consistent so far.
-                    let candidate = match solve_sliced(
-                        &mut solver,
-                        &[],
-                        deadline,
-                        config.base.conflicts_per_slice,
-                    ) {
-                        Some(SolveResult::Sat) => {
-                            let k: Vec<bool> = key1.iter().map(|&l| solver.model_lit(l)).collect();
-                            Some(k)
-                        }
-                        Some(SolveResult::Unsat) => {
-                            return finish(
-                                AttackStatus::Inconsistent,
-                                None,
-                                iterations,
-                                &solver,
-                                oracle,
-                            )
-                        }
-                        _ => None,
-                    };
-                    if let Some(cand) = candidate {
-                        let resolved = keyed
-                            .resolve(&cand)
-                            .expect("candidate key has correct width");
-                        // Block-query reinforcement: the sample patterns
-                        // are drawn exactly as the scalar loop drew them
-                        // (sample-major, bit-minor), then answered 64 at a
-                        // time — the chip through `query_block` (the
-                        // bit-parallel engine for block-capable oracles,
-                        // still one query per pattern), the candidate
-                        // through the bit-parallel simulator.
-                        let mut cand_sim = Simulator::new(&resolved);
-                        let mut mismatches = 0usize;
-                        let mut mismatching: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
-                        let mut remaining = config.samples_per_round;
-                        while remaining > 0 {
-                            let take = remaining.min(64);
-                            remaining -= take;
-                            let patterns: Vec<Vec<bool>> = (0..take)
-                                .map(|_| (0..n_inputs).map(|_| rng.gen_bool(0.5)).collect())
-                                .collect();
-                            let block = PatternBlock::from_patterns(&patterns);
-                            let y_chip = oracle.query_block(&block);
-                            let y_cand = cand_sim.run_masked(&block).expect("interface matches");
-                            let mut diff = 0u64;
-                            for (chip, cand_lane) in y_chip.iter().zip(&y_cand) {
-                                diff |= chip ^ cand_lane;
-                            }
-                            diff &= block.valid_mask();
-                            mismatches += diff.count_ones() as usize;
-                            while diff != 0 {
-                                let k = diff.trailing_zeros() as usize;
-                                diff &= diff - 1;
-                                let y_k: Vec<bool> =
-                                    y_chip.iter().map(|lane| (lane >> k) & 1 == 1).collect();
-                                mismatching.push((block.pattern(k), y_k));
-                            }
-                        }
-                        let err = mismatches as f64 / config.samples_per_round as f64;
-                        if err <= config.error_threshold {
-                            return finish(
-                                AttackStatus::Success,
-                                Some(cand),
-                                iterations,
-                                &solver,
-                                oracle,
-                            );
-                        }
-                        // Reinforce with the mismatching observations.
-                        let mut enc = CircuitEncoder::new(&mut solver);
-                        for (x, y_chip) in mismatching {
-                            for key in [&key1, &key2] {
-                                let outs = encode_keyed_fixed(&mut enc, keyed, key, &x);
-                                assert_outputs_equal(&mut enc, &outs, &y_chip);
-                            }
-                        }
-                    }
-                }
-            }
-            Some(SolveResult::Unsat) => {
-                return match solve_sliced(
-                    &mut solver,
-                    &[],
-                    deadline,
-                    config.base.conflicts_per_slice,
-                ) {
-                    None => finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
-                    Some(SolveResult::Sat) => {
-                        let key: Vec<bool> = key1.iter().map(|&l| solver.model_lit(l)).collect();
-                        finish(
-                            AttackStatus::Success,
-                            Some(key),
-                            iterations,
-                            &solver,
-                            oracle,
-                        )
-                    }
-                    Some(SolveResult::Unsat) => finish(
-                        AttackStatus::Inconsistent,
-                        None,
-                        iterations,
-                        &solver,
-                        oracle,
-                    ),
-                    Some(SolveResult::Unknown) => finish(
-                        AttackStatus::ResourceExhausted,
-                        None,
-                        iterations,
-                        &solver,
-                        oracle,
-                    ),
-                };
-            }
-            Some(SolveResult::Unknown) => {
-                return finish(
-                    AttackStatus::ResourceExhausted,
-                    None,
-                    iterations,
-                    &solver,
-                    oracle,
-                )
-            }
-        }
-    }
+    refine(
+        keyed,
+        oracle,
+        &config.base,
+        &RefinePolicy::AppSat {
+            reinforce_every: config.reinforce_every,
+            samples_per_round: config.samples_per_round,
+            error_threshold: config.error_threshold,
+            seed: config.seed,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -270,9 +77,11 @@ mod tests {
     use super::*;
     use crate::metrics::verify_key;
     use crate::oracle::{NetlistOracle, StochasticOracle};
+    use crate::sat_attack::{AttackConfig, AttackStatus};
     use gshe_camo::{camouflage, select_gates, CamoScheme};
     use gshe_logic::{GeneratorConfig, NetlistGenerator};
     use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
 
     #[test]
     fn appsat_recovers_exact_key_with_deterministic_oracle() {

@@ -1,0 +1,683 @@
+//! The unified **DIP-refinement engine** behind all three oracle-guided
+//! attacks.
+//!
+//! [`sat_attack`](crate::sat_attack::sat_attack),
+//! [`double_dip_attack`](crate::double_dip::double_dip_attack), and
+//! [`appsat_attack`](crate::appsat::appsat_attack) are one algorithm with
+//! three policies: encode key-copy miters, repeatedly solve for a
+//! discriminating input pattern (DIP), resolve it through the oracle, and
+//! constrain every key copy to reproduce the observation until the miter
+//! goes UNSAT. This module hosts that loop exactly once; the policy decides
+//! the miter shape (two copies vs. Double DIP's four-copy double miter with
+//! a single-DIP mop-up phase) and the per-round extras (AppSAT's random
+//! reinforcement and approximate early exit).
+//!
+//! ## Batched DIP discovery
+//!
+//! The loop discovers up to [`AttackConfig::dip_batch`] DIPs per solver
+//! round. After each model, every key copy's outputs on the discovered
+//! input are encoded once ([`encode_keyed_fixed`]) and the copies are
+//! asserted to **agree** on them ([`assert_outputs_agree`]) — without
+//! pinning to the (still unknown) oracle value. That *class-split
+//! blocking* forces the re-solved miter — an incremental continuation,
+//! not a fresh solve — onto a key-class split no batched DIP already
+//! witnesses, so a batch cannot fill up with redundant patterns that
+//! split the same classes. The whole batch is then answered by **one**
+//! [`Oracle::query_block`] call (64 patterns per pass of the bit-parallel
+//! engine) instead of one scalar query per iteration, and the stored
+//! output signals are pinned to the observations. Agreement constraints
+//! are sound to keep permanently: once a DIP's observation pins every
+//! copy to the same constants, the agreement is implied.
+//!
+//! At `dip_batch = 1` (the default) the engine performs the *identical*
+//! operation sequence as the historical per-attack loops — same variable
+//! allocation, solve, scalar `Oracle::query`, and constraint order — so
+//! seeded outcomes (status, extracted key, query counts) are preserved
+//! bit-for-bit. Larger widths trade mildly weaker per-DIP pruning (a
+//! batch is discovered before its own observations constrain the miter)
+//! for the block-oracle and warm-resolve throughput win;
+//! [`DEFAULT_BATCH_WIDTH`] is the recommended setting for
+//! throughput-oriented runs.
+
+use crate::encode::{
+    assert_outputs_agree, assert_outputs_equal, assert_valid_key_codes, encode_keyed,
+    encode_keyed_fixed, SigVal,
+};
+use crate::oracle::Oracle;
+use crate::sat_attack::{AttackConfig, AttackOutcome, AttackStatus};
+use gshe_camo::KeyedNetlist;
+use gshe_logic::{PatternBlock, Simulator};
+use gshe_sat::solver::Budget;
+use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver, SolverStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Recommended [`AttackConfig::dip_batch`] for throughput-oriented runs:
+/// deep enough to amortize the oracle's bit-parallel pass, shallow enough
+/// that intra-batch pruning loss stays small.
+pub const DEFAULT_BATCH_WIDTH: usize = 16;
+
+/// How the shared refinement loop specializes into a concrete attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefinePolicy {
+    /// The plain SAT attack (Subramanyan et al.): one miter over two key
+    /// copies, every DIP rules out at least one wrong key class.
+    Single,
+    /// Double DIP (Shen & Zhou): a double miter over four key copies with
+    /// pairwise key distinctness rules out at least two wrong keys per
+    /// query, then a single-DIP mop-up phase finishes the key classes the
+    /// double miter can no longer distinguish.
+    DoubleDip,
+    /// AppSAT (Shamsi et al.): the single-DIP loop interleaved with
+    /// random-query error estimation, early-exiting with a
+    /// probably-approximately-correct key.
+    AppSat {
+        /// Run a reinforcement round every this many DIPs (0 = never).
+        reinforce_every: u64,
+        /// Random patterns per reinforcement round.
+        samples_per_round: usize,
+        /// Exit early once the sampled error of the candidate key drops to
+        /// or below this threshold.
+        error_threshold: f64,
+        /// RNG seed for the random reinforcement queries.
+        seed: u64,
+    },
+}
+
+/// Solves with the wall clock checked between conflict-budget slices.
+/// Returns `None` on deadline/budget exhaustion.
+pub(crate) fn solve_sliced(
+    solver: &mut Solver,
+    assumptions: &[Lit],
+    deadline: Instant,
+    slice: u64,
+) -> Option<SolveResult> {
+    loop {
+        solver.set_budget(Budget {
+            max_conflicts: Some(slice),
+            max_vars: None,
+        });
+        match solver.solve_with(assumptions) {
+            SolveResult::Unknown => {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+            }
+            done => return Some(done),
+        }
+    }
+}
+
+/// Installs one batch entry's class-split blocker: encodes every key
+/// copy's outputs on the fixed input `dip` (once — the returned signals
+/// are pinned to the oracle's answer after the batch resolves) and
+/// asserts the copies agree on them, chained pairwise. Under the miter
+/// this makes the discovered input pattern (and every pattern splitting
+/// only already-witnessed key classes) unsatisfiable, so no separate
+/// input-blocking clause is needed. See the module docs.
+fn encode_agreement(
+    solver: &mut Solver,
+    keyed: &KeyedNetlist,
+    keys: &[Vec<Lit>],
+    dip: &[bool],
+) -> Vec<Vec<SigVal>> {
+    let mut enc = CircuitEncoder::new(solver);
+    let per_key: Vec<Vec<SigVal>> = keys
+        .iter()
+        .map(|key| encode_keyed_fixed(&mut enc, keyed, key, dip))
+        .collect();
+    for pair in per_key.windows(2) {
+        assert_outputs_agree(&mut enc, &pair[0], &pair[1]);
+    }
+    per_key
+}
+
+/// Mutable AppSAT bookkeeping across rounds.
+struct AppSatState {
+    rng: StdRng,
+    reinforce_every: u64,
+    samples_per_round: usize,
+    error_threshold: f64,
+    /// Reinforcement rounds already run (`iterations / reinforce_every`
+    /// high-water mark, so batches that cross several multiples at once
+    /// still run exactly one round).
+    rounds: u64,
+}
+
+/// A terminal decision reached inside the loop: status plus extracted key.
+type Terminal = (AttackStatus, Option<Vec<bool>>);
+
+/// Runs the DIP-refinement loop for `policy` against `keyed`, resolving
+/// discriminating inputs through `oracle`, under `config`'s budgets and
+/// batch width. This is the single implementation all three public attack
+/// entry points delegate to.
+pub fn refine(
+    keyed: &KeyedNetlist,
+    oracle: &mut dyn Oracle,
+    config: &AttackConfig,
+    policy: &RefinePolicy,
+) -> AttackOutcome {
+    let start = Instant::now();
+    let deadline = start + config.timeout;
+    let mut appsat = match *policy {
+        RefinePolicy::AppSat {
+            reinforce_every,
+            samples_per_round,
+            error_threshold,
+            seed,
+        } => Some(AppSatState {
+            rng: StdRng::seed_from_u64(seed),
+            reinforce_every,
+            samples_per_round,
+            error_threshold,
+            rounds: 0,
+        }),
+        _ => None,
+    };
+    let mut solver = Solver::new();
+    solver.set_budget(Budget {
+        max_conflicts: None,
+        max_vars: config.max_vars,
+    });
+
+    // Key copies first (their variable indices anchor the search), then the
+    // circuit copies sharing one set of primary inputs, then the miter(s).
+    let n_copies = if *policy == RefinePolicy::DoubleDip {
+        4
+    } else {
+        2
+    };
+    let keys: Vec<Vec<Lit>> = (0..n_copies)
+        .map(|_| {
+            (0..keyed.key_len())
+                .map(|_| Lit::pos(solver.new_var()))
+                .collect()
+        })
+        .collect();
+    let (phases, input_lits) = {
+        let mut enc = CircuitEncoder::new(&mut solver);
+        for k in &keys {
+            assert_valid_key_codes(&mut enc, keyed, k);
+        }
+        let copies: Vec<_> = keys
+            .iter()
+            .map(|k| encode_keyed(&mut enc, keyed, k))
+            .collect();
+        for c in &copies[1..] {
+            for (a, b) in copies[0].inputs.iter().zip(&c.inputs) {
+                enc.equal(*a, *b);
+            }
+        }
+        let d01 = enc.miter(&copies[0].outputs, &copies[1].outputs);
+        let phases: Vec<Vec<Lit>> = if n_copies == 4 {
+            let d23 = enc.miter(&copies[2].outputs, &copies[3].outputs);
+            // Pairwise key distinctness across the pairs: K1≠K3, K1≠K4,
+            // K2≠K3, K2≠K4 — guarantees ≥ 2 distinct wrong keys eliminated
+            // per double DIP. Gated on an activation literal so the
+            // single-DIP mop-up and the final extraction are not
+            // over-constrained.
+            let act = enc.fresh();
+            if keyed.key_len() > 0 {
+                for (i, j) in [(0usize, 2usize), (0, 3), (1, 2), (1, 3)] {
+                    let diffs: Vec<Lit> = keys[i]
+                        .iter()
+                        .zip(&keys[j])
+                        .map(|(&a, &b)| enc.xor(a, b))
+                        .collect();
+                    let ne = enc.or_many(&diffs);
+                    enc.clause(&[!act, ne]);
+                }
+            }
+            let both = enc.and(d01, d23);
+            vec![vec![both, act], vec![d01]]
+        } else {
+            vec![vec![d01]]
+        };
+        (phases, copies[0].inputs.clone())
+    };
+
+    let mut iterations = 0u64;
+    let queries_before = oracle.queries();
+    let width = config.dip_batch.clamp(1, 64);
+
+    let finish = |status: AttackStatus,
+                  key: Option<Vec<bool>>,
+                  iterations: u64,
+                  stats: SolverStats,
+                  oracle: &dyn Oracle| AttackOutcome {
+        status,
+        key,
+        iterations,
+        queries: oracle.queries() - queries_before,
+        elapsed: start.elapsed(),
+        solver_stats: stats,
+    };
+
+    for assumptions in &phases {
+        'refine: loop {
+            if Instant::now() >= deadline {
+                return finish(
+                    AttackStatus::Timeout,
+                    None,
+                    iterations,
+                    solver.stats(),
+                    oracle,
+                );
+            }
+            if let Some(max) = config.max_iterations {
+                if iterations >= max {
+                    return finish(
+                        AttackStatus::Timeout,
+                        None,
+                        iterations,
+                        solver.stats(),
+                        oracle,
+                    );
+                }
+            }
+            match solve_sliced(
+                &mut solver,
+                assumptions,
+                deadline,
+                config.conflicts_per_slice,
+            ) {
+                None => {
+                    return finish(
+                        AttackStatus::Timeout,
+                        None,
+                        iterations,
+                        solver.stats(),
+                        oracle,
+                    )
+                }
+                Some(SolveResult::Unknown) => {
+                    return finish(
+                        AttackStatus::ResourceExhausted,
+                        None,
+                        iterations,
+                        solver.stats(),
+                        oracle,
+                    )
+                }
+                Some(SolveResult::Unsat) => break 'refine, // phase converged
+                Some(SolveResult::Sat) => {
+                    iterations += 1;
+                    let first: Vec<bool> =
+                        input_lits.iter().map(|&l| solver.model_lit(l)).collect();
+                    let mut converged = false;
+                    if width == 1 {
+                        // Historical scalar round: query the oracle, then
+                        // encode and pin both observations (the exact
+                        // pre-engine operation sequence).
+                        let y = oracle.query(&first);
+                        let mut enc = CircuitEncoder::new(&mut solver);
+                        for key in &keys {
+                            let outs = encode_keyed_fixed(&mut enc, keyed, key, &first);
+                            assert_outputs_equal(&mut enc, &outs, &y);
+                        }
+                    } else {
+                        // Batched discovery: assert the copies *agree* on
+                        // each discovered DIP (class-split blocking) and
+                        // re-solve for a DIP witnessing a fresh split,
+                        // before touching the oracle. An UNSAT here means
+                        // the phase has converged — the agreement
+                        // constraints are implied by the observations
+                        // pinned below, so the outer re-solve is skipped.
+                        let mut batch: Vec<(Vec<bool>, Vec<Vec<SigVal>>)> = vec![(
+                            first.clone(),
+                            encode_agreement(&mut solver, keyed, &keys, &first),
+                        )];
+                        while batch.len() < width {
+                            if Instant::now() >= deadline {
+                                break;
+                            }
+                            if let Some(max) = config.max_iterations {
+                                if iterations >= max {
+                                    break;
+                                }
+                            }
+                            match solve_sliced(
+                                &mut solver,
+                                assumptions,
+                                deadline,
+                                config.conflicts_per_slice,
+                            ) {
+                                Some(SolveResult::Sat) => {
+                                    iterations += 1;
+                                    let dip: Vec<bool> =
+                                        input_lits.iter().map(|&l| solver.model_lit(l)).collect();
+                                    let outs = encode_agreement(&mut solver, keyed, &keys, &dip);
+                                    batch.push((dip, outs));
+                                }
+                                Some(SolveResult::Unsat) => {
+                                    converged = true;
+                                    break;
+                                }
+                                // Deadline/budget exhaustion mid-batch:
+                                // resolve what we have; the outer solve
+                                // re-diagnoses.
+                                None | Some(SolveResult::Unknown) => break,
+                            }
+                        }
+                        // The whole batch through the oracle in one
+                        // bit-parallel pass, then pin the stored output
+                        // signals to the observations.
+                        let patterns: Vec<Vec<bool>> =
+                            batch.iter().map(|(dip, _)| dip.clone()).collect();
+                        let lanes = oracle.query_block(&PatternBlock::from_patterns(&patterns));
+                        let mut enc = CircuitEncoder::new(&mut solver);
+                        for (k, (_, per_key)) in batch.iter().enumerate() {
+                            let y: Vec<bool> =
+                                lanes.iter().map(|lane| (lane >> k) & 1 == 1).collect();
+                            for outs in per_key {
+                                assert_outputs_equal(&mut enc, outs, &y);
+                            }
+                        }
+                    }
+                    if let Some(state) = appsat.as_mut() {
+                        if let Some((status, key)) = appsat_round(
+                            state,
+                            &mut solver,
+                            keyed,
+                            &keys,
+                            &input_lits,
+                            oracle,
+                            deadline,
+                            config,
+                            iterations,
+                        ) {
+                            let stats = solver.stats();
+                            return finish(status, key, iterations, stats, oracle);
+                        }
+                    }
+                    if converged {
+                        break 'refine;
+                    }
+                }
+            }
+        }
+    }
+
+    // All phases converged: extract any key consistent with the
+    // accumulated I/O constraints (without the miter assumptions).
+    match solve_sliced(&mut solver, &[], deadline, config.conflicts_per_slice) {
+        None => finish(
+            AttackStatus::Timeout,
+            None,
+            iterations,
+            solver.stats(),
+            oracle,
+        ),
+        Some(SolveResult::Sat) => {
+            let key: Vec<bool> = keys[0].iter().map(|&l| solver.model_lit(l)).collect();
+            let stats = solver.stats();
+            finish(AttackStatus::Success, Some(key), iterations, stats, oracle)
+        }
+        Some(SolveResult::Unsat) => finish(
+            AttackStatus::Inconsistent,
+            None,
+            iterations,
+            solver.stats(),
+            oracle,
+        ),
+        Some(SolveResult::Unknown) => finish(
+            AttackStatus::ResourceExhausted,
+            None,
+            iterations,
+            solver.stats(),
+            oracle,
+        ),
+    }
+}
+
+/// One AppSAT reinforcement round, run whenever the DIP count crosses a
+/// `reinforce_every` multiple: extract a candidate key, estimate its error
+/// on random block queries, exit early below the threshold, otherwise
+/// reinforce the solver with the mismatching observations. Returns a
+/// terminal decision ([`AttackStatus::Success`] early exit or
+/// [`AttackStatus::Inconsistent`]) or `None` to continue refining.
+#[allow(clippy::too_many_arguments)] // borrows of the engine's loop state
+fn appsat_round(
+    state: &mut AppSatState,
+    solver: &mut Solver,
+    keyed: &KeyedNetlist,
+    keys: &[Vec<Lit>],
+    input_lits: &[Lit],
+    oracle: &mut dyn Oracle,
+    deadline: Instant,
+    config: &AttackConfig,
+    iterations: u64,
+) -> Option<Terminal> {
+    if state.reinforce_every == 0 || iterations / state.reinforce_every <= state.rounds {
+        return None;
+    }
+    state.rounds = iterations / state.reinforce_every;
+
+    // Candidate key: any key consistent so far.
+    let candidate = match solve_sliced(solver, &[], deadline, config.conflicts_per_slice) {
+        Some(SolveResult::Sat) => {
+            let k: Vec<bool> = keys[0].iter().map(|&l| solver.model_lit(l)).collect();
+            Some(k)
+        }
+        Some(SolveResult::Unsat) => return Some((AttackStatus::Inconsistent, None)),
+        _ => None,
+    };
+    let cand = candidate?;
+    let resolved = keyed
+        .resolve(&cand)
+        .expect("candidate key has correct width");
+    // Block-query reinforcement: the sample patterns are drawn exactly as
+    // the scalar loop drew them (sample-major, bit-minor), then answered 64
+    // at a time — the chip through `query_block` (still one query per
+    // pattern), the candidate through the bit-parallel simulator.
+    let n_inputs = input_lits.len();
+    let mut cand_sim = Simulator::new(&resolved);
+    let mut mismatches = 0usize;
+    let mut mismatching: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+    let mut remaining = state.samples_per_round;
+    while remaining > 0 {
+        let take = remaining.min(64);
+        remaining -= take;
+        let patterns: Vec<Vec<bool>> = (0..take)
+            .map(|_| (0..n_inputs).map(|_| state.rng.gen_bool(0.5)).collect())
+            .collect();
+        let block = PatternBlock::from_patterns(&patterns);
+        let y_chip = oracle.query_block(&block);
+        let y_cand = cand_sim.run_masked(&block).expect("interface matches");
+        let mut diff = 0u64;
+        for (chip, cand_lane) in y_chip.iter().zip(&y_cand) {
+            diff |= chip ^ cand_lane;
+        }
+        diff &= block.valid_mask();
+        mismatches += diff.count_ones() as usize;
+        while diff != 0 {
+            let k = diff.trailing_zeros() as usize;
+            diff &= diff - 1;
+            let y_k: Vec<bool> = y_chip.iter().map(|lane| (lane >> k) & 1 == 1).collect();
+            mismatching.push((block.pattern(k), y_k));
+        }
+    }
+    let err = mismatches as f64 / state.samples_per_round as f64;
+    if err <= state.error_threshold {
+        return Some((AttackStatus::Success, Some(cand)));
+    }
+    // Reinforce with the mismatching observations.
+    let mut enc = CircuitEncoder::new(solver);
+    for (x, y_chip) in mismatching {
+        for key in &keys[..2] {
+            let outs = encode_keyed_fixed(&mut enc, keyed, key, &x);
+            assert_outputs_equal(&mut enc, &outs, &y_chip);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::verify_key;
+    use crate::oracle::{NetlistOracle, StochasticOracle};
+    use crate::sat_attack::sat_attack;
+    use gshe_camo::{camouflage, select_gates, CamoScheme};
+    use gshe_logic::{GeneratorConfig, Netlist, NetlistGenerator};
+
+    fn keyed_instance(seed: u64) -> (Netlist, gshe_camo::KeyedNetlist) {
+        // 12 inputs / moderate key: tractable in well under a second at
+        // every batch width, hard enough that refinement actually loops.
+        let nl = NetlistGenerator::new(GeneratorConfig::new("t", 12, 6, 120).with_seed(seed))
+            .unwrap()
+            .generate();
+        let picks = select_gates(&nl, 0.12, 55);
+        let mut rng = StdRng::seed_from_u64(55);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        (nl, keyed)
+    }
+
+    #[test]
+    fn every_batch_width_recovers_a_correct_key() {
+        let (nl, keyed) = keyed_instance(2);
+        for width in [1usize, 2, 16, 64] {
+            let config = AttackConfig::with_timeout_secs(30).with_dip_batch(width);
+            let mut oracle = NetlistOracle::new(&nl);
+            let out = refine(&keyed, &mut oracle, &config, &RefinePolicy::Single);
+            assert_eq!(out.status, AttackStatus::Success, "width {width}");
+            let v = verify_key(&nl, &keyed, out.key.as_ref().unwrap()).unwrap();
+            assert!(v.functionally_equivalent, "width {width}");
+            // Block accounting stays per-pattern: every discovered DIP is
+            // exactly one oracle query regardless of batching.
+            assert_eq!(out.queries, out.iterations, "width {width}");
+        }
+    }
+
+    #[test]
+    fn width_one_is_the_historical_sat_attack() {
+        // The `sat_attack` delegation and a direct width-1 engine call must
+        // be indistinguishable on a deterministic instance.
+        let (nl, keyed) = keyed_instance(3);
+        let config = AttackConfig::with_timeout_secs(30);
+        let mut o1 = NetlistOracle::new(&nl);
+        let via_entry = sat_attack(&keyed, &mut o1, &config);
+        let mut o2 = NetlistOracle::new(&nl);
+        let via_engine = refine(&keyed, &mut o2, &config, &RefinePolicy::Single);
+        assert_eq!(via_entry.status, via_engine.status);
+        assert_eq!(via_entry.key, via_engine.key);
+        assert_eq!(via_entry.iterations, via_engine.iterations);
+        assert_eq!(via_entry.queries, via_engine.queries);
+    }
+
+    #[test]
+    fn batched_double_dip_recovers_a_correct_key() {
+        let (nl, keyed) = keyed_instance(4);
+        let config = AttackConfig::with_timeout_secs(30).with_dip_batch(DEFAULT_BATCH_WIDTH);
+        let mut oracle = NetlistOracle::new(&nl);
+        let out = refine(&keyed, &mut oracle, &config, &RefinePolicy::DoubleDip);
+        assert_eq!(out.status, AttackStatus::Success);
+        let v = verify_key(&nl, &keyed, out.key.as_ref().unwrap()).unwrap();
+        assert!(v.functionally_equivalent);
+    }
+
+    #[test]
+    fn batched_rounds_still_collapse_against_noise() {
+        // The stochastic defense must beat the batched engine exactly as it
+        // beats the scalar loop.
+        let (nl, keyed) = keyed_instance(6);
+        let mut broken = 0;
+        let trials = 3;
+        for seed in 0..trials {
+            let mut oracle = StochasticOracle::new(&keyed, 0.25, seed);
+            let config = AttackConfig::with_timeout_secs(20).with_dip_batch(16);
+            let out = refine(&keyed, &mut oracle, &config, &RefinePolicy::Single);
+            let failed = match out.status {
+                AttackStatus::Inconsistent => true,
+                AttackStatus::Success => {
+                    !verify_key(&nl, &keyed, out.key.as_ref().unwrap())
+                        .unwrap()
+                        .functionally_equivalent
+                }
+                _ => true,
+            };
+            broken += failed as usize;
+        }
+        assert!(broken >= trials as usize - 1, "batched attack beat noise");
+    }
+
+    #[test]
+    fn zero_input_circuit_is_safe_at_every_batch_width() {
+        // A key-only circuit has no primary inputs: the batch's single
+        // (empty) "pattern" is excluded purely by the agreement
+        // constraints, and every width must agree with width 1 — nothing
+        // in the batched path may degenerate over zero input literals.
+        use gshe_camo::{CamoGate, Candidates, KeyedNetlist};
+        use gshe_logic::{Bf2, NetlistBuilder};
+        let mut b = NetlistBuilder::new("t");
+        let c0 = b.constant(false);
+        let c1 = b.constant(true);
+        let g = b.gate2("g", Bf2::AND, c0, c1);
+        b.output(g);
+        let nl = b.finish().unwrap();
+        let gate = CamoGate {
+            node: g,
+            candidates: Candidates::TwoInput(Bf2::ALL.to_vec()),
+            key_offset: 0,
+            correct_index: Bf2::AND.truth_table() as usize,
+        };
+        let keyed = KeyedNetlist::new(nl.clone(), vec![gate], 4);
+        for width in [1usize, 2, 16] {
+            let config = AttackConfig::with_timeout_secs(10).with_dip_batch(width);
+            let mut oracle = NetlistOracle::new(&nl);
+            let out = refine(&keyed, &mut oracle, &config, &RefinePolicy::Single);
+            assert_eq!(out.status, AttackStatus::Success, "width {width}");
+            let v = verify_key(&nl, &keyed, out.key.as_ref().unwrap()).unwrap();
+            assert!(v.functionally_equivalent, "width {width}");
+        }
+    }
+
+    #[test]
+    fn tiny_input_space_survives_batch_enumeration() {
+        // Regression: a batch wide enough to enumerate *every* input
+        // pattern of a small circuit must not poison key extraction. The
+        // engine blocks batched DIPs only through agreement constraints,
+        // which the oracle pins later imply — a literal input-blocking
+        // clause here once turned the assumption-free extraction solve
+        // UNSAT (false Inconsistent) at widths > 1.
+        use gshe_camo::{CamoGate, Candidates, KeyedNetlist};
+        use gshe_logic::{Bf2, NetlistBuilder};
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.gate2("g", Bf2::AND, a, c);
+        b.output(g);
+        let nl = b.finish().unwrap();
+        let gate = CamoGate {
+            node: g,
+            candidates: Candidates::TwoInput(Bf2::ALL.to_vec()),
+            key_offset: 0,
+            correct_index: Bf2::AND.truth_table() as usize,
+        };
+        let keyed = KeyedNetlist::new(nl.clone(), vec![gate], 4);
+        for width in [1usize, 4, 16] {
+            let config = AttackConfig::with_timeout_secs(10).with_dip_batch(width);
+            let mut oracle = NetlistOracle::new(&nl);
+            let out = refine(&keyed, &mut oracle, &config, &RefinePolicy::Single);
+            assert_eq!(out.status, AttackStatus::Success, "width {width}");
+            let v = verify_key(&nl, &keyed, out.key.as_ref().unwrap()).unwrap();
+            assert!(v.functionally_equivalent, "width {width}");
+        }
+    }
+
+    #[test]
+    fn max_iterations_caps_batched_discovery() {
+        // The iteration cap must bite *inside* a batch, not just between
+        // rounds.
+        let (nl, keyed) = keyed_instance(2);
+        let config = AttackConfig {
+            max_iterations: Some(3),
+            ..AttackConfig::with_timeout_secs(30).with_dip_batch(64)
+        };
+        let mut oracle = NetlistOracle::new(&nl);
+        let out = refine(&keyed, &mut oracle, &config, &RefinePolicy::Single);
+        assert!(out.iterations <= 3, "{} iterations", out.iterations);
+        assert_eq!(out.status, AttackStatus::Timeout);
+    }
+}

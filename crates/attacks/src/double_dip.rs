@@ -12,163 +12,23 @@
 //! single-DIP loop to finish off the remaining key classes, then extracts
 //! the key.
 
-use crate::encode::{
-    assert_outputs_equal, assert_valid_key_codes, encode_keyed, encode_keyed_fixed,
-};
+use crate::dip_engine::{refine, RefinePolicy};
 use crate::oracle::Oracle;
-use crate::sat_attack::{solve_sliced, AttackConfig, AttackOutcome, AttackStatus};
+use crate::sat_attack::{AttackConfig, AttackOutcome};
 use gshe_camo::KeyedNetlist;
-use gshe_sat::solver::Budget;
-use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver};
-use std::time::Instant;
 
 /// Runs the Double DIP attack.
+///
+/// This is the [`RefinePolicy::DoubleDip`] specialization of the shared
+/// [DIP-refinement engine](crate::dip_engine): four key copies, a double
+/// miter with pairwise key distinctness in phase 1, the single-DIP mop-up
+/// in phase 2.
 pub fn double_dip_attack(
     keyed: &KeyedNetlist,
     oracle: &mut dyn Oracle,
     config: &AttackConfig,
 ) -> AttackOutcome {
-    let start = Instant::now();
-    let deadline = start + config.timeout;
-    let mut solver = Solver::new();
-    solver.set_budget(Budget {
-        max_conflicts: None,
-        max_vars: config.max_vars,
-    });
-
-    // Four key copies: pairs (K1, K2) and (K3, K4).
-    let keys: Vec<Vec<Lit>> = (0..4)
-        .map(|_| {
-            (0..keyed.key_len())
-                .map(|_| Lit::pos(solver.new_var()))
-                .collect()
-        })
-        .collect();
-
-    let (double_diff, single_diff, distinct_act, input_lits) = {
-        let mut enc = CircuitEncoder::new(&mut solver);
-        for k in &keys {
-            assert_valid_key_codes(&mut enc, keyed, k);
-        }
-        let copies: Vec<_> = keys
-            .iter()
-            .map(|k| encode_keyed(&mut enc, keyed, k))
-            .collect();
-        // All four copies share the primary inputs.
-        for c in &copies[1..] {
-            for (a, b) in copies[0].inputs.iter().zip(&c.inputs) {
-                enc.equal(*a, *b);
-            }
-        }
-        let d12 = enc.miter(&copies[0].outputs, &copies[1].outputs);
-        let d34 = enc.miter(&copies[2].outputs, &copies[3].outputs);
-        // Pairwise key distinctness across the pairs: K1≠K3, K1≠K4,
-        // K2≠K3, K2≠K4 — guarantees ≥ 2 distinct wrong keys eliminated per
-        // double DIP. Gated on an activation literal so the single-DIP
-        // mop-up and the final extraction are not over-constrained.
-        let act = enc.fresh();
-        if keyed.key_len() > 0 {
-            for (i, j) in [(0usize, 2usize), (0, 3), (1, 2), (1, 3)] {
-                let diffs: Vec<Lit> = keys[i]
-                    .iter()
-                    .zip(&keys[j])
-                    .map(|(&a, &b)| enc.xor(a, b))
-                    .collect();
-                let ne = enc.or_many(&diffs);
-                enc.clause(&[!act, ne]);
-            }
-        }
-        let both = enc.and(d12, d34);
-        (both, d12, act, copies[0].inputs.clone())
-    };
-
-    let mut iterations = 0u64;
-    let queries_before = oracle.queries();
-
-    let finish = |status: AttackStatus,
-                  key: Option<Vec<bool>>,
-                  iterations: u64,
-                  solver: &Solver,
-                  oracle: &dyn Oracle| AttackOutcome {
-        status,
-        key,
-        iterations,
-        queries: oracle.queries() - queries_before,
-        elapsed: start.elapsed(),
-        solver_stats: solver.stats(),
-    };
-
-    // Phase 1: double-DIP refinement (distinctness active);
-    // Phase 2: single-DIP mop-up (distinctness released).
-    let phases: [Vec<Lit>; 2] = [vec![double_diff, distinct_act], vec![single_diff]];
-    for assumptions in &phases {
-        loop {
-            if Instant::now() >= deadline {
-                return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
-            }
-            if let Some(max) = config.max_iterations {
-                if iterations >= max {
-                    return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
-                }
-            }
-            match solve_sliced(
-                &mut solver,
-                assumptions,
-                deadline,
-                config.conflicts_per_slice,
-            ) {
-                None => return finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
-                Some(SolveResult::Sat) => {
-                    iterations += 1;
-                    let dip: Vec<bool> = input_lits.iter().map(|&l| solver.model_lit(l)).collect();
-                    let y = oracle.query(&dip);
-                    let mut enc = CircuitEncoder::new(&mut solver);
-                    for k in &keys {
-                        let outs = encode_keyed_fixed(&mut enc, keyed, k, &dip);
-                        assert_outputs_equal(&mut enc, &outs, &y);
-                    }
-                }
-                Some(SolveResult::Unsat) => break, // next phase (or extract)
-                Some(SolveResult::Unknown) => {
-                    return finish(
-                        AttackStatus::ResourceExhausted,
-                        None,
-                        iterations,
-                        &solver,
-                        oracle,
-                    )
-                }
-            }
-        }
-    }
-
-    match solve_sliced(&mut solver, &[], deadline, config.conflicts_per_slice) {
-        None => finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
-        Some(SolveResult::Sat) => {
-            let key: Vec<bool> = keys[0].iter().map(|&l| solver.model_lit(l)).collect();
-            finish(
-                AttackStatus::Success,
-                Some(key),
-                iterations,
-                &solver,
-                oracle,
-            )
-        }
-        Some(SolveResult::Unsat) => finish(
-            AttackStatus::Inconsistent,
-            None,
-            iterations,
-            &solver,
-            oracle,
-        ),
-        Some(SolveResult::Unknown) => finish(
-            AttackStatus::ResourceExhausted,
-            None,
-            iterations,
-            &solver,
-            oracle,
-        ),
-    }
+    refine(keyed, oracle, config, &RefinePolicy::DoubleDip)
 }
 
 #[cfg(test)]
@@ -176,6 +36,7 @@ mod tests {
     use super::*;
     use crate::metrics::verify_key;
     use crate::oracle::NetlistOracle;
+    use crate::sat_attack::AttackStatus;
     use gshe_camo::{camouflage, select_gates, CamoScheme};
     use gshe_logic::bench_format::{parse_bench, C17_BENCH};
     use gshe_logic::{GeneratorConfig, NetlistGenerator};

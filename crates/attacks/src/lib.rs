@@ -10,9 +10,15 @@
 //! * an **AppSAT**-style approximate attack (Shamsi et al. \[11\]) — SAT
 //!   attack interleaved with random-query error estimation and early exit
 //!   ([`appsat_attack`]);
-//! * oracles: a perfect working chip ([`NetlistOracle`]) and the tunable
+//! * the shared [`dip_engine`] all three delegate to: one
+//!   miter/constraint-accumulation loop parameterized by a
+//!   [`RefinePolicy`], discovering up to [`AttackConfig::dip_batch`] DIPs
+//!   per solver round and resolving each batch through **one**
+//!   bit-parallel [`Oracle::query_block`] call;
+//! * oracles: a perfect working chip ([`NetlistOracle`]), the tunable
 //!   **stochastic** GSHE chip of Sec. V-B ([`StochasticOracle`]) whose
-//!   per-cell error rates superpose into correlated output errors;
+//!   per-cell error rates superpose into correlated output errors, and the
+//!   key-rotating chip of Sec. V-C ([`RotatingOracle`]);
 //! * key verification by exact SAT equivalence ([`verify_key`]).
 //!
 //! The attacker's view of a [`gshe_camo::KeyedNetlist`] is its structure
@@ -23,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod appsat;
+pub mod dip_engine;
 pub mod double_dip;
 pub mod encode;
 pub mod metrics;
@@ -31,9 +38,10 @@ pub mod runner;
 pub mod sat_attack;
 
 pub use appsat::{appsat_attack, AppSatConfig};
+pub use dip_engine::{RefinePolicy, DEFAULT_BATCH_WIDTH};
 pub use double_dip::double_dip_attack;
 pub use encode::{assert_valid_key_codes, encode_keyed, encode_keyed_fixed, EncodedCopy};
 pub use metrics::{verify_key, KeyVerification};
-pub use oracle::{NetlistOracle, Oracle, StochasticOracle};
+pub use oracle::{NetlistOracle, Oracle, RotatingOracle, StochasticOracle};
 pub use runner::{AttackKind, AttackRunner};
 pub use sat_attack::{sat_attack, AttackConfig, AttackOutcome, AttackStatus};

@@ -7,6 +7,8 @@
 
 use gshe_camo::KeyedNetlist;
 use gshe_logic::{ErrorProfile, FaultSimulator, Netlist, NodeId, PatternBlock, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A black-box working chip: apply inputs, observe outputs.
 pub trait Oracle {
@@ -191,13 +193,116 @@ impl Oracle for StochasticOracle<'_> {
     }
 }
 
+/// An oracle whose key rotates every `period` queries (dynamic functional
+/// obfuscation after Koteshwara et al. \[40\] — the Sec. V-C
+/// "dynamic camouflaging" defense). The first epoch uses the correct key;
+/// later epochs draw random keys, so answers from different epochs are
+/// mutually inconsistent — starving SAT attacks of a consistent solution
+/// space. Campaigns sweep the rotation `period` as a defense-side grid
+/// dimension (`rotation_periods` in `gshe-campaign`).
+#[derive(Debug, Clone)]
+pub struct RotatingOracle<'a> {
+    keyed: &'a KeyedNetlist,
+    resolved: Netlist,
+    period: u64,
+    count: u64,
+    rng: StdRng,
+    /// Bit-parallel scratch reused across block queries (the resolved
+    /// netlist changes identity per epoch, but never size).
+    scratch: Vec<u64>,
+}
+
+impl<'a> RotatingOracle<'a> {
+    /// Creates a rotating oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(keyed: &'a KeyedNetlist, period: u64, seed: u64) -> Self {
+        assert!(period > 0, "rotation period must be positive");
+        RotatingOracle {
+            resolved: keyed
+                .resolve(&keyed.correct_key())
+                .expect("correct key resolves"),
+            keyed,
+            period,
+            count: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0xD07A7E),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The configured rotation period (queries per epoch).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    fn rotate(&mut self) {
+        let key: Vec<bool> = (0..self.keyed.key_len())
+            .map(|_| self.rng.gen_bool(0.5))
+            .collect();
+        self.resolved = self.keyed.resolve(&key).expect("key width is correct");
+    }
+}
+
+impl Oracle for RotatingOracle<'_> {
+    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        if self.count > 0 && self.count.is_multiple_of(self.period) {
+            self.rotate();
+        }
+        self.count += 1;
+        gshe_logic::sim::run_scalar_with_scratch(&self.resolved, &mut self.scratch, inputs)
+            .expect("oracle input arity mismatch")
+    }
+
+    /// Bit-parallel block path with *per-pattern* rotation semantics: the
+    /// block is split at epoch boundaries, each segment answered by one
+    /// pass of the bit-parallel engine over the epoch's resolved netlist.
+    /// Key draws, query accounting, and answers match the scalar loop
+    /// exactly; only the evaluation is batched.
+    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+        let mut lanes = vec![0u64; self.num_outputs()];
+        let mut k = 0usize;
+        while k < block.count {
+            if self.count > 0 && self.count.is_multiple_of(self.period) {
+                self.rotate();
+            }
+            let until_rotation = (self.period - self.count % self.period).min(64) as usize;
+            let take = until_rotation.min(block.count - k);
+            let segment = if take == 64 {
+                !0u64
+            } else {
+                ((1u64 << take) - 1) << k
+            };
+            let outs = gshe_logic::sim::run_with_scratch(&self.resolved, &mut self.scratch, block)
+                .expect("oracle input arity mismatch");
+            for (lane, out) in lanes.iter_mut().zip(&outs) {
+                *lane |= out & segment;
+            }
+            self.count += take as u64;
+            k += take;
+        }
+        lanes
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.keyed.netlist().inputs().len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.keyed.netlist().outputs().len()
+    }
+
+    fn queries(&self) -> u64 {
+        self.count
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use gshe_camo::{camouflage, select_gates, CamoScheme};
     use gshe_logic::bench_format::{parse_bench, C17_BENCH};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn c17_keyed() -> (Netlist, KeyedNetlist) {
         let nl = parse_bench(C17_BENCH).unwrap();
@@ -368,6 +473,66 @@ mod tests {
         assert_eq!(profile.noisy_nodes().collect::<Vec<_>>(), expected);
         for node in profile.noisy_nodes() {
             assert_eq!(profile.rate(node), 0.25);
+        }
+    }
+
+    #[test]
+    fn rotating_block_edge_periods_match_scalar_bit_for_bit() {
+        // Edge cases of the epoch-splitting block path: period 1 (rotate
+        // before every query after the first), period 7 (does not divide
+        // 64, so the boundary drifts through consecutive blocks), and
+        // period 20 (one full block straddles the three epoch boundaries
+        // at counts 20, 40, and 60). Each must match 64 scalar queries
+        // bit-for-bit.
+        let (_, keyed) = c17_keyed();
+        for period in [1u64, 7, 20] {
+            let mut fast = RotatingOracle::new(&keyed, period, 5);
+            let mut slow = RotatingOracle::new(&keyed, period, 5);
+            let mut rng = StdRng::seed_from_u64(4);
+            for round in 0..2 {
+                let block = PatternBlock::random(5, &mut rng);
+                assert_eq!(block.count, 64);
+                let lanes = fast.query_block(&block);
+                for k in 0..block.count {
+                    let y = slow.query(&block.pattern(k));
+                    for (o, &bit) in y.iter().enumerate() {
+                        assert_eq!(
+                            bit,
+                            (lanes[o] >> k) & 1 == 1,
+                            "period {period} round {round} pattern {k} output {o}"
+                        );
+                    }
+                }
+                assert_eq!(fast.queries(), slow.queries(), "period {period}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotating_block_path_leaves_count_and_key_stream_in_sync() {
+        // After a block query, the oracle must sit in *exactly* the state
+        // the scalar loop would leave: same query count, same RNG position
+        // in the key stream. Follow-up scalar queries spanning several
+        // more rotations must therefore agree between the twins.
+        let (_, keyed) = c17_keyed();
+        for period in [1u64, 7, 20] {
+            let mut fast = RotatingOracle::new(&keyed, period, 9);
+            let mut slow = RotatingOracle::new(&keyed, period, 9);
+            let mut rng = StdRng::seed_from_u64(6);
+            let block = PatternBlock::random_n(5, 50, &mut rng);
+            let _ = fast.query_block(&block);
+            for k in 0..block.count {
+                let _ = slow.query(&block.pattern(k));
+            }
+            assert_eq!(fast.queries(), slow.queries(), "period {period}");
+            for q in 0..(3 * period + 2) {
+                let p = block.pattern(q as usize % block.count);
+                assert_eq!(
+                    fast.query(&p),
+                    slow.query(&p),
+                    "period {period} post-block query {q} diverged"
+                );
+            }
         }
     }
 

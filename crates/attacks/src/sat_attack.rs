@@ -9,14 +9,11 @@
 //! consistent with the accumulated I/O constraints is functionally correct
 //! (for a deterministic oracle).
 
-use crate::encode::{
-    assert_outputs_equal, assert_valid_key_codes, encode_keyed, encode_keyed_fixed,
-};
+use crate::dip_engine::{refine, RefinePolicy};
 use crate::oracle::Oracle;
 use gshe_camo::KeyedNetlist;
-use gshe_sat::solver::Budget;
-use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver, SolverStats};
-use std::time::{Duration, Instant};
+use gshe_sat::SolverStats;
+use std::time::Duration;
 
 /// Attack configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +28,14 @@ pub struct AttackConfig {
     pub conflicts_per_slice: u64,
     /// Variable budget (mirrors the paper's lglib 134M-variable failure).
     pub max_vars: Option<usize>,
+    /// DIPs discovered per solver round (clamped to `1..=64`): the round's
+    /// patterns are answered by **one** bit-parallel
+    /// [`Oracle::query_block`] call instead of one scalar query each. `1`
+    /// (the default) reproduces the historical one-query-per-iteration
+    /// loop bit-for-bit on seeded runs;
+    /// [`crate::dip_engine::DEFAULT_BATCH_WIDTH`] is the recommended
+    /// throughput setting.
+    pub dip_batch: usize,
 }
 
 impl Default for AttackConfig {
@@ -40,6 +45,7 @@ impl Default for AttackConfig {
             max_iterations: None,
             conflicts_per_slice: 20_000,
             max_vars: Some(134_217_724),
+            dip_batch: 1,
         }
     }
 }
@@ -50,6 +56,14 @@ impl AttackConfig {
         AttackConfig {
             timeout: Duration::from_secs(secs),
             ..Default::default()
+        }
+    }
+
+    /// Returns the configuration with the DIP batch width set to `width`.
+    pub fn with_dip_batch(self, width: usize) -> Self {
+        AttackConfig {
+            dip_batch: width,
+            ..self
         }
     }
 }
@@ -94,154 +108,17 @@ impl AttackOutcome {
     }
 }
 
-/// Solves with the wall clock checked between conflict-budget slices.
-/// Returns `None` on deadline/budget exhaustion.
-pub(crate) fn solve_sliced(
-    solver: &mut Solver,
-    assumptions: &[Lit],
-    deadline: Instant,
-    slice: u64,
-) -> Option<SolveResult> {
-    loop {
-        solver.set_budget(Budget {
-            max_conflicts: Some(slice),
-            max_vars: None,
-        });
-        match solver.solve_with(assumptions) {
-            SolveResult::Unknown => {
-                if Instant::now() >= deadline {
-                    return None;
-                }
-            }
-            done => return Some(done),
-        }
-    }
-}
-
 /// Runs the SAT attack against `keyed` (attacker's view: structure and
 /// candidate sets only) using `oracle` as the working chip.
+///
+/// This is the [`RefinePolicy::Single`] specialization of the shared
+/// [DIP-refinement engine](crate::dip_engine).
 pub fn sat_attack(
     keyed: &KeyedNetlist,
     oracle: &mut dyn Oracle,
     config: &AttackConfig,
 ) -> AttackOutcome {
-    let start = Instant::now();
-    let deadline = start + config.timeout;
-    let mut solver = Solver::new();
-    solver.set_budget(Budget {
-        max_conflicts: None,
-        max_vars: config.max_vars,
-    });
-
-    // Two key copies + shared-input symbolic copies + miter.
-    let key1: Vec<Lit> = (0..keyed.key_len())
-        .map(|_| Lit::pos(solver.new_var()))
-        .collect();
-    let key2: Vec<Lit> = (0..keyed.key_len())
-        .map(|_| Lit::pos(solver.new_var()))
-        .collect();
-    let diff = {
-        let mut enc = CircuitEncoder::new(&mut solver);
-        assert_valid_key_codes(&mut enc, keyed, &key1);
-        assert_valid_key_codes(&mut enc, keyed, &key2);
-        let copy1 = encode_keyed(&mut enc, keyed, &key1);
-        let copy2 = encode_keyed(&mut enc, keyed, &key2);
-        // Share the primary inputs between the copies.
-        for (a, b) in copy1.inputs.iter().zip(&copy2.inputs) {
-            enc.equal(*a, *b);
-        }
-        let diff = enc.miter(&copy1.outputs, &copy2.outputs);
-        // Remember input literals via copy1.
-        (diff, copy1.inputs)
-    };
-    let (diff_lit, input_lits) = diff;
-
-    let mut iterations = 0u64;
-    let queries_before = oracle.queries();
-
-    let finish = |status: AttackStatus,
-                  key: Option<Vec<bool>>,
-                  iterations: u64,
-                  solver: &Solver,
-                  oracle: &dyn Oracle| AttackOutcome {
-        status,
-        key,
-        iterations,
-        queries: oracle.queries() - queries_before,
-        elapsed: start.elapsed(),
-        solver_stats: solver.stats(),
-    };
-
-    loop {
-        if Instant::now() >= deadline {
-            return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
-        }
-        if let Some(max) = config.max_iterations {
-            if iterations >= max {
-                return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
-            }
-        }
-        match solve_sliced(
-            &mut solver,
-            &[diff_lit],
-            deadline,
-            config.conflicts_per_slice,
-        ) {
-            None => return finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
-            Some(SolveResult::Sat) => {
-                iterations += 1;
-                // Extract the DIP and query the oracle.
-                let dip: Vec<bool> = input_lits.iter().map(|&l| solver.model_lit(l)).collect();
-                let y = oracle.query(&dip);
-                // Constrain both key copies to reproduce the observation.
-                let mut enc = CircuitEncoder::new(&mut solver);
-                for key in [&key1, &key2] {
-                    let outs = encode_keyed_fixed(&mut enc, keyed, key, &dip);
-                    assert_outputs_equal(&mut enc, &outs, &y);
-                }
-            }
-            Some(SolveResult::Unsat) => {
-                // Converged: extract any key consistent with the I/O
-                // constraints (without the miter assumption).
-                return match solve_sliced(&mut solver, &[], deadline, config.conflicts_per_slice) {
-                    None => finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
-                    Some(SolveResult::Sat) => {
-                        let key: Vec<bool> = key1.iter().map(|&l| solver.model_lit(l)).collect();
-                        finish(
-                            AttackStatus::Success,
-                            Some(key),
-                            iterations,
-                            &solver,
-                            oracle,
-                        )
-                    }
-                    Some(SolveResult::Unsat) => finish(
-                        AttackStatus::Inconsistent,
-                        None,
-                        iterations,
-                        &solver,
-                        oracle,
-                    ),
-                    Some(SolveResult::Unknown) => finish(
-                        AttackStatus::ResourceExhausted,
-                        None,
-                        iterations,
-                        &solver,
-                        oracle,
-                    ),
-                };
-            }
-            Some(SolveResult::Unknown) => {
-                return finish(
-                    AttackStatus::ResourceExhausted,
-                    None,
-                    iterations,
-                    &solver,
-                    oracle,
-                )
-            }
-        }
-    }
+    refine(keyed, oracle, config, &RefinePolicy::Single)
 }
 
 #[cfg(test)]

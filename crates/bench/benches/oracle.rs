@@ -1,26 +1,34 @@
 //! Oracle query-path benchmarks: the bit-parallel block path vs. 64
 //! pattern-at-a-time scalar queries, for the deterministic chip and the
-//! stochastic (noise-engine) chip of Sec. V-B.
+//! stochastic (noise-engine) chip of Sec. V-B — plus the **batched-DIP**
+//! attack benchmark measuring the unified engine's end-to-end win.
 //!
 //! The acceptance target for the noise-aware engine is a ≥10× speedup of
 //! `StochasticOracle::query_block` over 64 scalar `query` calls on an
-//! ISCAS-89 s-suite benchmark (s38584, scaled).
+//! ISCAS-89 s-suite benchmark (s38584, scaled); for the batched DIP
+//! engine it is a wall-clock reduction of the full SAT attack at batch
+//! width 16 vs. width 1 on the same benchmark.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gshe_core::logic::{suites, Netlist, PatternBlock};
 use gshe_core::prelude::{
-    camouflage, select_gates, CamoScheme, KeyedNetlist, NetlistOracle, Oracle, StochasticOracle,
+    camouflage, sat_attack, select_gates, AttackConfig, AttackStatus, CamoScheme, KeyedNetlist,
+    NetlistOracle, Oracle, StochasticOracle,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn s38584_keyed() -> (Netlist, KeyedNetlist) {
+fn s38584_keyed_at(level: f64) -> (Netlist, KeyedNetlist) {
     let spec = suites::spec("s38584").expect("s-suite benchmark present");
     let nl = suites::benchmark_scaled(spec, 40, 1);
-    let picks = select_gates(&nl, 0.1, 3);
+    let picks = select_gates(&nl, level, 3);
     let mut rng = StdRng::seed_from_u64(3);
     let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).expect("camouflage");
     (nl, keyed)
+}
+
+fn s38584_keyed() -> (Netlist, KeyedNetlist) {
+    s38584_keyed_at(0.1)
 }
 
 fn bench_oracle_paths(c: &mut Criterion) {
@@ -63,9 +71,39 @@ fn bench_oracle_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// The unified DIP-refinement engine end to end: the full SAT attack on
+/// s38584 (scaled 1/40, 5% protection) at batch width 1 (the historical
+/// one-query-per-iteration loop) vs. width 16 (class-split-blocked batch
+/// discovery resolved through one `query_block` per round). The batched
+/// rounds must *reduce* wall-clock, not just oracle calls — this is the
+/// measured form of the speedup claim.
+fn bench_batched_dip(c: &mut Criterion) {
+    let (nl, keyed) = s38584_keyed_at(0.05);
+    let mut group = c.benchmark_group("batched_dip_s38584");
+
+    for width in [1usize, 16] {
+        let config = AttackConfig::with_timeout_secs(120).with_dip_batch(width);
+        group.bench_function(format!("sat_attack_batch_{width}"), |b| {
+            b.iter(|| {
+                let mut oracle = NetlistOracle::new(&nl);
+                let out = sat_attack(black_box(&keyed), &mut oracle, &config);
+                assert_eq!(out.status, AttackStatus::Success, "width {width}");
+                black_box(out.iterations)
+            })
+        });
+    }
+
+    group.finish();
+}
+
 criterion_group! {
     name = oracle;
     config = Criterion::default().sample_size(30);
     targets = bench_oracle_paths
 }
-criterion_main!(oracle);
+criterion_group! {
+    name = batched_dip;
+    config = Criterion::default().sample_size(5);
+    targets = bench_batched_dip
+}
+criterion_main!(oracle, batched_dip);

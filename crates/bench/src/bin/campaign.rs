@@ -8,9 +8,13 @@
 //! campaign [--benchmarks a,b|suite:itc99|all] [--schemes x,y|all]
 //!          [--attacks sat,appsat] [--levels 10,20] [--error-rates 0,0.05]
 //!          [--profiles uniform,output-cone,depth-gradient|all]
-//!          [--trials N] [--scale N] [--seed N] [--timeout SECS]
-//!          [--threads N] [--out PREFIX] [--deterministic]
+//!          [--rotation-periods 0,1,16,64] [--trials N] [--scale N]
+//!          [--seed N] [--timeout SECS] [--threads N] [--out PREFIX]
+//!          [--deterministic]
 //! ```
+//!
+//! `campaign --help` prints this grid with every valid scheme, attack,
+//! profile, and spec-file key name.
 //!
 //! `--out PREFIX` writes `PREFIX.json` and `PREFIX.csv`. `--deterministic`
 //! prints the timing-free JSON (byte-identical across thread counts) to
@@ -20,7 +24,10 @@
 //! `--spec` is applied first; every other flag overrides the spec file's
 //! value regardless of where it appears on the command line.
 
-use gshe_core::campaign::{scheme_name, Campaign, CampaignSpec, NoiseShape};
+use gshe_core::campaign::{
+    scheme_name, valid_attack_names, valid_key_names, valid_profile_names, valid_scheme_names,
+    Campaign, CampaignSpec, NoiseShape,
+};
 use gshe_core::prelude::{AttackKind, CamoScheme};
 use std::time::Duration;
 
@@ -28,6 +35,46 @@ use std::time::Duration;
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// Prints usage, including every valid scheme/attack/profile/key name.
+fn print_help() {
+    println!(
+        "\
+Runs a protect->attack->measure campaign grid and prints the aggregated table.
+
+USAGE:
+  campaign --spec FILE.toml [--out PREFIX] [--deterministic]
+  campaign [GRID FLAGS] [--out PREFIX] [--deterministic]
+
+GRID FLAGS (each overrides the spec file's value):
+  --benchmarks a,b       benchmark names, suite:<name>, or `all`
+  --schemes x,y          {schemes}
+  --attacks x,y          {attacks}
+  --levels 10,20         protection levels in percent
+  --error-rates 0,0.05   oracle per-cell error rates (fractions)
+  --profiles x,y         {profiles}
+  --rotation-periods 0,16  dynamic-camouflaging periods in queries
+                         (0 = static oracle; n > 0 rotates the key every
+                         n queries and collapses the noise dimensions)
+  --trials N             repeats per grid cell
+  --scale N              benchmark scale divisor
+  --seed N               master seed
+  --timeout SECS         per-job attack budget
+  --threads N            workers (0 = available parallelism)
+
+OUTPUT:
+  --out PREFIX           write PREFIX.json and PREFIX.csv
+  --deterministic        print timing-free JSON (byte-identical across
+                         thread counts) instead of the human table
+
+Spec files use `key = value` TOML lines with these keys:
+  {keys}",
+        schemes = valid_scheme_names(),
+        attacks = valid_attack_names(),
+        profiles = valid_profile_names(),
+        keys = valid_key_names(),
+    );
 }
 
 fn main() {
@@ -54,6 +101,10 @@ fn main() {
     let mut i = 0;
     while i < argv.len() {
         let key = argv[i].as_str();
+        if key == "--help" || key == "-h" {
+            print_help();
+            return;
+        }
         if key == "--deterministic" {
             deterministic = true;
             i += 1;
@@ -77,8 +128,12 @@ fn main() {
                         if n == "all" {
                             CamoScheme::ALL.to_vec()
                         } else {
-                            vec![gshe_core::campaign::parse_scheme(n)
-                                .unwrap_or_else(|| fail(&format!("unknown scheme `{n}`")))]
+                            vec![gshe_core::campaign::parse_scheme(n).unwrap_or_else(|| {
+                                fail(&format!(
+                                    "unknown scheme `{n}` (valid: {})",
+                                    valid_scheme_names()
+                                ))
+                            })]
                         }
                     })
                     .collect()
@@ -87,8 +142,12 @@ fn main() {
                 spec.attacks = value
                     .split(',')
                     .map(|n| {
-                        AttackKind::parse(n)
-                            .unwrap_or_else(|| fail(&format!("unknown attack `{n}`")))
+                        AttackKind::parse(n).unwrap_or_else(|| {
+                            fail(&format!(
+                                "unknown attack `{n}` (valid: {})",
+                                valid_attack_names()
+                            ))
+                        })
                     })
                     .collect()
             }
@@ -118,9 +177,23 @@ fn main() {
                         if n == "all" {
                             NoiseShape::ALL.to_vec()
                         } else {
-                            vec![NoiseShape::parse(n)
-                                .unwrap_or_else(|| fail(&format!("unknown profile `{n}`")))]
+                            vec![NoiseShape::parse(n).unwrap_or_else(|| {
+                                fail(&format!(
+                                    "unknown profile `{n}` (valid: {})",
+                                    valid_profile_names()
+                                ))
+                            })]
                         }
+                    })
+                    .collect()
+            }
+            "--rotation-periods" => {
+                spec.rotation_periods = value
+                    .split(',')
+                    .map(|v| {
+                        v.parse().unwrap_or_else(|_| {
+                            fail("--rotation-periods takes integers (0 = static oracle)")
+                        })
                     })
                     .collect()
             }
@@ -152,7 +225,9 @@ fn main() {
                     .unwrap_or_else(|_| fail("--threads takes an integer"))
             }
             "--out" => out_prefix = Some(value),
-            other => fail(&format!("unknown option `{other}`")),
+            other => fail(&format!(
+                "unknown option `{other}` (run `campaign --help` for the flag list)"
+            )),
         }
         i += 2;
     }
@@ -182,13 +257,14 @@ fn main() {
         report.cache_misses,
     );
     println!(
-        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>14}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",
         "benchmark",
         "scheme",
         "attack",
         "prot",
         "error",
         "profile",
+        "period",
         "trials",
         "recov%",
         "queries",
@@ -196,16 +272,21 @@ fn main() {
         "p50 s",
         "p90 s"
     );
-    println!("{:-<120}", "");
+    println!("{:-<128}", "");
     for row in &report.rows {
         println!(
-            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>14}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2}",
+            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2}",
             row.key.benchmark,
             scheme_name(row.key.scheme),
             row.key.attack.name(),
             row.key.level * 100.0,
             row.key.error_rate,
             row.key.profile.name(),
+            if row.key.rotation_period == 0 {
+                "-".to_string()
+            } else {
+                row.key.rotation_period.to_string()
+            },
             row.trials,
             row.key_recovery_rate * 100.0,
             row.mean_queries,

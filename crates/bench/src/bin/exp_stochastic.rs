@@ -49,6 +49,7 @@ fn main() {
                         attack,
                         error_rate: 1.0 - acc,
                         profile: NoiseShape::Uniform,
+                        rotation_period: 0,
                         trial,
                         seeds: AttackSeeds {
                             select: args.seed ^ 7,

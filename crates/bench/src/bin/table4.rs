@@ -51,6 +51,7 @@ fn main() {
                         attack: AttackKind::Sat,
                         error_rate: 0.0,
                         profile: NoiseShape::Uniform,
+                        rotation_period: 0,
                         trial: 0,
                         seeds: AttackSeeds {
                             select,

@@ -27,6 +27,8 @@ pub struct CellKey {
     pub error_rate: f64,
     /// Error-profile shape the rate was applied with.
     pub profile: NoiseShape,
+    /// Dynamic-camouflaging rotation period (0 = static oracle).
+    pub rotation_period: u64,
 }
 
 /// Aggregated metrics for one attack-grid cell.
@@ -100,6 +102,7 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                 attack,
                 error_rate,
                 profile,
+                rotation_period,
                 ..
             } => {
                 let key = CellKey {
@@ -109,6 +112,7 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                     attack: *attack,
                     error_rate: *error_rate,
                     profile: *profile,
+                    rotation_period: *rotation_period,
                 };
                 match rows.iter_mut().find(|(k, _)| *k == key) {
                     Some((_, bucket)) => bucket.push(result),
@@ -215,6 +219,7 @@ mod tests {
                     attack: AttackKind::Sat,
                     error_rate: 0.0,
                     profile: NoiseShape::Uniform,
+                    rotation_period: 0,
                     trial,
                     seeds: AttackSeeds {
                         select: 0,

@@ -14,7 +14,9 @@
 //! fairness protocol).
 
 use crate::cache::{CachedOracle, OracleCache};
-use gshe_attacks::{verify_key, AttackKind, AttackRunner, AttackStatus, StochasticOracle};
+use gshe_attacks::{
+    verify_key, AttackKind, AttackRunner, AttackStatus, RotatingOracle, StochasticOracle,
+};
 use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
 use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
 use gshe_logic::{ErrorProfile, Netlist, NodeId};
@@ -39,6 +41,18 @@ pub fn hash_str(s: &str) -> u64 {
         h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
     }
     hash_mix(h)
+}
+
+/// Seed salt folded into the oracle seed for the rotation-period
+/// dimension: zero for the historical static oracle (period 0), so specs
+/// that don't sweep periods derive exactly the seeds they always did; a
+/// period-distinct mix otherwise.
+pub fn rotation_salt(period: u64) -> u64 {
+    if period == 0 {
+        0
+    } else {
+        hash_mix(period ^ 0xD07A_7E5A_17ED)
+    }
 }
 
 /// The *shape* of an oracle error profile: how a single error-rate number
@@ -179,6 +193,10 @@ pub enum JobKind {
         error_rate: f64,
         /// How the error rate spreads over the cloaked cells.
         profile: NoiseShape,
+        /// Dynamic-camouflaging rotation period: `0` = static oracle, `n`
+        /// = the chip draws a fresh random key every `n` queries
+        /// ([`RotatingOracle`]).
+        rotation_period: u64,
         /// Trial index (campaigns repeat stochastic cells).
         trial: u64,
         /// The job's RNG seeds.
@@ -317,6 +335,7 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
             attack,
             error_rate,
             profile,
+            rotation_period,
             trial: _,
             seeds,
         } => {
@@ -336,7 +355,13 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
                 }
             };
             let runner = AttackRunner::new(*attack, spec.timeout, seeds.oracle);
-            let out = if *error_rate > 0.0 {
+            let out = if *rotation_period > 0 {
+                // Dynamic camouflaging: the working chip rotates its key
+                // every `rotation_period` queries. Rotating answers are a
+                // per-chip key stream, so they bypass the shared cache.
+                let mut oracle = RotatingOracle::new(&keyed, *rotation_period, seeds.oracle);
+                runner.run(&keyed, &mut oracle)
+            } else if *error_rate > 0.0 {
                 let noise = noise_profile(&keyed, *profile, *error_rate);
                 let mut oracle = StochasticOracle::with_profile(&keyed, noise, seeds.oracle);
                 runner.run(&keyed, &mut oracle)
@@ -444,6 +469,7 @@ mod tests {
             attack: AttackKind::Sat,
             error_rate: 0.0,
             profile: NoiseShape::Uniform,
+            rotation_period: 0,
             trial,
             seeds: AttackSeeds {
                 select: 1,

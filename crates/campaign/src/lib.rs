@@ -62,6 +62,7 @@
 //! attacks = ["sat"]          # sat | double-dip | appsat (["sat"])
 //! error_rates = [0.0, 0.05]  # oracle per-cell error rates ([0.0])
 //! profiles = ["uniform"]     # error-profile shapes, or "all" (["uniform"])
+//! rotation_periods = [0, 16] # dynamic-camouflaging periods ([0])
 //! trials = 3                 # repeats per grid cell (1)
 //! seed = 1                   # master seed (1)
 //! timeout_secs = 60          # per-job attack budget (60)
@@ -76,6 +77,15 @@
 //! `depth-gradient` (rate scaled by logic level). Profiles describe *how*
 //! each `error_rates` entry spreads over the cloaked cells; their oracles
 //! run on the bit-parallel [`gshe_logic::FaultSimulator`] noise engine.
+//!
+//! Rotation periods sweep the *dynamic camouflaging* defense (Sec. V-C):
+//! `0` is the static oracle the grid always had, `n > 0` attacks a
+//! [`gshe_attacks::RotatingOracle`] that draws a fresh random key every
+//! `n` queries. A rotating chip carries no noise model, so the
+//! `error_rates`/`profiles` dimensions collapse for rotating cells (the
+//! same way rate-0 cells collapse the profile sweep); rows and CSV carry
+//! the period, and JSON leaves period 0 implicit so pre-existing
+//! deterministic reports stay byte-identical.
 //!
 //! ## Determinism contract
 //!
@@ -110,7 +120,10 @@ pub use job::{
     NoiseShape,
 };
 pub use report::CampaignReport;
-pub use spec::{parse_scheme, scheme_name, CampaignSpec};
+pub use spec::{
+    parse_scheme, scheme_name, valid_attack_names, valid_key_names, valid_profile_names,
+    valid_scheme_names, CampaignSpec, SPEC_KEYS,
+};
 
 use gshe_device::SwitchParams;
 use gshe_logic::suites;
@@ -226,6 +239,7 @@ mod tests {
             attacks: vec![AttackKind::Sat],
             error_rates: vec![0.0],
             profiles: vec![job::NoiseShape::Uniform],
+            rotation_periods: vec![0],
             trials: 1,
             seed: 5,
             timeout: Duration::from_secs(30),

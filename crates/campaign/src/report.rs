@@ -112,12 +112,15 @@ impl CampaignReport {
                 json_f64(row.mean_iterations),
                 json_f64(row.mean_output_error),
             );
-            // The historical (uniform) profile is left implicit so JSON
-            // from profile-free specs stays byte-identical across the
-            // noise-engine refactor.
+            // The historical (uniform) profile and the static (period-0)
+            // oracle are left implicit so JSON from specs that don't sweep
+            // those dimensions stays byte-identical across refactors.
             if row.key.profile != NoiseShape::Uniform {
                 out.push(',');
                 json_str(&mut out, "profile", row.key.profile.name());
+            }
+            if row.key.rotation_period != 0 {
+                let _ = write!(out, ",\"rotation_period\":{}", row.key.rotation_period);
             }
             if timing {
                 let _ = write!(
@@ -156,20 +159,22 @@ impl CampaignReport {
     /// [`CampaignReport::deterministic_json`]).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "benchmark,scheme,level,attack,error_rate,profile,trials,completed,timed_out,\
-             exhausted,inconsistent,failed,key_recovery_rate,mean_queries,\
-             mean_iterations,mean_output_error,runtime_p50,runtime_p90,runtime_max\n",
+            "benchmark,scheme,level,attack,error_rate,profile,rotation_period,trials,\
+             completed,timed_out,exhausted,inconsistent,failed,key_recovery_rate,\
+             mean_queries,mean_iterations,mean_output_error,runtime_p50,runtime_p90,\
+             runtime_max\n",
         );
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 row.key.benchmark,
                 scheme_name(row.key.scheme),
                 row.key.level,
                 row.key.attack.name(),
                 row.key.error_rate,
                 row.key.profile.name(),
+                row.key.rotation_period,
                 row.trials,
                 row.status_counts[0],
                 row.status_counts[1],
@@ -256,6 +261,7 @@ mod tests {
                     attack: AttackKind::Sat,
                     error_rate: 0.0,
                     profile: NoiseShape::Uniform,
+                    rotation_period: 0,
                     trial: 0,
                     seeds: AttackSeeds {
                         select: 0,
@@ -309,7 +315,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("benchmark,scheme"));
         assert!(lines[0].contains(",profile,"));
-        assert!(lines[1].starts_with("c7552,gshe16,0.2,sat,0,uniform,"));
+        assert!(lines[1].starts_with("c7552,gshe16,0.2,sat,0,uniform,0,"));
     }
 
     #[test]
@@ -331,6 +337,31 @@ mod tests {
             .deterministic_json()
             .contains("\"profile\":\"output-cone\""));
         assert!(rebuilt.to_csv().contains(",output-cone,"));
+    }
+
+    #[test]
+    fn rotation_period_is_implicit_in_json_only_when_static() {
+        let mut report = sample_report();
+        assert!(!report.deterministic_json().contains("rotation_period"));
+        assert!(report.to_csv().contains(",uniform,0,"));
+        let JobKind::Attack {
+            rotation_period, ..
+        } = &mut report.results[0].spec.kind
+        else {
+            panic!()
+        };
+        *rotation_period = 16;
+        let rebuilt = CampaignReport::new(
+            report.name.clone(),
+            report.results.clone(),
+            1,
+            Duration::from_secs(1),
+            (0, 0),
+        );
+        assert!(rebuilt
+            .deterministic_json()
+            .contains("\"rotation_period\":16"));
+        assert!(rebuilt.to_csv().contains(",uniform,16,"));
     }
 
     #[test]

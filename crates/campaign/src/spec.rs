@@ -11,7 +11,7 @@
 //! Specs can be read from a minimal TOML subset (see
 //! [`CampaignSpec::parse_toml`] and the crate-level docs).
 
-use crate::job::{hash_mix, hash_str, AttackSeeds, JobKind, JobSpec, NoiseShape};
+use crate::job::{hash_mix, hash_str, rotation_salt, AttackSeeds, JobKind, JobSpec, NoiseShape};
 use gshe_attacks::AttackKind;
 use gshe_camo::CamoScheme;
 use std::time::Duration;
@@ -36,6 +36,54 @@ pub fn parse_scheme(name: &str) -> Option<CamoScheme> {
         .find(|&s| scheme_name(s) == name)
 }
 
+/// The valid TOML keys of a campaign spec, in documentation order.
+pub const SPEC_KEYS: [&str; 13] = [
+    "name",
+    "benchmarks",
+    "scale",
+    "levels",
+    "schemes",
+    "attacks",
+    "error_rates",
+    "profiles",
+    "rotation_periods",
+    "trials",
+    "seed",
+    "timeout_secs",
+    "threads",
+];
+
+fn join_names<I: IntoIterator<Item = &'static str>>(names: I) -> String {
+    names.into_iter().collect::<Vec<_>>().join(", ")
+}
+
+/// Comma-separated camouflaging-scheme names for error messages
+/// (including the `"all"` selector).
+pub fn valid_scheme_names() -> String {
+    join_names(CamoScheme::ALL.into_iter().map(scheme_name).chain(["all"]))
+}
+
+/// Comma-separated attack names for error messages.
+pub fn valid_attack_names() -> String {
+    join_names(AttackKind::ALL.into_iter().map(AttackKind::name))
+}
+
+/// Comma-separated noise-profile names for error messages (including the
+/// `"all"` selector).
+pub fn valid_profile_names() -> String {
+    join_names(
+        NoiseShape::ALL
+            .into_iter()
+            .map(NoiseShape::name)
+            .chain(["all"]),
+    )
+}
+
+/// Comma-separated spec-file keys ([`SPEC_KEYS`]) for error messages.
+pub fn valid_key_names() -> String {
+    join_names(SPEC_KEYS)
+}
+
 /// A declarative description of one campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -58,6 +106,11 @@ pub struct CampaignSpec {
     /// Error-profile shapes: how each rate spreads over the cloaked cells
     /// (heterogeneous noise placements as a grid dimension).
     pub profiles: Vec<NoiseShape>,
+    /// Dynamic-camouflaging rotation periods (`0` = the static oracle the
+    /// grid always had; `n > 0` = a `RotatingOracle` drawing a fresh random
+    /// key every `n` queries). The defense-side dimension of the
+    /// attack-collapse-vs-period experiment.
+    pub rotation_periods: Vec<u64>,
     /// Trials per grid cell (stochastic cells need repeats).
     pub trials: u64,
     /// Master seed; all job seeds derive from it and the job identity.
@@ -79,6 +132,7 @@ impl Default for CampaignSpec {
             attacks: vec![AttackKind::Sat],
             error_rates: vec![0.0],
             profiles: vec![NoiseShape::Uniform],
+            rotation_periods: vec![0],
             trials: 1,
             seed: 1,
             timeout: Duration::from_secs(60),
@@ -111,14 +165,24 @@ impl CampaignSpec {
     }
 
     /// Unrolls the grid into jobs, in canonical order (benchmark, level,
-    /// scheme, attack, error rate, profile, trial — outermost first).
+    /// scheme, attack, rotation period, error rate, profile, trial —
+    /// outermost first).
     ///
     /// Seed policy: gate selection depends only on (campaign seed,
     /// benchmark, level) — the paper's fairness protocol, every scheme
     /// sees the same protected gates; the transform seed adds the scheme;
-    /// the oracle seed adds attack, error rate, profile shape, and trial.
-    /// The uniform profile's seed salt is zero, so specs that don't sweep
-    /// profiles derive exactly the seeds they always did.
+    /// the oracle seed adds attack, rotation period, error rate, profile
+    /// shape, and trial. The uniform profile's seed salt and the static
+    /// (period-0) oracle's rotation salt are both zero, so specs that
+    /// don't sweep those dimensions derive exactly the seeds they always
+    /// did.
+    ///
+    /// Dimension collapse: a rotating chip (`period > 0`) resolves a fresh
+    /// key per epoch and carries no noise model, so the noise dimensions
+    /// collapse for those cells — rotation jobs are emitted once per
+    /// (…, period, trial) at error rate 0 with the uniform shape, while
+    /// period-0 cells sweep `error_rates × profiles` as before (mirroring
+    /// how rate-0 cells collapse the profile sweep).
     ///
     /// # Errors
     ///
@@ -130,6 +194,11 @@ impl CampaignSpec {
         } else {
             self.profiles.clone()
         };
+        let periods = if self.rotation_periods.is_empty() {
+            vec![0]
+        } else {
+            self.rotation_periods.clone()
+        };
         let mut jobs = Vec::new();
         for benchmark in &benchmarks {
             let bench_hash = hash_str(benchmark);
@@ -138,42 +207,52 @@ impl CampaignSpec {
                 for &scheme in &self.schemes {
                     let transform = hash_mix(select ^ hash_str(scheme_name(scheme)));
                     for &attack in &self.attacks {
-                        for &error_rate in &self.error_rates {
-                            // A rate-0 chip is deterministic: every shape
-                            // collapses to the same (quiet) profile, so
-                            // sweep shapes only where they can matter.
-                            let cell_profiles: &[NoiseShape] = if error_rate > 0.0 {
-                                &profiles
+                        for &rotation_period in &periods {
+                            let cell_rates: &[f64] = if rotation_period > 0 {
+                                &[0.0]
                             } else {
-                                &[NoiseShape::Uniform]
+                                &self.error_rates
                             };
-                            for &profile in cell_profiles {
-                                for trial in 0..self.trials.max(1) {
-                                    let oracle = hash_mix(
-                                        transform
-                                            ^ hash_str(attack.name())
-                                            ^ ((error_rate * 1e6) as u64)
-                                                .wrapping_mul(0x2545_F491_4F6C_DD1D)
-                                            ^ profile.seed_salt()
-                                            ^ trial,
-                                    );
-                                    jobs.push(JobSpec {
-                                        kind: JobKind::Attack {
-                                            benchmark: benchmark.clone(),
-                                            scheme,
-                                            level,
-                                            attack,
-                                            error_rate,
-                                            profile,
-                                            trial,
-                                            seeds: AttackSeeds {
-                                                select,
-                                                transform,
-                                                oracle,
+                            for &error_rate in cell_rates {
+                                // A rate-0 chip is deterministic: every
+                                // shape collapses to the same (quiet)
+                                // profile, so sweep shapes only where they
+                                // can matter.
+                                let cell_profiles: &[NoiseShape] = if error_rate > 0.0 {
+                                    &profiles
+                                } else {
+                                    &[NoiseShape::Uniform]
+                                };
+                                for &profile in cell_profiles {
+                                    for trial in 0..self.trials.max(1) {
+                                        let oracle = hash_mix(
+                                            transform
+                                                ^ hash_str(attack.name())
+                                                ^ ((error_rate * 1e6) as u64)
+                                                    .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                                                ^ profile.seed_salt()
+                                                ^ rotation_salt(rotation_period)
+                                                ^ trial,
+                                        );
+                                        jobs.push(JobSpec {
+                                            kind: JobKind::Attack {
+                                                benchmark: benchmark.clone(),
+                                                scheme,
+                                                level,
+                                                attack,
+                                                error_rate,
+                                                profile,
+                                                rotation_period,
+                                                trial,
+                                                seeds: AttackSeeds {
+                                                    select,
+                                                    transform,
+                                                    oracle,
+                                                },
                                             },
-                                        },
-                                        timeout: self.timeout,
-                                    });
+                                            timeout: self.timeout,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -218,7 +297,7 @@ impl CampaignSpec {
                 }
                 "levels" => {
                     spec.levels =
-                        parse_number_array(value).ok_or_else(|| fail("bad number array"))?
+                        parse_array::<f64>(value).ok_or_else(|| fail("bad number array"))?
                 }
                 "schemes" => {
                     let names =
@@ -229,9 +308,12 @@ impl CampaignSpec {
                             if n == "all" {
                                 Ok(CamoScheme::ALL.to_vec())
                             } else {
-                                parse_scheme(n)
-                                    .map(|s| vec![s])
-                                    .ok_or_else(|| fail(&format!("unknown scheme `{n}`")))
+                                parse_scheme(n).map(|s| vec![s]).ok_or_else(|| {
+                                    fail(&format!(
+                                        "unknown scheme `{n}` (valid: {})",
+                                        valid_scheme_names()
+                                    ))
+                                })
                             }
                         })
                         .collect::<Result<Vec<_>, _>>()?
@@ -245,14 +327,18 @@ impl CampaignSpec {
                     spec.attacks = names
                         .iter()
                         .map(|n| {
-                            AttackKind::parse(n)
-                                .ok_or_else(|| fail(&format!("unknown attack `{n}`")))
+                            AttackKind::parse(n).ok_or_else(|| {
+                                fail(&format!(
+                                    "unknown attack `{n}` (valid: {})",
+                                    valid_attack_names()
+                                ))
+                            })
                         })
                         .collect::<Result<Vec<_>, _>>()?;
                 }
                 "error_rates" => {
                     spec.error_rates =
-                        parse_number_array(value).ok_or_else(|| fail("bad number array"))?
+                        parse_array::<f64>(value).ok_or_else(|| fail("bad number array"))?
                 }
                 "profiles" => {
                     let names =
@@ -263,15 +349,22 @@ impl CampaignSpec {
                             if n == "all" {
                                 Ok(NoiseShape::ALL.to_vec())
                             } else {
-                                NoiseShape::parse(n)
-                                    .map(|s| vec![s])
-                                    .ok_or_else(|| fail(&format!("unknown profile `{n}`")))
+                                NoiseShape::parse(n).map(|s| vec![s]).ok_or_else(|| {
+                                    fail(&format!(
+                                        "unknown profile `{n}` (valid: {})",
+                                        valid_profile_names()
+                                    ))
+                                })
                             }
                         })
                         .collect::<Result<Vec<_>, _>>()?
                         .into_iter()
                         .flatten()
                         .collect();
+                }
+                "rotation_periods" => {
+                    spec.rotation_periods = parse_array::<u64>(value)
+                        .ok_or_else(|| fail("bad integer array (periods in queries; 0 = static)"))?
                 }
                 "trials" => spec.trials = value.parse().map_err(|_| fail("bad integer"))?,
                 "seed" => spec.seed = value.parse().map_err(|_| fail("bad integer"))?,
@@ -280,7 +373,12 @@ impl CampaignSpec {
                         Duration::from_secs(value.parse().map_err(|_| fail("bad integer"))?)
                 }
                 "threads" => spec.threads = value.parse().map_err(|_| fail("bad integer"))?,
-                other => return Err(fail(&format!("unknown key `{other}`"))),
+                other => {
+                    return Err(fail(&format!(
+                        "unknown key `{other}` (valid keys: {})",
+                        valid_key_names()
+                    )))
+                }
             }
         }
         Ok(spec)
@@ -317,7 +415,7 @@ fn parse_string_array(value: &str) -> Option<Vec<String>> {
         .collect()
 }
 
-fn parse_number_array(value: &str) -> Option<Vec<f64>> {
+fn parse_array<T: std::str::FromStr>(value: &str) -> Option<Vec<T>> {
     let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
     if inner.is_empty() {
         return Some(Vec::new());
@@ -459,6 +557,102 @@ mod tests {
     }
 
     #[test]
+    fn rotation_periods_extend_the_grid_and_salt_seeds() {
+        let base = CampaignSpec {
+            trials: 2,
+            ..Default::default()
+        };
+        let swept = CampaignSpec {
+            rotation_periods: vec![0, 4, 16],
+            ..base.clone()
+        };
+        let jobs = swept.expand().unwrap();
+        // One static cell plus one cell per nonzero period.
+        assert_eq!(jobs.len(), base.expand().unwrap().len() * 3);
+
+        let cell_of = |j: &JobSpec| {
+            let JobKind::Attack {
+                rotation_period,
+                seeds,
+                ..
+            } = &j.kind
+            else {
+                panic!()
+            };
+            (*rotation_period, seeds.oracle)
+        };
+        // Period-0 jobs keep the historical seed derivation byte-for-byte.
+        let base_jobs = base.expand().unwrap();
+        let (p0, seed0) = cell_of(&jobs[0]);
+        assert_eq!(p0, 0);
+        assert_eq!(seed0, cell_of(&base_jobs[0]).1);
+        // Nonzero periods draw distinct oracle seeds.
+        let (p4, seed4) = cell_of(&jobs[2]);
+        let (p16, seed16) = cell_of(&jobs[4]);
+        assert_eq!((p4, p16), (4, 16));
+        assert_ne!(seed4, seed0);
+        assert_ne!(seed4, seed16);
+    }
+
+    #[test]
+    fn rotating_cells_collapse_the_noise_dimensions() {
+        // A rotating chip has no noise model: error_rates/profiles sweep
+        // only the period-0 cells.
+        let spec = CampaignSpec {
+            error_rates: vec![0.0, 0.05],
+            profiles: vec![NoiseShape::Uniform, NoiseShape::OutputCone],
+            rotation_periods: vec![0, 8],
+            ..Default::default()
+        };
+        let jobs = spec.expand().unwrap();
+        let cells: Vec<(u64, f64, NoiseShape)> = jobs
+            .iter()
+            .map(|j| {
+                let JobKind::Attack {
+                    rotation_period,
+                    error_rate,
+                    profile,
+                    ..
+                } = &j.kind
+                else {
+                    panic!()
+                };
+                (*rotation_period, *error_rate, *profile)
+            })
+            .collect();
+        assert_eq!(
+            cells,
+            [
+                (0, 0.0, NoiseShape::Uniform),
+                (0, 0.05, NoiseShape::Uniform),
+                (0, 0.05, NoiseShape::OutputCone),
+                (8, 0.0, NoiseShape::Uniform),
+            ]
+        );
+    }
+
+    #[test]
+    fn rotation_periods_parse_from_toml() {
+        let spec = CampaignSpec::parse_toml("rotation_periods = [0, 1, 16, 64]").unwrap();
+        assert_eq!(spec.rotation_periods, [0, 1, 16, 64]);
+        assert!(CampaignSpec::parse_toml("rotation_periods = [1.5]").is_err());
+        assert!(CampaignSpec::parse_toml("rotation_periods = [-1]").is_err());
+    }
+
+    #[test]
+    fn errors_name_the_valid_alternatives() {
+        let err = CampaignSpec::parse_toml("bogus = 1").unwrap_err();
+        assert!(err.contains("valid keys:"), "{err}");
+        assert!(err.contains("rotation_periods"), "{err}");
+        let err = CampaignSpec::parse_toml(r#"schemes = ["nope"]"#).unwrap_err();
+        assert!(err.contains("gshe16"), "{err}");
+        let err = CampaignSpec::parse_toml(r#"attacks = ["nope"]"#).unwrap_err();
+        assert!(err.contains("double-dip"), "{err}");
+        let err = CampaignSpec::parse_toml(r#"profiles = ["nope"]"#).unwrap_err();
+        assert!(err.contains("depth-gradient"), "{err}");
+    }
+
+    #[test]
     fn profiles_parse_from_toml() {
         let spec = CampaignSpec::parse_toml(r#"profiles = ["uniform", "depth-gradient"]"#).unwrap();
         assert_eq!(
@@ -496,6 +690,7 @@ levels = [0.1, 0.2]
 schemes = ["inv-buf", "gshe16"]
 attacks = ["sat", "appsat"]
 error_rates = [0.0, 0.05]
+rotation_periods = [0, 32]
 trials = 2
 seed = 9
 timeout_secs = 30
@@ -509,6 +704,7 @@ threads = 4
         assert_eq!(spec.schemes, [CamoScheme::InvBuf, CamoScheme::GsheAll16]);
         assert_eq!(spec.attacks, [AttackKind::Sat, AttackKind::AppSat]);
         assert_eq!(spec.error_rates, [0.0, 0.05]);
+        assert_eq!(spec.rotation_periods, [0, 32]);
         assert_eq!(spec.trials, 2);
         assert_eq!(spec.seed, 9);
         assert_eq!(spec.timeout, Duration::from_secs(30));

@@ -15,11 +15,15 @@
 //!   rendering runtime-intensive attacks — SAT attacks in particular —
 //!   incapable.
 
-use gshe_attacks::Oracle;
-use gshe_camo::KeyedNetlist;
-use gshe_logic::{Bf1, LogicError, Netlist, NodeId, NodeKind, PatternBlock};
+use gshe_logic::{Bf1, LogicError, Netlist, NodeId, NodeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+// The rotating chip is an attack-facing oracle, so the implementation
+// lives with the other oracles in `gshe_attacks::oracle` (where the
+// campaign engine can materialize it per job); re-exported here to keep
+// the Sec. V-C defense surface together.
+pub use gshe_attacks::RotatingOracle;
 
 /// Complements the function of gate `node` and compensates every fanout by
 /// negating the corresponding input, preserving the netlist's function.
@@ -97,107 +101,10 @@ pub fn morph_random(nl: &mut Netlist, candidates: &[NodeId], seed: u64) -> Vec<N
     morphed
 }
 
-/// An oracle whose key rotates every `period` queries (dynamic functional
-/// obfuscation, \[40\]). The first epoch uses the correct key; later epochs
-/// draw random keys, so answers from different epochs are mutually
-/// inconsistent — starving SAT attacks of a consistent solution space.
-#[derive(Debug, Clone)]
-pub struct RotatingOracle<'a> {
-    keyed: &'a KeyedNetlist,
-    resolved: Netlist,
-    period: u64,
-    count: u64,
-    rng: StdRng,
-    /// Bit-parallel scratch reused across block queries (the resolved
-    /// netlist changes identity per epoch, but never size).
-    scratch: Vec<u64>,
-}
-
-impl<'a> RotatingOracle<'a> {
-    /// Creates a rotating oracle.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `period == 0`.
-    pub fn new(keyed: &'a KeyedNetlist, period: u64, seed: u64) -> Self {
-        assert!(period > 0, "rotation period must be positive");
-        RotatingOracle {
-            resolved: keyed
-                .resolve(&keyed.correct_key())
-                .expect("correct key resolves"),
-            keyed,
-            period,
-            count: 0,
-            rng: StdRng::seed_from_u64(seed ^ 0xD07A7E),
-            scratch: Vec::new(),
-        }
-    }
-
-    fn rotate(&mut self) {
-        let key: Vec<bool> = (0..self.keyed.key_len())
-            .map(|_| self.rng.gen_bool(0.5))
-            .collect();
-        self.resolved = self.keyed.resolve(&key).expect("key width is correct");
-    }
-}
-
-impl Oracle for RotatingOracle<'_> {
-    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
-        if self.count > 0 && self.count.is_multiple_of(self.period) {
-            self.rotate();
-        }
-        self.count += 1;
-        gshe_logic::sim::run_scalar_with_scratch(&self.resolved, &mut self.scratch, inputs)
-            .expect("oracle input arity mismatch")
-    }
-
-    /// Bit-parallel block path with *per-pattern* rotation semantics: the
-    /// block is split at epoch boundaries, each segment answered by one
-    /// pass of the bit-parallel engine over the epoch's resolved netlist.
-    /// Key draws, query accounting, and answers match the scalar loop
-    /// exactly; only the evaluation is batched.
-    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
-        let mut lanes = vec![0u64; self.num_outputs()];
-        let mut k = 0usize;
-        while k < block.count {
-            if self.count > 0 && self.count.is_multiple_of(self.period) {
-                self.rotate();
-            }
-            let until_rotation = (self.period - self.count % self.period).min(64) as usize;
-            let take = until_rotation.min(block.count - k);
-            let segment = if take == 64 {
-                !0u64
-            } else {
-                ((1u64 << take) - 1) << k
-            };
-            let outs = gshe_logic::sim::run_with_scratch(&self.resolved, &mut self.scratch, block)
-                .expect("oracle input arity mismatch");
-            for (lane, out) in lanes.iter_mut().zip(&outs) {
-                *lane |= out & segment;
-            }
-            self.count += take as u64;
-            k += take;
-        }
-        lanes
-    }
-
-    fn num_inputs(&self) -> usize {
-        self.keyed.netlist().inputs().len()
-    }
-
-    fn num_outputs(&self) -> usize {
-        self.keyed.netlist().outputs().len()
-    }
-
-    fn queries(&self) -> u64 {
-        self.count
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gshe_attacks::{sat_attack, verify_key, AttackConfig, AttackStatus};
+    use gshe_attacks::{sat_attack, verify_key, AttackConfig, AttackStatus, Oracle};
     use gshe_camo::{camouflage, select_gates, CamoScheme};
     use gshe_logic::sim::random_equivalence_check;
     use gshe_logic::{Bf2, GeneratorConfig, NetlistBuilder, NetlistGenerator};

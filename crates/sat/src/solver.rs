@@ -265,6 +265,46 @@ impl Solver {
         }
     }
 
+    /// Adds a **blocking clause** forbidding the most recent model's
+    /// assignment to `lits`: at least one of them must flip in any future
+    /// model. This is the enumeration primitive batched DIP discovery is
+    /// built on — solve, read the model, block it, re-solve for the next
+    /// distinct one. Returns `false` if the solver became trivially
+    /// unsatisfiable (e.g. `lits` is empty: a model over zero literals can
+    /// only be blocked by the empty clause).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last [`Solver::solve`] did not return
+    /// [`SolveResult::Sat`].
+    pub fn block_model(&mut self, lits: &[Lit]) -> bool {
+        let clause: Vec<Lit> = lits
+            .iter()
+            .map(|&l| if self.model_lit(l) { !l } else { l })
+            .collect();
+        self.add_clause(&clause)
+    }
+
+    /// Like [`Solver::block_model`], but gates the blocking clause on the
+    /// activation literal `act`: the model is forbidden only while `act`
+    /// is passed as an assumption, and solves without it see the formula
+    /// as if the clause were never added. This is the scoped-lemma form
+    /// enumeration loops need when the blocked assignments must remain
+    /// reachable for a later, differently-constrained solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last [`Solver::solve`] did not return
+    /// [`SolveResult::Sat`].
+    pub fn block_model_under(&mut self, act: Lit, lits: &[Lit]) -> bool {
+        let mut clause: Vec<Lit> = lits
+            .iter()
+            .map(|&l| if self.model_lit(l) { !l } else { l })
+            .collect();
+        clause.push(!act);
+        self.add_clause(&clause)
+    }
+
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
         let id = self.clauses.len() as u32;
@@ -708,6 +748,60 @@ mod tests {
         let mut s = Solver::new();
         let _ = lits(&mut s, 1);
         assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn block_model_enumerates_distinct_models() {
+        // Over 3 free variables, repeated solve→block must walk all 8
+        // assignments exactly once before going UNSAT.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            match s.solve() {
+                SolveResult::Sat => {
+                    let model: Vec<bool> = v.iter().map(|&l| s.model_lit(l)).collect();
+                    assert!(seen.insert(model), "blocking must forbid repeats");
+                    s.block_model(&v);
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("no budget set"),
+            }
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn gated_blocking_applies_only_under_its_assumption() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        let act = Lit::pos(s.new_var());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model: Vec<bool> = v.iter().map(|&l| s.model_lit(l)).collect();
+        s.block_model_under(act, &v);
+        // Under the activation assumption the model is forbidden…
+        assert_eq!(s.solve_with(&[act]), SolveResult::Sat);
+        let next: Vec<bool> = v.iter().map(|&l| s.model_lit(l)).collect();
+        assert_ne!(model, next, "gated blocking must forbid the model");
+        // …and blocking all four assignments exhausts the gated space…
+        for _ in 0..3 {
+            s.block_model_under(act, &v);
+            if s.solve_with(&[act]) != SolveResult::Sat {
+                break;
+            }
+        }
+        assert_eq!(s.solve_with(&[act]), SolveResult::Unsat);
+        // …while the ungated formula stays satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn blocking_over_no_literals_is_the_empty_clause() {
+        let mut s = Solver::new();
+        let _ = lits(&mut s, 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!s.block_model(&[]));
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 

@@ -18,6 +18,7 @@ fn two_by_two_spec(threads: usize) -> CampaignSpec {
         attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
         error_rates: vec![0.0],
         profiles: vec![NoiseShape::Uniform],
+        rotation_periods: vec![0],
         trials: 2,
         seed: 11,
         timeout: Duration::from_secs(60),
@@ -80,6 +81,7 @@ fn exhausted_budgets_mark_jobs_timed_out_without_hanging_the_pool() {
         attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
         error_rates: vec![0.0],
         profiles: vec![NoiseShape::Uniform],
+        rotation_periods: vec![0],
         trials: 1,
         seed: 2,
         timeout: Duration::from_millis(0),
@@ -111,6 +113,48 @@ fn exhausted_budgets_mark_jobs_timed_out_without_hanging_the_pool() {
 }
 
 #[test]
+fn rotation_period_sweep_shows_attack_collapse_end_to_end() {
+    // The dynamic-camouflaging dimension (Sec. V-C / the rotation-period
+    // follow-up): short periods starve the SAT attack of a consistent
+    // solution space, while a period beyond the attack's total query need
+    // behaves like the static chip.
+    let spec = CampaignSpec {
+        name: "rotation".to_string(),
+        benchmarks: vec!["ex1010".to_string()],
+        scale: 400,
+        levels: vec![0.15],
+        schemes: vec![CamoScheme::GsheAll16],
+        attacks: vec![AttackKind::Sat],
+        error_rates: vec![0.0],
+        profiles: vec![NoiseShape::Uniform],
+        rotation_periods: vec![0, 1, 4, 1_000_000],
+        trials: 2,
+        seed: 7,
+        timeout: Duration::from_secs(30),
+        threads: 2,
+    };
+    let report = Campaign::run(&spec).expect("rotation campaign");
+    // One row per period, in sweep order, each carrying its period.
+    assert_eq!(report.rows.len(), 4);
+    let periods: Vec<u64> = report.rows.iter().map(|r| r.key.rotation_period).collect();
+    assert_eq!(periods, [0, 1, 4, 1_000_000]);
+
+    let recovery: Vec<f64> = report.rows.iter().map(|r| r.key_recovery_rate).collect();
+    assert_eq!(recovery[0], 1.0, "static oracle must break");
+    assert_eq!(recovery[1], 0.0, "period 1 must defeat the attack");
+    assert_eq!(recovery[2], 0.0, "period 4 must defeat the attack");
+    assert_eq!(
+        recovery[3], 1.0,
+        "a period beyond the query budget is effectively static"
+    );
+
+    // The deterministic JSON carries the period for rotating rows only.
+    let json = report.deterministic_json();
+    assert!(json.contains("\"rotation_period\":1"));
+    assert!(json.contains("\"rotation_period\":1000000"));
+}
+
+#[test]
 fn stochastic_cells_defeat_the_attack_in_campaign_form() {
     // Sec. V-B through the engine: a noisy oracle must not yield the key.
     let spec = CampaignSpec {
@@ -122,6 +166,7 @@ fn stochastic_cells_defeat_the_attack_in_campaign_form() {
         attacks: vec![AttackKind::Sat],
         error_rates: vec![0.25],
         profiles: vec![NoiseShape::Uniform],
+        rotation_periods: vec![0],
         trials: 3,
         seed: 4,
         timeout: Duration::from_secs(30),

@@ -1,0 +1,55 @@
+//! Golden-report regression: the deterministic JSON of a fixed campaign
+//! grid is pinned byte-for-byte to a committed artifact, so refactors of
+//! the attacks, oracles, expansion, aggregation, or serialization cannot
+//! silently shift campaign output. The grid deliberately crosses every
+//! deterministic-report feature: two schemes, deterministic + stochastic
+//! cells, a heterogeneous noise profile, and a dynamic-camouflaging
+//! rotation period.
+//!
+//! If a change *intentionally* alters report output, regenerate the
+//! artifact by printing `Campaign::run(&golden_spec()).deterministic_json()`
+//! into `tests/golden/small_grid.json` — and say so in the commit.
+
+use spin_hall_security::campaign::{Campaign, CampaignSpec, NoiseShape};
+use spin_hall_security::prelude::{AttackKind, CamoScheme};
+use std::time::Duration;
+
+const GOLDEN: &str = include_str!("golden/small_grid.json");
+
+fn golden_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "golden".to_string(),
+        benchmarks: vec!["ex1010".to_string()],
+        scale: 400,
+        levels: vec![0.15],
+        schemes: vec![CamoScheme::InvBuf, CamoScheme::GsheAll16],
+        attacks: vec![AttackKind::Sat],
+        error_rates: vec![0.0, 0.25],
+        profiles: vec![NoiseShape::Uniform, NoiseShape::OutputCone],
+        rotation_periods: vec![0, 4],
+        trials: 2,
+        seed: 9,
+        timeout: Duration::from_secs(60),
+        threads: 2,
+    }
+}
+
+#[test]
+fn deterministic_json_matches_committed_golden_file() {
+    let report = Campaign::run(&golden_spec()).expect("golden campaign");
+    assert_eq!(
+        report.deterministic_json(),
+        GOLDEN,
+        "deterministic report drifted from tests/golden/small_grid.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn golden_file_carries_the_new_grid_dimensions() {
+    // Self-check that the pinned artifact actually covers the features it
+    // exists to guard (otherwise a regeneration could quietly drop them).
+    assert!(GOLDEN.contains("\"profile\":\"output-cone\""));
+    assert!(GOLDEN.contains("\"rotation_period\":4"));
+    assert!(GOLDEN.contains("\"error_rate\":0.25"));
+}
