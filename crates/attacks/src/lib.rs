@@ -15,10 +15,14 @@
 //!   [`RefinePolicy`], discovering up to [`AttackConfig::dip_batch`] DIPs
 //!   per solver round and resolving each batch through **one**
 //!   bit-parallel [`Oracle::query_block`] call;
-//! * oracles: a perfect working chip ([`NetlistOracle`]), the tunable
-//!   **stochastic** GSHE chip of Sec. V-B ([`StochasticOracle`]) whose
-//!   per-cell error rates superpose into correlated output errors, and the
-//!   key-rotating chip of Sec. V-C ([`RotatingOracle`]);
+//! * oracles as a layered [`stack`]: a bit-parallel base (exact or
+//!   fault-injecting) with an optional key-rotation layer, composed via
+//!   [`OracleStack`]. The legacy chips are thin adapters: a perfect
+//!   working chip ([`NetlistOracle`]), the tunable **stochastic** GSHE
+//!   chip of Sec. V-B ([`StochasticOracle`]) whose per-cell error rates
+//!   superpose into correlated output errors, and the key-rotating chip
+//!   of Sec. V-C ([`RotatingOracle`]); [`OracleStack::rotating_noisy`]
+//!   is the combined rotating + stochastic defense;
 //! * key verification by exact SAT equivalence ([`verify_key`]).
 //!
 //! The attacker's view of a [`gshe_camo::KeyedNetlist`] is its structure
@@ -36,6 +40,7 @@ pub mod metrics;
 pub mod oracle;
 pub mod runner;
 pub mod sat_attack;
+pub mod stack;
 
 pub use appsat::{appsat_attack, AppSatConfig};
 pub use dip_engine::{RefinePolicy, DEFAULT_BATCH_WIDTH};
@@ -45,3 +50,4 @@ pub use metrics::{verify_key, KeyVerification};
 pub use oracle::{NetlistOracle, Oracle, RotatingOracle, StochasticOracle};
 pub use runner::{AttackKind, AttackRunner};
 pub use sat_attack::{sat_attack, AttackConfig, AttackOutcome, AttackStatus};
+pub use stack::{EvalLayer, OracleStack};

@@ -1,14 +1,17 @@
 //! Attack oracles: the working chip the adversary owns.
 //!
-//! Every oracle here is a thin adapter over the bit-parallel evaluation
-//! engine in `gshe-logic` — [`Simulator`] for deterministic chips,
-//! [`FaultSimulator`] for the stochastic GSHE chip — so block queries
-//! answer 64 patterns per pass while query accounting stays per-pattern.
+//! Every oracle here is a thin adapter over the layered
+//! [`OracleStack`](crate::stack::OracleStack) — base evaluation layer
+//! (deterministic or noisy, always bit-parallel), optional key-rotation
+//! layer — so block queries answer 64 patterns per pass while query
+//! accounting stays per-pattern. The adapters exist to keep the
+//! historical construction APIs; new code (and the campaign engine's job
+//! materialization) composes the stack directly, which is how the
+//! *combined* rotating + stochastic defense is built.
 
+use crate::stack::OracleStack;
 use gshe_camo::KeyedNetlist;
-use gshe_logic::{ErrorProfile, FaultSimulator, Netlist, NodeId, PatternBlock, Simulator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gshe_logic::{ErrorProfile, Netlist, NodeId, PatternBlock};
 
 /// A black-box working chip: apply inputs, observe outputs.
 pub trait Oracle {
@@ -27,9 +30,9 @@ pub trait Oracle {
     ///
     /// The default implementation loops over [`Oracle::query`], so every
     /// pattern still counts as one query. Block-capable oracles (e.g.
-    /// [`NetlistOracle`] over the bit-parallel [`Simulator`]) override this
-    /// to answer all 64 patterns per pass while keeping the same query
-    /// accounting.
+    /// any [`OracleStack`] composition over the bit-parallel engine)
+    /// override this to answer all 64 patterns per pass while keeping the
+    /// same query accounting.
     fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
         let mut lanes = vec![0u64; self.num_outputs()];
         for k in 0..block.count {
@@ -45,53 +48,52 @@ pub trait Oracle {
     }
 }
 
-/// A perfect oracle backed by the original (unprotected) netlist.
-///
-/// The bit-parallel [`Simulator`] (and its scratch buffers) is hoisted
-/// into the oracle, so repeated block queries reuse one allocation.
+/// Implements [`Oracle`] by delegating every method to the adapter's
+/// inner [`OracleStack`].
+macro_rules! delegate_oracle_to_stack {
+    ($adapter:ty) => {
+        impl Oracle for $adapter {
+            fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+                self.stack.query(inputs)
+            }
+
+            fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+                self.stack.query_block(block)
+            }
+
+            fn num_inputs(&self) -> usize {
+                self.stack.num_inputs()
+            }
+
+            fn num_outputs(&self) -> usize {
+                self.stack.num_outputs()
+            }
+
+            fn queries(&self) -> u64 {
+                self.stack.queries()
+            }
+        }
+    };
+}
+
+/// A perfect oracle backed by the original (unprotected) netlist: the
+/// bare exact base of the stack. Scratch buffers are hoisted into the
+/// stack, so repeated block queries reuse one allocation.
 #[derive(Debug, Clone)]
 pub struct NetlistOracle<'a> {
-    sim: Simulator<'a>,
-    count: u64,
+    stack: OracleStack<'a>,
 }
 
 impl<'a> NetlistOracle<'a> {
     /// Wraps the original design.
     pub fn new(netlist: &'a Netlist) -> Self {
         NetlistOracle {
-            sim: Simulator::new(netlist),
-            count: 0,
+            stack: OracleStack::exact(netlist),
         }
     }
 }
 
-impl Oracle for NetlistOracle<'_> {
-    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
-        self.count += 1;
-        self.sim
-            .run_scalar(inputs)
-            .expect("oracle input arity mismatch")
-    }
-
-    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
-        self.count += block.count as u64;
-        self.sim
-            .run_masked(block)
-            .expect("oracle input arity mismatch")
-    }
-
-    fn num_inputs(&self) -> usize {
-        self.sim.netlist().inputs().len()
-    }
-
-    fn num_outputs(&self) -> usize {
-        self.sim.netlist().outputs().len()
-    }
-
-    fn queries(&self) -> u64 {
-        self.count
-    }
-}
+delegate_oracle_to_stack!(NetlistOracle<'_>);
 
 /// The stochastic GSHE chip of Sec. V-B: every cloaked cell computes its
 /// *correct* function but its output flips per evaluation according to an
@@ -101,19 +103,17 @@ impl Oracle for NetlistOracle<'_> {
 /// primary outputs — precisely what breaks the consistency assumption of
 /// SAT-style attacks.
 ///
-/// A thin adapter over [`FaultSimulator`]: the per-node rates live in a
-/// dense table (no per-node set probe on the hot path), scalar queries
-/// keep the historical one-`gen_bool`-per-noisy-node stream (seeded runs
-/// reproduce across the refactor), and [`Oracle::query_block`] answers 64
-/// patterns per engine pass with Bernoulli flip masks.
+/// The noisy base of the stack, without a rotation layer: per-node rates
+/// live in a dense table, scalar queries keep the historical
+/// one-`gen_bool`-per-noisy-node stream (seeded runs reproduce across the
+/// refactor), and [`Oracle::query_block`] answers 64 patterns per engine
+/// pass with Bernoulli flip masks.
 #[derive(Debug, Clone)]
 pub struct StochasticOracle<'a> {
-    keyed: &'a KeyedNetlist,
-    engine: FaultSimulator<'a>,
+    stack: OracleStack<'a>,
     /// Uniform per-cell rate the oracle was built with ([`f64::NAN`] when
     /// constructed from a heterogeneous profile).
     error_rate: f64,
-    count: u64,
 }
 
 impl<'a> StochasticOracle<'a> {
@@ -142,10 +142,8 @@ impl<'a> StochasticOracle<'a> {
     /// Panics if the profile does not cover the keyed netlist's nodes.
     pub fn with_profile(keyed: &'a KeyedNetlist, profile: ErrorProfile, seed: u64) -> Self {
         StochasticOracle {
-            engine: FaultSimulator::new(keyed.netlist(), profile, seed ^ 0x570C_4A57),
-            keyed,
+            stack: OracleStack::noisy(keyed, profile, seed),
             error_rate: f64::NAN,
-            count: 0,
         }
     }
 
@@ -153,7 +151,7 @@ impl<'a> StochasticOracle<'a> {
     /// the oracle was built from a heterogeneous profile.
     pub fn error_rate(&self) -> f64 {
         if self.error_rate.is_nan() {
-            self.engine.profile().max_rate()
+            self.profile().max_rate()
         } else {
             self.error_rate
         }
@@ -161,37 +159,11 @@ impl<'a> StochasticOracle<'a> {
 
     /// The installed per-node error profile (dense).
     pub fn profile(&self) -> &ErrorProfile {
-        self.engine.profile()
+        self.stack.profile().expect("noisy base carries a profile")
     }
 }
 
-impl Oracle for StochasticOracle<'_> {
-    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
-        self.count += 1;
-        self.engine
-            .run_scalar(inputs)
-            .expect("oracle input arity mismatch")
-    }
-
-    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
-        self.count += block.count as u64;
-        self.engine
-            .run_masked(block)
-            .expect("oracle input arity mismatch")
-    }
-
-    fn num_inputs(&self) -> usize {
-        self.keyed.netlist().inputs().len()
-    }
-
-    fn num_outputs(&self) -> usize {
-        self.keyed.netlist().outputs().len()
-    }
-
-    fn queries(&self) -> u64 {
-        self.count
-    }
-}
+delegate_oracle_to_stack!(StochasticOracle<'_>);
 
 /// An oracle whose key rotates every `period` queries (dynamic functional
 /// obfuscation after Koteshwara et al. \[40\] — the Sec. V-C
@@ -200,16 +172,13 @@ impl Oracle for StochasticOracle<'_> {
 /// mutually inconsistent — starving SAT attacks of a consistent solution
 /// space. Campaigns sweep the rotation `period` as a defense-side grid
 /// dimension (`rotation_periods` in `gshe-campaign`).
+///
+/// The rotation layer of the stack over the exact base; stack a noisy base
+/// underneath via [`OracleStack::rotating_noisy`] for the combined
+/// rotating + stochastic defense.
 #[derive(Debug, Clone)]
 pub struct RotatingOracle<'a> {
-    keyed: &'a KeyedNetlist,
-    resolved: Netlist,
-    period: u64,
-    count: u64,
-    rng: StdRng,
-    /// Bit-parallel scratch reused across block queries (the resolved
-    /// netlist changes identity per epoch, but never size).
-    scratch: Vec<u64>,
+    stack: OracleStack<'a>,
 }
 
 impl<'a> RotatingOracle<'a> {
@@ -219,90 +188,28 @@ impl<'a> RotatingOracle<'a> {
     ///
     /// Panics if `period == 0`.
     pub fn new(keyed: &'a KeyedNetlist, period: u64, seed: u64) -> Self {
-        assert!(period > 0, "rotation period must be positive");
         RotatingOracle {
-            resolved: keyed
-                .resolve(&keyed.correct_key())
-                .expect("correct key resolves"),
-            keyed,
-            period,
-            count: 0,
-            rng: StdRng::seed_from_u64(seed ^ 0xD07A7E),
-            scratch: Vec::new(),
+            stack: OracleStack::rotating(keyed, period, seed),
         }
     }
 
     /// The configured rotation period (queries per epoch).
     pub fn period(&self) -> u64 {
-        self.period
-    }
-
-    fn rotate(&mut self) {
-        let key: Vec<bool> = (0..self.keyed.key_len())
-            .map(|_| self.rng.gen_bool(0.5))
-            .collect();
-        self.resolved = self.keyed.resolve(&key).expect("key width is correct");
+        self.stack
+            .rotation_period()
+            .expect("rotating stack carries a period")
     }
 }
 
-impl Oracle for RotatingOracle<'_> {
-    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
-        if self.count > 0 && self.count.is_multiple_of(self.period) {
-            self.rotate();
-        }
-        self.count += 1;
-        gshe_logic::sim::run_scalar_with_scratch(&self.resolved, &mut self.scratch, inputs)
-            .expect("oracle input arity mismatch")
-    }
-
-    /// Bit-parallel block path with *per-pattern* rotation semantics: the
-    /// block is split at epoch boundaries, each segment answered by one
-    /// pass of the bit-parallel engine over the epoch's resolved netlist.
-    /// Key draws, query accounting, and answers match the scalar loop
-    /// exactly; only the evaluation is batched.
-    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
-        let mut lanes = vec![0u64; self.num_outputs()];
-        let mut k = 0usize;
-        while k < block.count {
-            if self.count > 0 && self.count.is_multiple_of(self.period) {
-                self.rotate();
-            }
-            let until_rotation = (self.period - self.count % self.period).min(64) as usize;
-            let take = until_rotation.min(block.count - k);
-            let segment = if take == 64 {
-                !0u64
-            } else {
-                ((1u64 << take) - 1) << k
-            };
-            let outs = gshe_logic::sim::run_with_scratch(&self.resolved, &mut self.scratch, block)
-                .expect("oracle input arity mismatch");
-            for (lane, out) in lanes.iter_mut().zip(&outs) {
-                *lane |= out & segment;
-            }
-            self.count += take as u64;
-            k += take;
-        }
-        lanes
-    }
-
-    fn num_inputs(&self) -> usize {
-        self.keyed.netlist().inputs().len()
-    }
-
-    fn num_outputs(&self) -> usize {
-        self.keyed.netlist().outputs().len()
-    }
-
-    fn queries(&self) -> u64 {
-        self.count
-    }
-}
+delegate_oracle_to_stack!(RotatingOracle<'_>);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gshe_camo::{camouflage, select_gates, CamoScheme};
     use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn c17_keyed() -> (Netlist, KeyedNetlist) {
         let nl = parse_bench(C17_BENCH).unwrap();

@@ -1,0 +1,538 @@
+//! The composable **oracle stack**: noise × rotation as layers over one
+//! bit-parallel evaluation engine.
+//!
+//! The paper's two defenses — stochastic switching (Sec. V-B) and
+//! polymorphic key rotation (Sec. V-C) — are knobs on one device
+//! substrate, not separate chips: a GSHE fabric can rotate its key *and*
+//! clock its switches into the stochastic regime at the same time
+//! (dynamic camouflaging à la Rangarajan et al., arXiv:1811.06012; the
+//! deterministic-to-probabilistic continuum of arXiv:1904.00421). This
+//! module models that composability directly:
+//!
+//! * [`EvalLayer`] — the base: a bit-parallel pass over a netlist, either
+//!   exact ([`gshe_logic::Simulator`] semantics) or fault-injecting
+//!   ([`FaultSimulator`] with an [`ErrorProfile`]);
+//! * an optional **rotation layer** — epoch-segmented key resolution: the
+//!   chip answers `period` queries per key, then draws a fresh random key
+//!   and installs the re-resolved netlist into the base;
+//! * an optional **caching layer** — lives in `gshe-campaign` (the cache
+//!   is campaign-wide infrastructure) and composes over the bare exact
+//!   stack only, the one configuration whose answers are memoizable.
+//!
+//! Every layer is `query_block`-first, so any composition answers 64
+//! patterns per pass end to end. The legacy oracles are thin adapters
+//! over the stack ([`crate::NetlistOracle`], [`crate::StochasticOracle`],
+//! [`crate::RotatingOracle`]) with byte-identical seeded behaviour.
+//!
+//! ## Seed-salt composition
+//!
+//! A stack consumes up to two independent RNG streams, each derived from
+//! the *same* caller seed with a layer-specific salt, so the layers
+//! compose without stealing each other's draws:
+//!
+//! * noise stream: `seed ^ 0x570C_4A57` (the historical
+//!   `StochasticOracle` derivation);
+//! * rotation key stream: `seed ^ 0xD07A7E` (the historical
+//!   `RotatingOracle` derivation).
+//!
+//! A noise-only or rotation-only stack therefore reproduces its legacy
+//! oracle's stream exactly, and the combined stack draws both streams
+//! from one seed without perturbing either.
+//!
+//! ## Noise-stream discipline under rotation
+//!
+//! The chip's reference semantics are *per query*: rotation counts
+//! queries, and the scalar noise stream draws one `gen_bool` per noisy
+//! node per query. A noise-only stack keeps the historical fast block
+//! path (one [`gshe_logic::bernoulli_mask`] per noisy node per pass — a
+//! different, equally valid sample stream, pinned by pre-stack
+//! campaigns). Once rotation is stacked on top, the block path switches
+//! to the engine's **scalar-stream** segments
+//! ([`FaultSimulator::run_scalar_stream`]): gate evaluation stays
+//! 64-wide, but noise is drawn pattern-major, so `query_block` is
+//! bit-for-bit the scalar loop — epochs, key draws, flips, and post-call
+//! RNG state all included.
+
+use crate::oracle::Oracle;
+use gshe_camo::KeyedNetlist;
+use gshe_logic::{sim, ErrorProfile, FaultSimulator, Netlist, PatternBlock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::borrow::Cow;
+
+/// Salt folded into the caller seed for the noise stream (the historical
+/// `StochasticOracle` derivation — seeded noise-only stacks reproduce).
+pub const NOISE_SEED_SALT: u64 = 0x570C_4A57;
+
+/// Salt folded into the caller seed for the rotation key stream (the
+/// historical `RotatingOracle` derivation).
+pub const ROTATION_SEED_SALT: u64 = 0xD0_7A7E;
+
+/// The stack's base layer: one bit-parallel evaluation pass over a
+/// netlist, exact or fault-injecting. The netlist is swappable in place
+/// ([`EvalLayer::install`]) so a rotation layer can re-resolve per epoch
+/// while scratch buffers — and, for the noisy base, the noise RNG stream —
+/// survive.
+#[derive(Debug, Clone)]
+pub enum EvalLayer<'a> {
+    /// Deterministic evaluation ([`gshe_logic::Simulator`] semantics).
+    Exact {
+        /// The evaluated netlist (borrowed for static chips, owned once a
+        /// rotation layer has installed a resolved epoch netlist).
+        netlist: Cow<'a, Netlist>,
+        /// Bit-parallel scratch reused across calls.
+        scratch: Vec<u64>,
+    },
+    /// Fault-injecting evaluation: the noise layer fused onto the base
+    /// engine (dense per-node rates, one RNG stream).
+    Noisy(FaultSimulator<'a>),
+}
+
+impl<'a> EvalLayer<'a> {
+    /// An exact base over a borrowed netlist.
+    pub fn exact(netlist: &'a Netlist) -> Self {
+        EvalLayer::Exact {
+            netlist: Cow::Borrowed(netlist),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// An exact base over an owned netlist (the rotating case).
+    pub fn exact_owned(netlist: Netlist) -> Self {
+        EvalLayer::Exact {
+            netlist: Cow::Owned(netlist),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// A noisy base over a borrowed netlist. `seed` is consumed verbatim —
+    /// stack constructors apply [`NOISE_SEED_SALT`].
+    pub fn noisy(netlist: &'a Netlist, profile: ErrorProfile, seed: u64) -> Self {
+        EvalLayer::Noisy(FaultSimulator::new(netlist, profile, seed))
+    }
+
+    /// A noisy base over an owned netlist (the rotating case).
+    pub fn noisy_owned(netlist: Netlist, profile: ErrorProfile, seed: u64) -> Self {
+        EvalLayer::Noisy(FaultSimulator::owned(netlist, profile, seed))
+    }
+
+    /// Swaps the evaluated netlist (same node count), keeping scratch and
+    /// any noise state.
+    fn install(&mut self, netlist: Netlist) {
+        match self {
+            EvalLayer::Exact { netlist: slot, .. } => *slot = Cow::Owned(netlist),
+            EvalLayer::Noisy(engine) => engine.install(netlist),
+        }
+    }
+
+    fn netlist(&self) -> &Netlist {
+        match self {
+            EvalLayer::Exact { netlist, .. } => netlist,
+            EvalLayer::Noisy(engine) => engine.netlist(),
+        }
+    }
+
+    /// The installed error profile (`None` for the exact base).
+    pub fn profile(&self) -> Option<&ErrorProfile> {
+        match self {
+            EvalLayer::Exact { .. } => None,
+            EvalLayer::Noisy(engine) => Some(engine.profile()),
+        }
+    }
+
+    /// One pattern through lane 0 — the scalar noise stream for the noisy
+    /// base (one `gen_bool` per noisy node).
+    fn scalar(&mut self, inputs: &[bool]) -> Vec<bool> {
+        match self {
+            EvalLayer::Exact { netlist, scratch } => {
+                sim::run_scalar_with_scratch(netlist, scratch, inputs)
+            }
+            EvalLayer::Noisy(engine) => engine.run_scalar(inputs),
+        }
+        .expect("oracle input arity mismatch")
+    }
+
+    /// A full block, invalid lanes cleared — the fast path for stacks
+    /// without a rotation layer (mask-stream noise for the noisy base).
+    fn block_masked(&mut self, block: &PatternBlock) -> Vec<u64> {
+        match self {
+            EvalLayer::Exact { netlist, scratch } => {
+                let mut lanes = sim::run_with_scratch(netlist, scratch, block)
+                    .expect("oracle input arity mismatch");
+                let mask = block.valid_mask();
+                for lane in &mut lanes {
+                    *lane &= mask;
+                }
+                lanes
+            }
+            EvalLayer::Noisy(engine) => engine
+                .run_masked(block)
+                .expect("oracle input arity mismatch"),
+        }
+    }
+
+    /// An epoch segment (`start..start + len`) of `block`, unmasked — the
+    /// rotation layer's per-epoch pass. The noisy base draws the scalar
+    /// noise stream for exactly the segment's patterns, so segmented block
+    /// queries stay bit-for-bit the scalar loop.
+    fn segment(&mut self, block: &PatternBlock, start: usize, len: usize) -> Vec<u64> {
+        match self {
+            EvalLayer::Exact { netlist, scratch } => sim::run_with_scratch(netlist, scratch, block),
+            EvalLayer::Noisy(engine) => engine.run_scalar_stream(block, start, len),
+        }
+        .expect("oracle input arity mismatch")
+    }
+}
+
+/// The rotation layer's state: which keyed netlist to re-resolve, how
+/// often, and the key stream.
+#[derive(Debug, Clone)]
+struct Rotation<'a> {
+    keyed: &'a KeyedNetlist,
+    period: u64,
+    rng: StdRng,
+}
+
+impl Rotation<'_> {
+    fn fresh_resolution(&mut self) -> Netlist {
+        let key: Vec<bool> = (0..self.keyed.key_len())
+            .map(|_| self.rng.gen_bool(0.5))
+            .collect();
+        self.keyed.resolve(&key).expect("key width is correct")
+    }
+}
+
+/// A layered oracle: base evaluation (exact or noisy), with an optional
+/// key-rotation layer on top. See the [module docs](self) for the layer
+/// table, composition rules, and seed-salt derivation.
+#[derive(Debug, Clone)]
+pub struct OracleStack<'a> {
+    base: EvalLayer<'a>,
+    rotation: Option<Rotation<'a>>,
+    count: u64,
+}
+
+impl<'a> OracleStack<'a> {
+    /// The bare deterministic chip over the original netlist
+    /// (`NetlistOracle` semantics).
+    pub fn exact(netlist: &'a Netlist) -> Self {
+        OracleStack {
+            base: EvalLayer::exact(netlist),
+            rotation: None,
+            count: 0,
+        }
+    }
+
+    /// The stochastic chip of Sec. V-B: the defender's keyed netlist with
+    /// correct functions installed, flipping per `profile`
+    /// (`StochasticOracle` semantics; noise stream `seed ^`
+    /// [`NOISE_SEED_SALT`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not cover the keyed netlist's nodes.
+    pub fn noisy(keyed: &'a KeyedNetlist, profile: ErrorProfile, seed: u64) -> Self {
+        OracleStack {
+            base: EvalLayer::noisy(keyed.netlist(), profile, seed ^ NOISE_SEED_SALT),
+            rotation: None,
+            count: 0,
+        }
+    }
+
+    /// The key-rotating chip of Sec. V-C: correct key for the first epoch,
+    /// a fresh random key every `period` queries after that
+    /// (`RotatingOracle` semantics; key stream `seed ^`
+    /// [`ROTATION_SEED_SALT`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn rotating(keyed: &'a KeyedNetlist, period: u64, seed: u64) -> Self {
+        let (rotation, resolved) = Self::rotation_over(keyed, period, seed);
+        OracleStack {
+            base: EvalLayer::exact_owned(resolved),
+            rotation: Some(rotation),
+            count: 0,
+        }
+    }
+
+    /// The **combined defense**: a rotating chip whose switches also run
+    /// in the stochastic regime — rotation layered over the noisy base.
+    /// Key stream and noise stream derive from the same `seed` with their
+    /// respective salts, so either dimension alone reproduces its legacy
+    /// oracle's stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or the profile does not cover the keyed
+    /// netlist's nodes.
+    pub fn rotating_noisy(
+        keyed: &'a KeyedNetlist,
+        profile: ErrorProfile,
+        period: u64,
+        seed: u64,
+    ) -> Self {
+        let (rotation, resolved) = Self::rotation_over(keyed, period, seed);
+        OracleStack {
+            base: EvalLayer::noisy_owned(resolved, profile, seed ^ NOISE_SEED_SALT),
+            rotation: Some(rotation),
+            count: 0,
+        }
+    }
+
+    fn rotation_over(keyed: &'a KeyedNetlist, period: u64, seed: u64) -> (Rotation<'a>, Netlist) {
+        assert!(period > 0, "rotation period must be positive");
+        let resolved = keyed
+            .resolve(&keyed.correct_key())
+            .expect("correct key resolves");
+        (
+            Rotation {
+                keyed,
+                period,
+                rng: StdRng::seed_from_u64(seed ^ ROTATION_SEED_SALT),
+            },
+            resolved,
+        )
+    }
+
+    /// The rotation layer's period, if one is stacked.
+    pub fn rotation_period(&self) -> Option<u64> {
+        self.rotation.as_ref().map(|r| r.period)
+    }
+
+    /// The noise layer's error profile, if the base is noisy.
+    pub fn profile(&self) -> Option<&ErrorProfile> {
+        self.base.profile()
+    }
+
+    /// Rotates if the query counter sits on an epoch boundary (the
+    /// first epoch uses the correct key, so count 0 never rotates).
+    fn maybe_rotate(&mut self) {
+        if let Some(rot) = &mut self.rotation {
+            if self.count > 0 && self.count.is_multiple_of(rot.period) {
+                let resolved = rot.fresh_resolution();
+                self.base.install(resolved);
+            }
+        }
+    }
+}
+
+impl Oracle for OracleStack<'_> {
+    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        self.maybe_rotate();
+        self.count += 1;
+        self.base.scalar(inputs)
+    }
+
+    /// Bit-parallel block path. Without a rotation layer this is one pass
+    /// of the base engine. With rotation, the block is split at epoch
+    /// boundaries and each segment answered by one pass over the epoch's
+    /// resolved netlist, drawing the scalar noise stream — key draws,
+    /// flips, query accounting, and answers match the scalar loop exactly;
+    /// only the gate evaluation is batched.
+    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+        if self.rotation.is_none() {
+            self.count += block.count as u64;
+            return self.base.block_masked(block);
+        }
+        let mut lanes = vec![0u64; self.num_outputs()];
+        let mut k = 0usize;
+        while k < block.count {
+            self.maybe_rotate();
+            let period = self.rotation.as_ref().expect("rotation checked").period;
+            let until_rotation = (period - self.count % period).min(64) as usize;
+            let take = until_rotation.min(block.count - k);
+            let segment = if take == 64 {
+                !0u64
+            } else {
+                ((1u64 << take) - 1) << k
+            };
+            let outs = self.base.segment(block, k, take);
+            for (lane, out) in lanes.iter_mut().zip(&outs) {
+                *lane |= out & segment;
+            }
+            self.count += take as u64;
+            k += take;
+        }
+        lanes
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.base.netlist().inputs().len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.base.netlist().outputs().len()
+    }
+
+    fn queries(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gshe_camo::{camouflage, select_gates, CamoScheme};
+    use gshe_logic::bench_format::{parse_bench, C17_BENCH};
+    use gshe_logic::NodeId;
+
+    fn c17_keyed() -> (Netlist, KeyedNetlist) {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let picks = select_gates(&nl, 1.0, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        (nl, keyed)
+    }
+
+    fn cloaked_profile(keyed: &KeyedNetlist, rate: f64) -> ErrorProfile {
+        let nodes: Vec<NodeId> = keyed.camo_gates().iter().map(|g| g.node).collect();
+        ErrorProfile::uniform_at(keyed.netlist().len(), &nodes, rate)
+    }
+
+    #[test]
+    fn combined_stack_blocks_match_scalar_queries_bit_for_bit() {
+        // The headline contract: rotation × noise composed, `query_block`
+        // vs 64 scalar queries, across epoch boundaries (period 1 rotates
+        // before every query after the first; 7 ∤ 64 drifts the boundary
+        // through consecutive blocks; 20 puts three boundaries inside one
+        // block) at a nonzero error rate.
+        let (_, keyed) = c17_keyed();
+        for period in [1u64, 7, 20] {
+            let profile = cloaked_profile(&keyed, 0.3);
+            let mut fast = OracleStack::rotating_noisy(&keyed, profile.clone(), period, 5);
+            let mut slow = OracleStack::rotating_noisy(&keyed, profile, period, 5);
+            let mut rng = StdRng::seed_from_u64(4);
+            for round in 0..3 {
+                let block = PatternBlock::random(5, &mut rng);
+                let lanes = fast.query_block(&block);
+                for k in 0..block.count {
+                    let y = slow.query(&block.pattern(k));
+                    for (o, &bit) in y.iter().enumerate() {
+                        assert_eq!(
+                            bit,
+                            (lanes[o] >> k) & 1 == 1,
+                            "period {period} round {round} pattern {k} output {o}"
+                        );
+                    }
+                }
+                assert_eq!(fast.queries(), slow.queries(), "period {period}");
+            }
+        }
+    }
+
+    #[test]
+    fn combined_stack_leaves_count_and_both_rng_streams_in_sync() {
+        // After a (partial) block, the stack must sit in exactly the state
+        // the scalar loop leaves: query count, rotation key stream, AND
+        // noise RNG position. Follow-up scalar queries spanning several
+        // further rotations must therefore agree between the twins.
+        let (_, keyed) = c17_keyed();
+        for period in [1u64, 7, 20] {
+            let profile = cloaked_profile(&keyed, 0.25);
+            let mut fast = OracleStack::rotating_noisy(&keyed, profile.clone(), period, 9);
+            let mut slow = OracleStack::rotating_noisy(&keyed, profile, period, 9);
+            let mut rng = StdRng::seed_from_u64(6);
+            let block = PatternBlock::random_n(5, 50, &mut rng);
+            let _ = fast.query_block(&block);
+            for k in 0..block.count {
+                let _ = slow.query(&block.pattern(k));
+            }
+            assert_eq!(fast.queries(), slow.queries(), "period {period}");
+            for q in 0..(3 * period + 2) {
+                let p = block.pattern(q as usize % block.count);
+                assert_eq!(
+                    fast.query(&p),
+                    slow.query(&p),
+                    "period {period} post-block query {q} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combined_stack_actually_rotates_and_flips() {
+        // Sanity that both layers are live: at a 50% rate over six cloaked
+        // cells plus period-4 rotation, blocks must disagree with the
+        // clean chip on many lanes.
+        let (nl, keyed) = c17_keyed();
+        let profile = cloaked_profile(&keyed, 0.5);
+        let mut combined = OracleStack::rotating_noisy(&keyed, profile, 4, 11);
+        assert_eq!(combined.rotation_period(), Some(4));
+        assert!(combined.profile().is_some());
+        let mut clean = OracleStack::exact(&nl);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut flipped = 0u32;
+        for _ in 0..8 {
+            let block = PatternBlock::random(5, &mut rng);
+            let a = combined.query_block(&block);
+            let b = clean.query_block(&block);
+            flipped += a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum::<u32>();
+        }
+        assert!(flipped > 100, "only {flipped} lane flips");
+    }
+
+    #[test]
+    fn rotation_key_stream_is_independent_of_the_noise_layer() {
+        // Stacking noise must not steal rotation key draws: an exact
+        // rotating stack and a rate-0 noisy rotating stack resolve the
+        // same key sequence, hence answer identically.
+        let (_, keyed) = c17_keyed();
+        let quiet = ErrorProfile::zero(keyed.netlist().len());
+        let mut exact = OracleStack::rotating(&keyed, 3, 17);
+        let mut noisy = OracleStack::rotating_noisy(&keyed, quiet, 3, 17);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2 {
+            let block = PatternBlock::random(5, &mut rng);
+            assert_eq!(exact.query_block(&block), noisy.query_block(&block));
+        }
+        for p in 0..10u32 {
+            let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
+            assert_eq!(exact.query(&v), noisy.query(&v));
+        }
+    }
+
+    #[test]
+    fn noise_only_stack_reproduces_the_legacy_stochastic_stream() {
+        // The stack constructor applies the historical seed salt, so a
+        // noise-only stack and the legacy adapter are the same oracle.
+        let (_, keyed) = c17_keyed();
+        let mut stack = OracleStack::noisy(&keyed, cloaked_profile(&keyed, 0.3), 42);
+        let mut legacy = crate::StochasticOracle::new(&keyed, 0.3, 42);
+        let inputs = [true, false, true, true, false];
+        for _ in 0..10 {
+            assert_eq!(stack.query(&inputs), legacy.query(&inputs));
+        }
+        let block = PatternBlock::from_patterns(&[vec![false; 5], vec![true; 5]]);
+        assert_eq!(stack.query_block(&block), legacy.query_block(&block));
+    }
+
+    #[test]
+    fn rotation_only_stack_reproduces_the_legacy_rotating_stream() {
+        let (_, keyed) = c17_keyed();
+        let mut stack = OracleStack::rotating(&keyed, 7, 9);
+        let mut legacy = crate::RotatingOracle::new(&keyed, 7, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2 {
+            let block = PatternBlock::random(5, &mut rng);
+            assert_eq!(stack.query_block(&block), legacy.query_block(&block));
+        }
+        for p in 0..23u32 {
+            let v: Vec<bool> = (0..5).map(|k| (p >> k) & 1 == 1).collect();
+            assert_eq!(stack.query(&v), legacy.query(&v));
+        }
+        assert_eq!(stack.queries(), legacy.queries());
+    }
+
+    #[test]
+    #[should_panic(expected = "rotation period")]
+    fn zero_period_is_rejected() {
+        let (_, keyed) = c17_keyed();
+        let profile = ErrorProfile::zero(keyed.netlist().len());
+        let _ = OracleStack::rotating_noisy(&keyed, profile, 0, 1);
+    }
+}

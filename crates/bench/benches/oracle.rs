@@ -10,7 +10,8 @@
 //! width 16 vs. width 1 on the same benchmark.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gshe_core::logic::{suites, Netlist, PatternBlock};
+use gshe_core::attacks::OracleStack;
+use gshe_core::logic::{suites, ErrorProfile, FaultSimulator, Netlist, PatternBlock};
 use gshe_core::prelude::{
     camouflage, sat_attack, select_gates, AttackConfig, AttackStatus, CamoScheme, KeyedNetlist,
     NetlistOracle, Oracle, StochasticOracle,
@@ -71,6 +72,46 @@ fn bench_oracle_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// The layered oracle stack's `query_block` against the bare
+/// [`FaultSimulator`] it drives: the noise-only stack (thin-adapter
+/// overhead only), the rotating noisy stack at a period long enough that
+/// no boundary falls inside a block (pure layer overhead plus the
+/// scalar-stream noise draw), and at period 20 (three epoch splits per
+/// block — the worst realistic segmentation). This is the measured form
+/// of "each layer is a thin combinator".
+fn bench_stacked_oracle(c: &mut Criterion) {
+    let (_, keyed) = s38584_keyed();
+    let nodes: Vec<_> = keyed.camo_gates().iter().map(|g| g.node).collect();
+    let profile = ErrorProfile::uniform_at(keyed.netlist().len(), &nodes, 0.05);
+    let n_inputs = keyed.netlist().inputs().len();
+    let mut rng = StdRng::seed_from_u64(7);
+    let block = PatternBlock::random(n_inputs, &mut rng);
+
+    let mut group = c.benchmark_group("stacked_oracle_s38584");
+
+    let mut bare = FaultSimulator::new(keyed.netlist(), profile.clone(), 11);
+    group.bench_function("bare_fault_simulator_64", |b| {
+        b.iter(|| black_box(bare.run_masked(black_box(&block)).unwrap()))
+    });
+
+    let mut noisy = OracleStack::noisy(&keyed, profile.clone(), 11);
+    group.bench_function("stack_noisy_query_block_64", |b| {
+        b.iter(|| black_box(noisy.query_block(black_box(&block))))
+    });
+
+    let mut combined_long = OracleStack::rotating_noisy(&keyed, profile.clone(), 1 << 40, 11);
+    group.bench_function("stack_rotating_noisy_period_huge", |b| {
+        b.iter(|| black_box(combined_long.query_block(black_box(&block))))
+    });
+
+    let mut combined_20 = OracleStack::rotating_noisy(&keyed, profile, 20, 11);
+    group.bench_function("stack_rotating_noisy_period_20", |b| {
+        b.iter(|| black_box(combined_20.query_block(black_box(&block))))
+    });
+
+    group.finish();
+}
+
 /// The unified DIP-refinement engine end to end: the full SAT attack on
 /// s38584 (scaled 1/40, 5% protection) at batch width 1 (the historical
 /// one-query-per-iteration loop) vs. width 16 (class-split-blocked batch
@@ -99,7 +140,7 @@ fn bench_batched_dip(c: &mut Criterion) {
 criterion_group! {
     name = oracle;
     config = Criterion::default().sample_size(30);
-    targets = bench_oracle_paths
+    targets = bench_oracle_paths, bench_stacked_oracle
 }
 criterion_group! {
     name = batched_dip;

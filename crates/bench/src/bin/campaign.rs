@@ -7,6 +7,7 @@
 //! campaign --spec FILE.toml [--out PREFIX] [--deterministic]
 //! campaign [--benchmarks a,b|suite:itc99|all] [--schemes x,y|all]
 //!          [--attacks sat,appsat] [--levels 10,20] [--error-rates 0,0.05]
+//!          [--clock-periods-ns 0.8,2,6]
 //!          [--profiles uniform,output-cone,depth-gradient|all]
 //!          [--rotation-periods 0,1,16,64] [--trials N] [--scale N]
 //!          [--seed N] [--timeout SECS] [--threads N] [--out PREFIX]
@@ -24,6 +25,7 @@
 //! `--spec` is applied first; every other flag overrides the spec file's
 //! value regardless of where it appears on the command line.
 
+use gshe_core::campaign::physical::is_valid_clock_period;
 use gshe_core::campaign::{
     scheme_name, valid_attack_names, valid_key_names, valid_profile_names, valid_scheme_names,
     Campaign, CampaignSpec, NoiseShape,
@@ -53,10 +55,13 @@ GRID FLAGS (each overrides the spec file's value):
   --attacks x,y          {attacks}
   --levels 10,20         protection levels in percent
   --error-rates 0,0.05   oracle per-cell error rates (fractions)
+  --clock-periods-ns 0.8,6  physical clock periods (ns) as extra rate
+                         sources, derived via the device Monte Carlo
   --profiles x,y         {profiles}
   --rotation-periods 0,16  dynamic-camouflaging periods in queries
-                         (0 = static oracle; n > 0 rotates the key every
-                         n queries and collapses the noise dimensions)
+                         (0 = static oracle; n > 0 stacks a rotation
+                         layer; combined with a nonzero rate it attacks
+                         the rotating *and* noisy chip)
   --trials N             repeats per grid cell
   --scale N              benchmark scale divisor
   --seed N               master seed
@@ -187,6 +192,20 @@ fn main() {
                     })
                     .collect()
             }
+            "--clock-periods-ns" => {
+                spec.clock_periods_ns = value
+                    .split(',')
+                    .map(|v| {
+                        let ns: f64 = v.parse().unwrap_or_else(|_| {
+                            fail("--clock-periods-ns takes positive nanoseconds, e.g. 0.8,2,6")
+                        });
+                        if !is_valid_clock_period(ns) {
+                            fail("--clock-periods-ns takes positive nanoseconds, e.g. 0.8,2,6");
+                        }
+                        ns
+                    })
+                    .collect()
+            }
             "--rotation-periods" => {
                 spec.rotation_periods = value
                     .split(',')
@@ -248,21 +267,24 @@ fn main() {
     }
 
     println!(
-        "CAMPAIGN `{}` — {} jobs on {} threads in {:.1}s wall (cache: {} hits / {} misses)",
+        "CAMPAIGN `{}` — {} jobs on {} threads in {:.1}s wall",
         report.name,
         report.results.len(),
         report.threads,
         report.wall_time.as_secs_f64(),
-        report.cache_hits,
-        report.cache_misses,
     );
     println!(
-        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "oracle cache: {} hits / {} misses / {} entries (block-level keys)",
+        report.cache_hits, report.cache_misses, report.cache_entries,
+    );
+    println!(
+        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",
         "benchmark",
         "scheme",
         "attack",
         "prot",
         "error",
+        "clock",
         "profile",
         "period",
         "trials",
@@ -272,15 +294,20 @@ fn main() {
         "p50 s",
         "p90 s"
     );
-    println!("{:-<128}", "");
+    println!("{:-<137}", "");
     for row in &report.rows {
         println!(
-            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2}",
+            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>8} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2}",
             row.key.benchmark,
             scheme_name(row.key.scheme),
             row.key.attack.name(),
             row.key.level * 100.0,
             row.key.error_rate,
+            if row.key.clock_ns == 0.0 {
+                "-".to_string()
+            } else {
+                format!("{}ns", row.key.clock_ns)
+            },
             row.key.profile.name(),
             if row.key.rotation_period == 0 {
                 "-".to_string()

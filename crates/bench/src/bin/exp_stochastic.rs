@@ -48,6 +48,7 @@ fn main() {
                         level: 0.20,
                         attack,
                         error_rate: 1.0 - acc,
+                        clock_ns: 0.0,
                         profile: NoiseShape::Uniform,
                         rotation_period: 0,
                         trial,

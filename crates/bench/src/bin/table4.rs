@@ -50,6 +50,7 @@ fn main() {
                         level,
                         attack: AttackKind::Sat,
                         error_rate: 0.0,
+                        clock_ns: 0.0,
                         profile: NoiseShape::Uniform,
                         rotation_period: 0,
                         trial: 0,

@@ -25,6 +25,9 @@ pub struct CellKey {
     pub attack: AttackKind,
     /// Oracle per-cell error rate.
     pub error_rate: f64,
+    /// Physical clock period, ns, the rate was derived from (0 =
+    /// abstract spec-level rate).
+    pub clock_ns: f64,
     /// Error-profile shape the rate was applied with.
     pub profile: NoiseShape,
     /// Dynamic-camouflaging rotation period (0 = static oracle).
@@ -101,6 +104,7 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                 level,
                 attack,
                 error_rate,
+                clock_ns,
                 profile,
                 rotation_period,
                 ..
@@ -111,6 +115,7 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                     level: *level,
                     attack: *attack,
                     error_rate: *error_rate,
+                    clock_ns: *clock_ns,
                     profile: *profile,
                     rotation_period: *rotation_period,
                 };
@@ -218,6 +223,7 @@ mod tests {
                     level: 0.2,
                     attack: AttackKind::Sat,
                     error_rate: 0.0,
+                    clock_ns: 0.0,
                     profile: NoiseShape::Uniform,
                     rotation_period: 0,
                     trial,

@@ -1,20 +1,35 @@
-//! Sharded, shared oracle-response cache.
+//! Sharded, shared oracle-response cache — the **caching layer** of the
+//! oracle stack.
 //!
 //! Every attack job against the same benchmark queries the same working
 //! chip, and SAT-style attacks re-discover overlapping discriminating
-//! input patterns across schemes and protection levels. Simulating each
-//! pattern once per *campaign* instead of once per *job* removes that
-//! redundancy: the cache maps `(netlist fingerprint, input pattern)` to
-//! the simulated outputs and is shared by all workers.
+//! input patterns across schemes, protection levels, and trials (a
+//! deterministic cell's trials replay the *same* query sequence).
+//! Simulating each query once per *campaign* instead of once per *job*
+//! removes that redundancy.
+//!
+//! Keys are **block-level**: `(netlist fingerprint, packed 64-pattern
+//! block)` — one hash-and-probe per [`PatternBlock`] instead of one per
+//! pattern, so cached campaign cells stop paying per-pattern hashing on
+//! the bit-parallel path (the ROADMAP scale item). Scalar queries ride
+//! the same path as single-pattern blocks. Values are the packed output
+//! lanes, immutable once inserted (a deterministic oracle always answers
+//! the same), which keeps the protocol to a get-or-insert.
 //!
 //! The map is split into [`SHARDS`] independently-locked shards selected
 //! by the key's hash, so concurrent workers rarely contend on the same
-//! lock. Entries are immutable once inserted (a deterministic oracle
-//! always answers the same), which keeps the protocol to a get-or-insert.
+//! lock.
+//!
+//! [`CacheLayer`] is the layer itself: a thin `query_block`-first
+//! combinator over any inner [`Oracle`]. It only composes soundly over
+//! the bare exact stack — noisy answers are samples and rotating answers
+//! are a per-chip key stream, so neither is memoizable — which is why
+//! campaign job materialization stacks it only for deterministic static
+//! cells.
 
 use crate::job::hash_mix;
-use gshe_attacks::Oracle;
-use gshe_logic::{Netlist, NodeKind, PatternBlock, Simulator};
+use gshe_attacks::{Oracle, OracleStack};
+use gshe_logic::{Netlist, NodeKind, PatternBlock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -22,13 +37,17 @@ use std::sync::{Arc, Mutex};
 /// Number of independently-locked shards.
 pub const SHARDS: usize = 16;
 
-/// Key: (netlist fingerprint, bit-packed input pattern).
+/// Key: netlist fingerprint, then the packed block ([`pack_block`]) —
+/// input lanes masked to the valid patterns, then the pattern count.
+/// Masking makes blocks that differ only in garbage bits of invalid
+/// lanes share one entry; the count word keeps prefix blocks distinct.
 type Key = (u64, Vec<u64>);
 
-/// A process-wide cache of oracle responses, safe to share across workers.
+/// A process-wide cache of oracle block responses, safe to share across
+/// workers.
 #[derive(Debug, Default)]
 pub struct OracleCache {
-    shards: [Mutex<HashMap<Key, Vec<bool>>>; SHARDS],
+    shards: [Mutex<HashMap<Key, Vec<u64>>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -39,20 +58,33 @@ impl OracleCache {
         Arc::new(OracleCache::default())
     }
 
-    /// Looks up `pattern` for the netlist identified by `fingerprint`,
-    /// computing and memoizing via `compute` on a miss.
+    /// Looks up `block` for the netlist identified by `fingerprint`,
+    /// computing and memoizing the packed output lanes via `compute` on a
+    /// miss.
     ///
     /// `compute` runs *outside* the shard lock so concurrent workers on
     /// the same shard never serialize their simulations; entries are
     /// immutable, so the rare duplicate compute under a race is harmless
     /// (first insert wins).
-    pub fn get_or_insert(
+    pub fn get_or_insert_block(
         &self,
         fingerprint: u64,
-        pattern: &[bool],
-        compute: impl FnOnce() -> Vec<bool>,
-    ) -> Vec<bool> {
-        let key = (fingerprint, pack_bits(pattern));
+        block: &PatternBlock,
+        compute: impl FnOnce() -> Vec<u64>,
+    ) -> Vec<u64> {
+        self.get_or_insert_packed(fingerprint, pack_block(block), compute)
+    }
+
+    /// Like [`OracleCache::get_or_insert_block`] over an already-packed
+    /// key — the scalar hot path packs straight from `&[bool]` so a hit
+    /// allocates nothing beyond the key words.
+    fn get_or_insert_packed(
+        &self,
+        fingerprint: u64,
+        packed: Vec<u64>,
+        compute: impl FnOnce() -> Vec<u64>,
+    ) -> Vec<u64> {
+        let key = (fingerprint, packed);
         let shard = &self.shards[(hash_key(&key) as usize) % SHARDS];
         if let Some(hit) = shard.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -75,19 +107,52 @@ impl OracleCache {
             self.misses.load(Ordering::Relaxed),
         )
     }
+
+    /// Number of distinct blocks currently cached, across all shards.
+    pub fn entries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len() as u64)
+            .sum()
+    }
 }
 
-/// Packs a boolean pattern into 64-bit words (bit `i % 64` of word
-/// `i / 64` is input `i`), appending the length so `[T]`/`[T, F]` differ
-/// from `[T, F, F]`.
-fn pack_bits(pattern: &[bool]) -> Vec<u64> {
-    let mut words = vec![0u64; pattern.len().div_ceil(64) + 1];
-    for (i, &b) in pattern.iter().enumerate() {
-        if b {
+/// Packs a block into its cache-key words: input lanes masked to the
+/// valid patterns, then the pattern count (so `[p]` and `[p, q]` with a
+/// shared prefix differ, and garbage bits beyond `count` never split
+/// logically-identical blocks).
+///
+/// Single-pattern blocks — the scalar-query hot path of a `dip_batch=1`
+/// attack — use a dense form instead ([`pack_bits`]): the pattern
+/// bit-packed across inputs plus the arity word (`⌈n/64⌉ + 1` words
+/// rather than `n + 1`), so per-query hashing and resident-key size stay
+/// at the pre-block-key level.
+fn pack_block(block: &PatternBlock) -> Vec<u64> {
+    if block.count == 1 {
+        return pack_bits(block.lanes.iter().map(|&lane| lane & 1 == 1));
+    }
+    let mask = block.valid_mask();
+    let mut words: Vec<u64> = block.lanes.iter().map(|&lane| lane & mask).collect();
+    words.push(block.count as u64);
+    words
+}
+
+/// The dense single-pattern key form shared by [`pack_block`]'s
+/// `count == 1` arm and the scalar-query path: pattern bits packed across
+/// inputs, then the input arity. The arity word keeps same-fingerprint
+/// queries of different widths (a caller bug the oracle would panic on)
+/// from ever aliasing a cached entry, and keeps the form disjoint from
+/// the multi-pattern encoding (whose word count differs whenever
+/// `n > 1`, and whose trailing count is `>= 2` at `n <= 1`).
+fn pack_bits(bits: impl ExactSizeIterator<Item = bool>) -> Vec<u64> {
+    let len = bits.len();
+    let mut words = vec![0u64; len.div_ceil(64) + 1];
+    for (i, bit) in bits.enumerate() {
+        if bit {
             words[i / 64] |= 1 << (i % 64);
         }
     }
-    *words.last_mut().expect("non-empty") = pattern.len() as u64;
+    *words.last_mut().expect("non-empty") = len as u64;
     words
 }
 
@@ -123,22 +188,28 @@ pub fn netlist_fingerprint(netlist: &Netlist) -> u64 {
     h
 }
 
-/// A deterministic oracle over a shared netlist that answers through the
-/// campaign-wide [`OracleCache`], bit-parallel on block queries.
+/// The caching layer: a `query_block`-first combinator answering through
+/// the campaign-wide [`OracleCache`], falling through to the inner oracle
+/// on a miss. Query accounting stays per-pattern and per-layer-instance
+/// (the inner oracle only counts misses).
+///
+/// Only sound over a *deterministic, non-rotating* inner oracle — the
+/// one stack composition whose answers are a pure function of the input
+/// block.
 #[derive(Debug, Clone)]
-pub struct CachedOracle {
-    netlist: Arc<Netlist>,
+pub struct CacheLayer<O> {
+    inner: O,
     fingerprint: u64,
     cache: Arc<OracleCache>,
     count: u64,
 }
 
-impl CachedOracle {
-    /// Wraps `netlist` with the shared `cache`.
-    pub fn new(netlist: Arc<Netlist>, cache: Arc<OracleCache>) -> Self {
-        let fingerprint = netlist_fingerprint(&netlist);
-        CachedOracle {
-            netlist,
+impl<O: Oracle> CacheLayer<O> {
+    /// Stacks the cache over `inner`, whose netlist is identified by
+    /// `fingerprint` (see [`netlist_fingerprint`]).
+    pub fn new(inner: O, fingerprint: u64, cache: Arc<OracleCache>) -> Self {
+        CacheLayer {
+            inner,
             fingerprint,
             cache,
             count: 0,
@@ -146,33 +217,54 @@ impl CachedOracle {
     }
 }
 
-impl Oracle for CachedOracle {
+impl<O: Oracle> Oracle for CacheLayer<O> {
     fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        // Scalar queries share the block key space (a single pattern
+        // packs to the same dense form as a 1-pattern block), but pack
+        // straight from the inputs: a hit — the case the cache exists
+        // for — allocates nothing beyond the key words.
         self.count += 1;
-        let netlist = &self.netlist;
+        let inner = &mut self.inner;
+        let lanes = self.cache.get_or_insert_packed(
+            self.fingerprint,
+            pack_bits(inputs.iter().copied()),
+            || inner.query_block(&PatternBlock::from_patterns(&[inputs.to_vec()])),
+        );
+        lanes.iter().map(|lane| lane & 1 == 1).collect()
+    }
+
+    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+        self.count += block.count as u64;
+        let inner = &mut self.inner;
         self.cache
-            .get_or_insert(self.fingerprint, inputs, || netlist.evaluate(inputs))
+            .get_or_insert_block(self.fingerprint, block, || inner.query_block(block))
     }
 
     fn num_inputs(&self) -> usize {
-        self.netlist.inputs().len()
+        self.inner.num_inputs()
     }
 
     fn num_outputs(&self) -> usize {
-        self.netlist.outputs().len()
+        self.inner.num_outputs()
     }
 
     fn queries(&self) -> u64 {
         self.count
     }
+}
 
-    fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
-        // Whole blocks bypass the per-pattern map: one bit-parallel pass is
-        // already cheaper than 64 lookups.
-        self.count += block.count as u64;
-        Simulator::new(&self.netlist)
-            .run_masked(block)
-            .expect("oracle input arity mismatch")
+/// The campaign's deterministic cached oracle: the caching layer over the
+/// bare exact stack sharing a campaign netlist.
+pub type CachedOracle<'a> = CacheLayer<OracleStack<'a>>;
+
+impl<'a> CachedOracle<'a> {
+    /// Stacks the campaign cache over an exact base for `netlist`.
+    pub fn over(netlist: &'a Netlist, cache: Arc<OracleCache>) -> Self {
+        CacheLayer::new(
+            OracleStack::exact(netlist),
+            netlist_fingerprint(netlist),
+            cache,
+        )
     }
 }
 
@@ -183,18 +275,20 @@ mod tests {
 
     #[test]
     fn cache_hits_on_repeat_queries_across_oracles() {
-        let nl = Arc::new(parse_bench(C17_BENCH).unwrap());
+        let nl = parse_bench(C17_BENCH).unwrap();
         let cache = OracleCache::shared();
         let pattern = [true, false, true, false, true];
 
-        let mut a = CachedOracle::new(Arc::clone(&nl), Arc::clone(&cache));
+        let mut a = CachedOracle::over(&nl, Arc::clone(&cache));
         let ya = a.query(&pattern);
         assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(cache.entries(), 1);
 
         // A *different* oracle instance over the same netlist hits.
-        let mut b = CachedOracle::new(Arc::clone(&nl), Arc::clone(&cache));
+        let mut b = CachedOracle::over(&nl, Arc::clone(&cache));
         let yb = b.query(&pattern);
         assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.entries(), 1);
         assert_eq!(ya, yb);
         assert_eq!(ya, nl.evaluate(&pattern));
 
@@ -217,27 +311,83 @@ mod tests {
     }
 
     #[test]
-    fn pattern_length_is_part_of_the_key() {
-        assert_ne!(pack_bits(&[true]), pack_bits(&[true, false]));
-        assert_ne!(pack_bits(&[]), pack_bits(&[false]));
+    fn block_key_ignores_garbage_bits_and_keeps_count() {
+        // Two logically identical partial blocks that differ only in the
+        // invalid-lane garbage must share one entry; a different count is
+        // a different key.
+        let a = PatternBlock {
+            lanes: vec![0b01, 0b10, 0b11, 0b00, 0b01],
+            count: 2,
+        };
+        let mut garbage = a.clone();
+        for lane in &mut garbage.lanes {
+            *lane |= 0xFFFF_0000;
+        }
+        assert_eq!(pack_block(&a), pack_block(&garbage));
+        let longer = PatternBlock {
+            lanes: a.lanes.clone(),
+            count: 3,
+        };
+        assert_ne!(pack_block(&a), pack_block(&longer));
+
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let cache = OracleCache::shared();
+        let mut o = CachedOracle::over(&nl, Arc::clone(&cache));
+        let ya = o.query_block(&a);
+        let yb = o.query_block(&garbage);
+        assert_eq!(cache.stats(), (1, 1), "garbage bits must not split keys");
+        assert_eq!(ya, yb);
     }
 
     #[test]
-    fn block_queries_count_and_match_scalar() {
-        let nl = Arc::new(parse_bench(C17_BENCH).unwrap());
+    fn single_pattern_keys_are_dense_and_shared_with_scalar_queries() {
+        // The scalar hot path (dip_batch = 1) must not pay n-word keys:
+        // a single pattern packs to ⌈n/64⌉ + 1 words, and a scalar query
+        // and a 1-pattern block query over the same pattern share one
+        // entry (both route through the same packed form).
+        let one = PatternBlock::from_patterns(&[vec![true, false, true, false, true]]);
+        assert_eq!(pack_block(&one), vec![0b10101, 5]);
+        // The arity word keeps different-width patterns (a caller bug)
+        // from aliasing: [T] and [T, F] pack to distinct keys.
+        assert_ne!(
+            pack_bits([true].into_iter()),
+            pack_bits([true, false].into_iter())
+        );
+
+        let nl = parse_bench(C17_BENCH).unwrap();
         let cache = OracleCache::shared();
-        let mut o = CachedOracle::new(Arc::clone(&nl), cache);
+        let mut o = CachedOracle::over(&nl, Arc::clone(&cache));
+        let y_scalar = o.query(&[true, false, true, false, true]);
+        let lanes = o.query_block(&one);
+        assert_eq!(cache.stats(), (1, 1), "scalar and 1-block share a key");
+        for (bit, lane) in y_scalar.iter().zip(&lanes) {
+            assert_eq!(*bit, lane & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn block_queries_hit_count_and_match_simulation() {
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let cache = OracleCache::shared();
+        let mut o = CachedOracle::over(&nl, Arc::clone(&cache));
         let patterns: Vec<Vec<bool>> = (0..10u32)
             .map(|p| (0..5).map(|k| (p >> k) & 1 == 1).collect())
             .collect();
         let block = PatternBlock::from_patterns(&patterns);
         let lanes = o.query_block(&block);
         assert_eq!(o.queries(), 10);
+        assert_eq!(cache.stats(), (0, 1), "one probe per block, not ten");
         for (k, p) in patterns.iter().enumerate() {
             let y = nl.evaluate(p);
             for (i, &bit) in y.iter().enumerate() {
                 assert_eq!(bit, (lanes[i] >> k) & 1 == 1);
             }
         }
+        // The identical block replayed (e.g. a deterministic cell's second
+        // trial) costs one hash lookup and zero simulation.
+        let again = o.query_block(&block);
+        assert_eq!(again, lanes);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(o.queries(), 20);
     }
 }

@@ -14,9 +14,7 @@
 //! fairness protocol).
 
 use crate::cache::{CachedOracle, OracleCache};
-use gshe_attacks::{
-    verify_key, AttackKind, AttackRunner, AttackStatus, RotatingOracle, StochasticOracle,
-};
+use gshe_attacks::{verify_key, AttackKind, AttackRunner, AttackStatus, OracleStack};
 use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
 use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
 use gshe_logic::{ErrorProfile, Netlist, NodeId};
@@ -46,12 +44,28 @@ pub fn hash_str(s: &str) -> u64 {
 /// Seed salt folded into the oracle seed for the rotation-period
 /// dimension: zero for the historical static oracle (period 0), so specs
 /// that don't sweep periods derive exactly the seeds they always did; a
-/// period-distinct mix otherwise.
+/// period-distinct mix otherwise. Salts for independent dimensions
+/// compose by XOR (`rotation_salt ^ profile.seed_salt() ^ clock_salt`),
+/// so every combination draws a distinct stream while any dimension at
+/// its historical default contributes nothing.
 pub fn rotation_salt(period: u64) -> u64 {
     if period == 0 {
         0
     } else {
         hash_mix(period ^ 0xD07A_7E5A_17ED)
+    }
+}
+
+/// Seed salt folded into the oracle seed for the physical clock-period
+/// dimension: zero for abstract-rate cells (`clock_ns == 0`, the
+/// historical derivation), a period-distinct mix otherwise — two
+/// operating points that happen to derive near-identical rates still
+/// draw distinct noise streams.
+pub fn clock_salt(clock_ns: f64) -> u64 {
+    if clock_ns == 0.0 {
+        0
+    } else {
+        hash_mix(clock_ns.to_bits() ^ 0xC10C_55A1)
     }
 }
 
@@ -191,11 +205,14 @@ pub enum JobKind {
         attack: AttackKind,
         /// Per-cell oracle error rate (0.0 = perfect deterministic chip).
         error_rate: f64,
+        /// Physical clock period, ns, the error rate was derived from via
+        /// the device Monte Carlo (`0.0` = abstract spec-level rate — the
+        /// historical cells).
+        clock_ns: f64,
         /// How the error rate spreads over the cloaked cells.
         profile: NoiseShape,
-        /// Dynamic-camouflaging rotation period: `0` = static oracle, `n`
-        /// = the chip draws a fresh random key every `n` queries
-        /// ([`RotatingOracle`]).
+        /// Dynamic-camouflaging rotation period: `0` = no rotation layer,
+        /// `n` = the chip draws a fresh random key every `n` queries.
         rotation_period: u64,
         /// Trial index (campaigns repeat stochastic cells).
         trial: u64,
@@ -334,6 +351,7 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
             level,
             attack,
             error_rate,
+            clock_ns: _,
             profile,
             rotation_period,
             trial: _,
@@ -355,19 +373,33 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
                 }
             };
             let runner = AttackRunner::new(*attack, spec.timeout, seeds.oracle);
-            let out = if *rotation_period > 0 {
-                // Dynamic camouflaging: the working chip rotates its key
-                // every `rotation_period` queries. Rotating answers are a
-                // per-chip key stream, so they bypass the shared cache.
-                let mut oracle = RotatingOracle::new(&keyed, *rotation_period, seeds.oracle);
-                runner.run(&keyed, &mut oracle)
-            } else if *error_rate > 0.0 {
-                let noise = noise_profile(&keyed, *profile, *error_rate);
-                let mut oracle = StochasticOracle::with_profile(&keyed, noise, seeds.oracle);
-                runner.run(&keyed, &mut oracle)
-            } else {
-                let mut oracle = CachedOracle::new(Arc::clone(nl), Arc::clone(&ctx.cache));
-                runner.run(&keyed, &mut oracle)
+            // Build the oracle stack bottom-up from the cell's defense
+            // dimensions: a noisy base when the cell carries an error
+            // rate, a rotation layer when it carries a period — any
+            // combination is one bit-parallel stack — and the campaign
+            // cache only over the bare exact stack (noisy answers are
+            // samples and rotating answers a per-chip key stream, so
+            // neither is memoizable).
+            let noise = (*error_rate > 0.0).then(|| noise_profile(&keyed, *profile, *error_rate));
+            let out = match (*rotation_period, noise) {
+                (0, None) => {
+                    let mut oracle = CachedOracle::over(nl, Arc::clone(&ctx.cache));
+                    runner.run(&keyed, &mut oracle)
+                }
+                (0, Some(noise)) => {
+                    let mut oracle = OracleStack::noisy(&keyed, noise, seeds.oracle);
+                    runner.run(&keyed, &mut oracle)
+                }
+                (period, None) => {
+                    let mut oracle = OracleStack::rotating(&keyed, period, seeds.oracle);
+                    runner.run(&keyed, &mut oracle)
+                }
+                (period, Some(noise)) => {
+                    // The combined defense cell: rotation over noise.
+                    let mut oracle =
+                        OracleStack::rotating_noisy(&keyed, noise, period, seeds.oracle);
+                    runner.run(&keyed, &mut oracle)
+                }
             };
             result.status = match out.status {
                 AttackStatus::Success => JobStatus::Completed,
@@ -468,6 +500,7 @@ mod tests {
             level: 0.2,
             attack: AttackKind::Sat,
             error_rate: 0.0,
+            clock_ns: 0.0,
             profile: NoiseShape::Uniform,
             rotation_period: 0,
             trial,

@@ -16,10 +16,14 @@
 //! * [`pool`] — a work-stealing thread pool (std-only) executing jobs with
 //!   per-job wall-clock budgets; a job that exhausts its budget is marked
 //!   [`JobStatus::TimedOut`] instead of wedging the pool;
-//! * [`cache`] — a sharded, campaign-wide oracle-response cache keyed by
-//!   (netlist fingerprint, input pattern), so no input pattern is
-//!   simulated twice across jobs; block queries ride the bit-parallel
-//!   simulator (64 patterns per pass);
+//! * [`cache`] — the oracle stack's caching layer: a sharded,
+//!   campaign-wide oracle-response cache with **block-level** keys
+//!   (netlist fingerprint + packed 64-pattern block), so no block is
+//!   simulated — or hashed pattern-at-a-time — twice across jobs;
+//! * [`physical`] — device-derived operating points: the memoized
+//!   clock-period → error-rate table behind the `clock_periods_ns` grid
+//!   dimension (and the historical `gshe_core::stochastic` derivation
+//!   functions, which live here so campaigns can use them);
 //! * [`aggregate`]/[`report`] — reduce raw job results into the paper's
 //!   table rows (key-recovery rate, query counts, output-error rate,
 //!   runtime percentiles) and serialize them to JSON or CSV.
@@ -61,6 +65,7 @@
 //! schemes = ["gshe16"]       # scheme names, or "all" (["gshe16"])
 //! attacks = ["sat"]          # sat | double-dip | appsat (["sat"])
 //! error_rates = [0.0, 0.05]  # oracle per-cell error rates ([0.0])
+//! clock_periods_ns = [0.8, 2] # physical clock periods as rate sources ([])
 //! profiles = ["uniform"]     # error-profile shapes, or "all" (["uniform"])
 //! rotation_periods = [0, 16] # dynamic-camouflaging periods ([0])
 //! trials = 3                 # repeats per grid cell (1)
@@ -75,16 +80,24 @@
 //! Profile names: `uniform` (every cloaked cell at the rate),
 //! `output-cone` (only cloaked cells in the deepest output's fanin cone),
 //! `depth-gradient` (rate scaled by logic level). Profiles describe *how*
-//! each `error_rates` entry spreads over the cloaked cells; their oracles
-//! run on the bit-parallel [`gshe_logic::FaultSimulator`] noise engine.
+//! each rate spreads over the cloaked cells; their oracles run on the
+//! bit-parallel [`gshe_logic::FaultSimulator`] noise engine.
+//!
+//! `clock_periods_ns` sweeps *physical* operating points: each period's
+//! per-cell rate is derived from the device Monte Carlo at the nominal
+//! drive current ([`physical::ClockRateTable`], one memoized sweep per
+//! distinct period), then spread by the profile shapes exactly like an
+//! abstract rate. Rows carry the period as `clock_ns` (implicit when 0).
 //!
 //! Rotation periods sweep the *dynamic camouflaging* defense (Sec. V-C):
-//! `0` is the static oracle the grid always had, `n > 0` attacks a
-//! [`gshe_attacks::RotatingOracle`] that draws a fresh random key every
-//! `n` queries. A rotating chip carries no noise model, so the
-//! `error_rates`/`profiles` dimensions collapse for rotating cells (the
-//! same way rate-0 cells collapse the profile sweep); rows and CSV carry
-//! the period, and JSON leaves period 0 implicit so pre-existing
+//! `0` is the static oracle the grid always had, `n > 0` stacks a
+//! rotation layer that draws a fresh random key every `n` queries.
+//! Jobs materialize one [`gshe_attacks::OracleStack`] per cell, built
+//! from the cell's dimensions, so `rotation_periods × rates × profiles`
+//! is a full grid: cells with both a period and a nonzero rate attack
+//! the **combined defense** ([`gshe_attacks::OracleStack::rotating_noisy`]
+//! — rotation layered over the noisy base). Rows and CSV carry the
+//! period, and JSON leaves period 0 implicit so pre-existing
 //! deterministic reports stay byte-identical.
 //!
 //! ## Determinism contract
@@ -109,16 +122,18 @@
 pub mod aggregate;
 pub mod cache;
 pub mod job;
+pub mod physical;
 pub mod pool;
 pub mod report;
 pub mod spec;
 
 pub use aggregate::{CellKey, DeviceRow, TableRow};
-pub use cache::{netlist_fingerprint, CachedOracle, OracleCache};
+pub use cache::{netlist_fingerprint, CacheLayer, CachedOracle, OracleCache};
 pub use job::{
     noise_profile, run_job, AttackSeeds, JobContext, JobKind, JobResult, JobSpec, JobStatus,
     NoiseShape,
 };
+pub use physical::ClockRateTable;
 pub use report::CampaignReport;
 pub use spec::{
     parse_scheme, scheme_name, valid_attack_names, valid_key_names, valid_profile_names,
@@ -211,13 +226,13 @@ impl Campaign {
             .collect();
         let results = pool::run_all(threads, tasks);
 
-        let cache_stats = ctx.cache.stats();
+        let (hits, misses) = ctx.cache.stats();
         Ok(CampaignReport::new(
             spec.name.clone(),
             results,
             threads,
             start.elapsed(),
-            cache_stats,
+            (hits, misses, ctx.cache.entries()),
         ))
     }
 }
@@ -238,6 +253,7 @@ mod tests {
             schemes: vec![CamoScheme::InvBuf, CamoScheme::FourFn],
             attacks: vec![AttackKind::Sat],
             error_rates: vec![0.0],
+            clock_periods_ns: Vec::new(),
             profiles: vec![job::NoiseShape::Uniform],
             rotation_periods: vec![0],
             trials: 1,

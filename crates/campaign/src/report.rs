@@ -31,16 +31,20 @@ pub struct CampaignReport {
     pub cache_hits: u64,
     /// Oracle cache misses.
     pub cache_misses: u64,
+    /// Distinct blocks resident in the oracle cache at the end of the run
+    /// (block-level keys: one entry answers up to 64 patterns).
+    pub cache_entries: u64,
 }
 
 impl CampaignReport {
-    /// Builds a report by aggregating `results`.
+    /// Builds a report by aggregating `results`. `cache_stats` is
+    /// (hits, misses, entries).
     pub fn new(
         name: String,
         results: Vec<JobResult>,
         threads: usize,
         wall_time: Duration,
-        cache_stats: (u64, u64),
+        cache_stats: (u64, u64, u64),
     ) -> Self {
         let (rows, device) = aggregate(&results);
         CampaignReport {
@@ -52,6 +56,7 @@ impl CampaignReport {
             wall_time,
             cache_hits: cache_stats.0,
             cache_misses: cache_stats.1,
+            cache_entries: cache_stats.2,
         }
     }
 
@@ -74,11 +79,13 @@ impl CampaignReport {
             out.push(',');
             let _ = write!(
                 out,
-                "\"threads\":{},\"wall_time_secs\":{},\"cache_hits\":{},\"cache_misses\":{}",
+                "\"threads\":{},\"wall_time_secs\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                 \"cache_entries\":{}",
                 self.threads,
                 json_f64(self.wall_time.as_secs_f64()),
                 self.cache_hits,
-                self.cache_misses
+                self.cache_misses,
+                self.cache_entries
             );
         }
         out.push_str(",\"rows\":[");
@@ -112,15 +119,19 @@ impl CampaignReport {
                 json_f64(row.mean_iterations),
                 json_f64(row.mean_output_error),
             );
-            // The historical (uniform) profile and the static (period-0)
-            // oracle are left implicit so JSON from specs that don't sweep
-            // those dimensions stays byte-identical across refactors.
+            // The historical defaults — uniform profile, static (period-0)
+            // oracle, abstract (clock-0) rate — are left implicit so JSON
+            // from specs that don't sweep those dimensions stays
+            // byte-identical across refactors.
             if row.key.profile != NoiseShape::Uniform {
                 out.push(',');
                 json_str(&mut out, "profile", row.key.profile.name());
             }
             if row.key.rotation_period != 0 {
                 let _ = write!(out, ",\"rotation_period\":{}", row.key.rotation_period);
+            }
+            if row.key.clock_ns != 0.0 {
+                let _ = write!(out, ",\"clock_ns\":{}", json_f64(row.key.clock_ns));
             }
             if timing {
                 let _ = write!(
@@ -159,7 +170,7 @@ impl CampaignReport {
     /// [`CampaignReport::deterministic_json`]).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "benchmark,scheme,level,attack,error_rate,profile,rotation_period,trials,\
+            "benchmark,scheme,level,attack,error_rate,clock_ns,profile,rotation_period,trials,\
              completed,timed_out,exhausted,inconsistent,failed,key_recovery_rate,\
              mean_queries,mean_iterations,mean_output_error,runtime_p50,runtime_p90,\
              runtime_max\n",
@@ -167,12 +178,13 @@ impl CampaignReport {
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 row.key.benchmark,
                 scheme_name(row.key.scheme),
                 row.key.level,
                 row.key.attack.name(),
                 row.key.error_rate,
+                row.key.clock_ns,
                 row.key.profile.name(),
                 row.key.rotation_period,
                 row.trials,
@@ -260,6 +272,7 @@ mod tests {
                     level: 0.2,
                     attack: AttackKind::Sat,
                     error_rate: 0.0,
+                    clock_ns: 0.0,
                     profile: NoiseShape::Uniform,
                     rotation_period: 0,
                     trial: 0,
@@ -285,7 +298,7 @@ mod tests {
             vec![result],
             4,
             Duration::from_secs(2),
-            (3, 9),
+            (3, 9, 2),
         )
     }
 
@@ -315,7 +328,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("benchmark,scheme"));
         assert!(lines[0].contains(",profile,"));
-        assert!(lines[1].starts_with("c7552,gshe16,0.2,sat,0,uniform,0,"));
+        assert!(lines[1].starts_with("c7552,gshe16,0.2,sat,0,0,uniform,0,"));
     }
 
     #[test]
@@ -331,7 +344,7 @@ mod tests {
             report.results.clone(),
             1,
             Duration::from_secs(1),
-            (0, 0),
+            (0, 0, 0),
         );
         assert!(rebuilt
             .deterministic_json()
@@ -356,7 +369,7 @@ mod tests {
             report.results.clone(),
             1,
             Duration::from_secs(1),
-            (0, 0),
+            (0, 0, 0),
         );
         assert!(rebuilt
             .deterministic_json()

@@ -11,7 +11,10 @@
 //! Specs can be read from a minimal TOML subset (see
 //! [`CampaignSpec::parse_toml`] and the crate-level docs).
 
-use crate::job::{hash_mix, hash_str, rotation_salt, AttackSeeds, JobKind, JobSpec, NoiseShape};
+use crate::job::{
+    clock_salt, hash_mix, hash_str, rotation_salt, AttackSeeds, JobKind, JobSpec, NoiseShape,
+};
+use crate::physical::{is_valid_clock_period, ClockRateTable};
 use gshe_attacks::AttackKind;
 use gshe_camo::CamoScheme;
 use std::time::Duration;
@@ -37,7 +40,7 @@ pub fn parse_scheme(name: &str) -> Option<CamoScheme> {
 }
 
 /// The valid TOML keys of a campaign spec, in documentation order.
-pub const SPEC_KEYS: [&str; 13] = [
+pub const SPEC_KEYS: [&str; 14] = [
     "name",
     "benchmarks",
     "scale",
@@ -45,6 +48,7 @@ pub const SPEC_KEYS: [&str; 13] = [
     "schemes",
     "attacks",
     "error_rates",
+    "clock_periods_ns",
     "profiles",
     "rotation_periods",
     "trials",
@@ -103,6 +107,12 @@ pub struct CampaignSpec {
     pub attacks: Vec<AttackKind>,
     /// Oracle per-cell error rates (0.0 = perfect chip).
     pub error_rates: Vec<f64>,
+    /// *Physical* clock periods, in nanoseconds, swept as additional
+    /// rate sources: each period's per-cell error rate is derived from
+    /// the device Monte Carlo at the nominal drive current (uniform
+    /// drives, memoized per operating point — see
+    /// [`crate::physical::ClockRateTable`]). Empty = abstract rates only.
+    pub clock_periods_ns: Vec<f64>,
     /// Error-profile shapes: how each rate spreads over the cloaked cells
     /// (heterogeneous noise placements as a grid dimension).
     pub profiles: Vec<NoiseShape>,
@@ -131,6 +141,7 @@ impl Default for CampaignSpec {
             schemes: vec![CamoScheme::GsheAll16],
             attacks: vec![AttackKind::Sat],
             error_rates: vec![0.0],
+            clock_periods_ns: Vec::new(),
             profiles: vec![NoiseShape::Uniform],
             rotation_periods: vec![0],
             trials: 1,
@@ -165,24 +176,28 @@ impl CampaignSpec {
     }
 
     /// Unrolls the grid into jobs, in canonical order (benchmark, level,
-    /// scheme, attack, rotation period, error rate, profile, trial —
-    /// outermost first).
+    /// scheme, attack, rotation period, rate source, profile, trial —
+    /// outermost first). Rate sources are the abstract `error_rates`
+    /// followed by the `clock_periods_ns`-derived rates (device Monte
+    /// Carlo at the nominal drive, memoized per operating point).
     ///
     /// Seed policy: gate selection depends only on (campaign seed,
     /// benchmark, level) — the paper's fairness protocol, every scheme
     /// sees the same protected gates; the transform seed adds the scheme;
-    /// the oracle seed adds attack, rotation period, error rate, profile
-    /// shape, and trial. The uniform profile's seed salt and the static
-    /// (period-0) oracle's rotation salt are both zero, so specs that
-    /// don't sweep those dimensions derive exactly the seeds they always
-    /// did.
+    /// the oracle seed adds attack, rotation period, error rate, clock
+    /// period, profile shape, and trial. Dimension salts compose by XOR
+    /// and are all zero at their historical defaults (period 0, uniform
+    /// shape, abstract rate), so specs that don't sweep those dimensions
+    /// derive exactly the seeds they always did — including the combined
+    /// rotation × noise cells, whose salts are `rotation_salt ^
+    /// profile_salt ^ clock_salt`.
     ///
-    /// Dimension collapse: a rotating chip (`period > 0`) resolves a fresh
-    /// key per epoch and carries no noise model, so the noise dimensions
-    /// collapse for those cells — rotation jobs are emitted once per
-    /// (…, period, trial) at error rate 0 with the uniform shape, while
-    /// period-0 cells sweep `error_rates × profiles` as before (mirroring
-    /// how rate-0 cells collapse the profile sweep).
+    /// Dimension collapse: the only remaining collapse is physical — a
+    /// rate-0 chip is deterministic, so every shape is the same quiet
+    /// profile and rate-0 cells emit the uniform shape only. Rotation no
+    /// longer collapses the noise dimensions: `rotation_periods ×
+    /// rates × profiles` is a full grid, and its `period > 0, rate > 0`
+    /// cells are the combined rotating + stochastic defense.
     ///
     /// # Errors
     ///
@@ -199,6 +214,21 @@ impl CampaignSpec {
         } else {
             self.rotation_periods.clone()
         };
+        // Rate sources: (clock_ns, rate) pairs — abstract rates first
+        // (clock 0, the historical cells), then the physically derived
+        // ones. Each distinct clock period costs one Monte Carlo sweep
+        // for the whole expansion.
+        let mut rate_cells: Vec<(f64, f64)> =
+            self.error_rates.iter().map(|&rate| (0.0, rate)).collect();
+        let mut clock_table = ClockRateTable::new();
+        for &clock_ns in &self.clock_periods_ns {
+            if !is_valid_clock_period(clock_ns) {
+                return Err(format!(
+                    "clock period must be a positive number of ns, got {clock_ns}"
+                ));
+            }
+            rate_cells.push((clock_ns, clock_table.rate_for(clock_ns)));
+        }
         let mut jobs = Vec::new();
         for benchmark in &benchmarks {
             let bench_hash = hash_str(benchmark);
@@ -208,12 +238,7 @@ impl CampaignSpec {
                     let transform = hash_mix(select ^ hash_str(scheme_name(scheme)));
                     for &attack in &self.attacks {
                         for &rotation_period in &periods {
-                            let cell_rates: &[f64] = if rotation_period > 0 {
-                                &[0.0]
-                            } else {
-                                &self.error_rates
-                            };
-                            for &error_rate in cell_rates {
+                            for &(clock_ns, error_rate) in &rate_cells {
                                 // A rate-0 chip is deterministic: every
                                 // shape collapses to the same (quiet)
                                 // profile, so sweep shapes only where they
@@ -232,6 +257,7 @@ impl CampaignSpec {
                                                     .wrapping_mul(0x2545_F491_4F6C_DD1D)
                                                 ^ profile.seed_salt()
                                                 ^ rotation_salt(rotation_period)
+                                                ^ clock_salt(clock_ns)
                                                 ^ trial,
                                         );
                                         jobs.push(JobSpec {
@@ -241,6 +267,7 @@ impl CampaignSpec {
                                                 level,
                                                 attack,
                                                 error_rate,
+                                                clock_ns,
                                                 profile,
                                                 rotation_period,
                                                 trial,
@@ -339,6 +366,16 @@ impl CampaignSpec {
                 "error_rates" => {
                     spec.error_rates =
                         parse_array::<f64>(value).ok_or_else(|| fail("bad number array"))?
+                }
+                "clock_periods_ns" => {
+                    let periods = parse_array::<f64>(value)
+                        .ok_or_else(|| fail("bad number array (clock periods in ns)"))?;
+                    if let Some(bad) = periods.iter().find(|p| !is_valid_clock_period(**p)) {
+                        return Err(fail(&format!(
+                            "clock period must be a positive number of ns, got {bad}"
+                        )));
+                    }
+                    spec.clock_periods_ns = periods;
                 }
                 "profiles" => {
                     let names =
@@ -595,9 +632,11 @@ mod tests {
     }
 
     #[test]
-    fn rotating_cells_collapse_the_noise_dimensions() {
-        // A rotating chip has no noise model: error_rates/profiles sweep
-        // only the period-0 cells.
+    fn rotation_crosses_the_noise_dimensions_into_combined_cells() {
+        // The stack made the combined defense a real grid: every rotation
+        // period sweeps the full rates × profiles cross product (with only
+        // the physical rate-0 collapse remaining), and the pre-existing
+        // cells keep their exact positions and seed derivations.
         let spec = CampaignSpec {
             error_rates: vec![0.0, 0.05],
             profiles: vec![NoiseShape::Uniform, NoiseShape::OutputCone],
@@ -627,8 +666,92 @@ mod tests {
                 (0, 0.05, NoiseShape::Uniform),
                 (0, 0.05, NoiseShape::OutputCone),
                 (8, 0.0, NoiseShape::Uniform),
+                (8, 0.05, NoiseShape::Uniform),
+                (8, 0.05, NoiseShape::OutputCone),
             ]
         );
+
+        // Combined-cell seed salts compose: the rotating noisy cells draw
+        // streams distinct from both single-defense cells, while each
+        // single-defense cell keeps its historical derivation (checked by
+        // the collapse-free sub-specs).
+        let oracle_of = |j: &JobSpec| {
+            let JobKind::Attack { seeds, .. } = &j.kind else {
+                panic!()
+            };
+            seeds.oracle
+        };
+        let noise_only = oracle_of(&jobs[1]);
+        let rotation_only = oracle_of(&jobs[3]);
+        let combined = oracle_of(&jobs[4]);
+        assert_ne!(combined, noise_only);
+        assert_ne!(combined, rotation_only);
+        // Single-dimension sub-specs reproduce their cells byte-for-byte.
+        let noise_spec = CampaignSpec {
+            error_rates: vec![0.0, 0.05],
+            profiles: vec![NoiseShape::Uniform, NoiseShape::OutputCone],
+            ..Default::default()
+        };
+        assert_eq!(oracle_of(&noise_spec.expand().unwrap()[1]), noise_only);
+        let rotation_spec = CampaignSpec {
+            rotation_periods: vec![0, 8],
+            ..Default::default()
+        };
+        assert_eq!(
+            oracle_of(&rotation_spec.expand().unwrap()[1]),
+            rotation_only
+        );
+    }
+
+    #[test]
+    fn clock_periods_extend_the_rate_sweep_with_derived_rates() {
+        // The physical dimension: clock periods become extra rate sources
+        // with Monte-Carlo-derived rates, tagged with their period and
+        // salted into the oracle seed. Abstract cells keep clock 0 and
+        // their historical seeds.
+        let base = CampaignSpec {
+            error_rates: vec![0.0],
+            ..Default::default()
+        };
+        let swept = CampaignSpec {
+            clock_periods_ns: vec![0.8, 6.0],
+            ..base.clone()
+        };
+        let jobs = swept.expand().unwrap();
+        assert_eq!(jobs.len(), 3, "one abstract + two physical cells");
+        let cell_of = |j: &JobSpec| {
+            let JobKind::Attack {
+                error_rate,
+                clock_ns,
+                seeds,
+                ..
+            } = &j.kind
+            else {
+                panic!()
+            };
+            (*clock_ns, *error_rate, seeds.oracle)
+        };
+        let (c0, r0, seed0) = cell_of(&jobs[0]);
+        assert_eq!((c0, r0), (0.0, 0.0));
+        assert_eq!(seed0, cell_of(&base.expand().unwrap()[0]).2);
+        let (c1, r1, seed1) = cell_of(&jobs[1]);
+        assert_eq!(c1, 0.8);
+        assert!(r1 > 0.2, "0.8 ns clock should err often: {r1}");
+        assert_ne!(seed1, seed0);
+        let (c2, r2, seed2) = cell_of(&jobs[2]);
+        assert_eq!(c2, 6.0);
+        assert!(r2 < 0.05, "6 ns clock is near-deterministic: {r2}");
+        assert_ne!(seed2, seed1);
+    }
+
+    #[test]
+    fn clock_periods_parse_from_toml_and_reject_nonpositive() {
+        let spec = CampaignSpec::parse_toml("clock_periods_ns = [0.8, 2.0, 6.0]").unwrap();
+        assert_eq!(spec.clock_periods_ns, [0.8, 2.0, 6.0]);
+        let err = CampaignSpec::parse_toml("clock_periods_ns = [0.0]").unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        assert!(CampaignSpec::parse_toml("clock_periods_ns = [-1.0]").is_err());
+        assert!(CampaignSpec::parse_toml("clock_periods_ns = [oops]").is_err());
     }
 
     #[test]

@@ -9,77 +9,15 @@
 //! the logic level.
 
 use crate::config::GsheConfig;
-use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
-use gshe_logic::{Bf2, ErrorProfile, NodeId};
+use gshe_logic::Bf2;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Estimates the per-evaluation error rate of a switch driven at spin
-/// current `i_s` and clocked with period `t_clk`: the probability that a
-/// thermal switching event misses the clock deadline.
-pub fn error_rate_for_clock(
-    params: &SwitchParams,
-    i_s: f64,
-    t_clk: f64,
-    samples: usize,
-    seed: u64,
-) -> f64 {
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        params: *params,
-        samples,
-        seed,
-        threads: 0,
-    });
-    1.0 - mc.switching_probability(i_s, t_clk)
-}
-
-/// One switch's drive point: which netlist node it implements and how it
-/// is driven (spin current and clock period — the two per-switch knobs of
-/// Sec. V-B).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SwitchDrive {
-    /// The netlist node the switch realizes.
-    pub node: NodeId,
-    /// Spin current, A.
-    pub i_s: f64,
-    /// Clock period, s.
-    pub t_clk: f64,
-}
-
-/// Derives a dense per-node [`ErrorProfile`] from per-switch drive points:
-/// each listed switch's flip rate comes from the device Monte Carlo
-/// ([`error_rate_for_clock`]); unlisted nodes are deterministic.
-///
-/// Distinct `(i_s, t_clk)` pairs are measured once and shared — a fabric
-/// with thousands of switches at a handful of operating points costs a
-/// handful of Monte Carlo sweeps.
-///
-/// # Panics
-///
-/// Panics if a drive's node index is outside `0..len`.
-pub fn error_profile_for_drives(
-    params: &SwitchParams,
-    len: usize,
-    drives: &[SwitchDrive],
-    samples: usize,
-    seed: u64,
-) -> ErrorProfile {
-    let mut rates = vec![0.0; len];
-    let mut measured: Vec<(u64, u64, f64)> = Vec::new();
-    for drive in drives {
-        let key = (drive.i_s.to_bits(), drive.t_clk.to_bits());
-        let rate = match measured.iter().find(|(i, t, _)| (*i, *t) == key) {
-            Some(&(_, _, r)) => r,
-            None => {
-                let r = error_rate_for_clock(params, drive.i_s, drive.t_clk, samples, seed);
-                measured.push((key.0, key.1, r));
-                r
-            }
-        };
-        rates[drive.node.index()] = rate;
-    }
-    ErrorProfile::from_rates(rates)
-}
+// The device-Monte-Carlo rate derivations moved down into
+// `gshe_campaign::physical` so the campaign engine can sweep *physical*
+// clock periods (`clock_periods_ns`) without a dependency cycle;
+// re-exported here to keep the historical Sec. V-B surface together.
+pub use gshe_campaign::physical::{error_profile_for_drives, error_rate_for_clock, SwitchDrive};
 
 /// A GSHE primitive operated in the stochastic regime.
 #[derive(Debug, Clone)]
@@ -145,6 +83,8 @@ impl StochasticPrimitive {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gshe_device::SwitchParams;
+    use gshe_logic::NodeId;
 
     #[test]
     fn error_rate_decreases_with_longer_clock() {

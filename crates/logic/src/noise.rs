@@ -26,6 +26,7 @@ use crate::netlist::{Netlist, NodeId, NodeKind};
 use crate::sim::PatternBlock;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use std::borrow::Cow;
 
 /// Fractional bits of precision in [`bernoulli_mask`]'s fixed-point
 /// representation of the flip probability.
@@ -242,9 +243,14 @@ fn splitmix(mut x: u64) -> u64 {
 ///   refactor.
 ///
 /// Both are deterministic per (netlist, profile, seed).
+///
+/// The netlist is held as a [`Cow`], so the engine normally borrows (the
+/// static-oracle case) but an upper layer may swap in an owned netlist of
+/// the same shape per key-rotation epoch ([`FaultSimulator::install`]) —
+/// the rates, RNG stream, and scratch all survive the swap.
 #[derive(Debug, Clone)]
 pub struct FaultSimulator<'a> {
-    netlist: &'a Netlist,
+    netlist: Cow<'a, Netlist>,
     profile: ErrorProfile,
     /// Scratch buffer reused across calls.
     values: Vec<u64>,
@@ -259,6 +265,20 @@ impl<'a> FaultSimulator<'a> {
     ///
     /// Panics if the profile does not cover exactly the netlist's nodes.
     pub fn new(netlist: &'a Netlist, profile: ErrorProfile, seed: u64) -> Self {
+        Self::over(Cow::Borrowed(netlist), profile, seed)
+    }
+
+    /// Creates an engine over an *owned* netlist (e.g. one resolved per
+    /// rotation epoch) with the given `profile` and noise seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not cover exactly the netlist's nodes.
+    pub fn owned(netlist: Netlist, profile: ErrorProfile, seed: u64) -> FaultSimulator<'static> {
+        FaultSimulator::over(Cow::Owned(netlist), profile, seed)
+    }
+
+    fn over(netlist: Cow<'a, Netlist>, profile: ErrorProfile, seed: u64) -> Self {
         assert_eq!(
             profile.len(),
             netlist.len(),
@@ -274,7 +294,25 @@ impl<'a> FaultSimulator<'a> {
 
     /// The bound netlist.
     pub fn netlist(&self) -> &Netlist {
-        self.netlist
+        &self.netlist
+    }
+
+    /// Swaps the evaluated netlist for `netlist` (same node count — the
+    /// profile must keep covering every node), preserving the noise RNG
+    /// stream and scratch. This is the key-rotation hook: a rotating layer
+    /// re-resolves the keyed netlist per epoch and installs it here, so the
+    /// noise state spans epochs exactly like a scalar query stream would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netlist` has a different node count than the profile.
+    pub fn install(&mut self, netlist: Netlist) {
+        assert_eq!(
+            self.profile.len(),
+            netlist.len(),
+            "installed netlist must match the error profile"
+        );
+        self.netlist = Cow::Owned(netlist);
     }
 
     /// The installed error profile.
@@ -291,7 +329,7 @@ impl<'a> FaultSimulator<'a> {
     /// Returns [`LogicError::InputCountMismatch`] if the block width does
     /// not match the number of primary inputs.
     pub fn run(&mut self, block: &PatternBlock) -> Result<Vec<u64>, LogicError> {
-        let nl = self.netlist;
+        let nl: &Netlist = &self.netlist;
         if block.lanes.len() != nl.inputs().len() {
             return Err(LogicError::InputCountMismatch {
                 expected: nl.inputs().len(),
@@ -343,7 +381,7 @@ impl<'a> FaultSimulator<'a> {
     ///
     /// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
     pub fn run_scalar(&mut self, inputs: &[bool]) -> Result<Vec<bool>, LogicError> {
-        let nl = self.netlist;
+        let nl: &Netlist = &self.netlist;
         if inputs.len() != nl.inputs().len() {
             return Err(LogicError::InputCountMismatch {
                 expected: nl.inputs().len(),
@@ -375,6 +413,74 @@ impl<'a> FaultSimulator<'a> {
             .iter()
             .map(|o| values[o.index()] & 1 == 1)
             .collect())
+    }
+
+    /// Evaluates a block segment (`start..start + len` of `block`'s
+    /// patterns) bit-parallel while drawing the **scalar** noise stream:
+    /// exactly one `gen_bool` per noisy node per pattern, pattern-major —
+    /// the same RNG order [`FaultSimulator::run_scalar`] consumes. The
+    /// flip decisions are pre-drawn into per-node masks (a flip is a
+    /// Bernoulli draw independent of the computed value, so pre-drawing
+    /// commutes with evaluation), then a single bit-parallel pass applies
+    /// them — gate evaluation stays 64-wide while the segment's outputs,
+    /// and the post-call RNG state, match `len` scalar calls bit for bit.
+    ///
+    /// Lanes outside the segment evaluate noise-free; callers mask to the
+    /// segment. This is the path a key-rotating layer uses to batch
+    /// per-epoch segments over a noisy chip without changing the chip's
+    /// per-query reference semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] on arity mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds `block.count`.
+    pub fn run_scalar_stream(
+        &mut self,
+        block: &PatternBlock,
+        start: usize,
+        len: usize,
+    ) -> Result<Vec<u64>, LogicError> {
+        let nl: &Netlist = &self.netlist;
+        if block.lanes.len() != nl.inputs().len() {
+            return Err(LogicError::InputCountMismatch {
+                expected: nl.inputs().len(),
+                got: block.lanes.len(),
+            });
+        }
+        assert!(start + len <= block.count, "segment exceeds block");
+        // Pre-draw the flip masks in scalar order: pattern-major, noisy
+        // nodes in topological (ascending-id) order within each pattern.
+        let rates = self.profile.rates();
+        let mut flips = vec![0u64; self.profile.noisy.len()];
+        for k in start..start + len {
+            for (slot, &i) in flips.iter_mut().zip(&self.profile.noisy) {
+                if self.rng.gen_bool(rates[i as usize]) {
+                    *slot |= 1 << k;
+                }
+            }
+        }
+        let values = &mut self.values;
+        let mut next_input = 0usize;
+        let mut next_noisy = 0usize;
+        for (i, node) in nl.nodes().iter().enumerate() {
+            let input = if node.kind == NodeKind::Input {
+                let v = block.lanes[next_input];
+                next_input += 1;
+                v
+            } else {
+                0
+            };
+            let mut v = node.kind.eval_lanes(values, input);
+            if rates[i] > 0.0 {
+                v ^= flips[next_noisy];
+                next_noisy += 1;
+            }
+            values[i] = v;
+        }
+        Ok(nl.outputs().iter().map(|o| values[o.index()]).collect())
     }
 
     /// Values of *all* nodes from the most recent run (packed lanes; for
@@ -491,5 +597,75 @@ mod tests {
     fn engine_rejects_mismatched_profile() {
         let nl = adder();
         let _ = FaultSimulator::new(&nl, ErrorProfile::zero(nl.len() + 1), 0);
+    }
+
+    #[test]
+    fn scalar_stream_block_matches_scalar_calls_bit_for_bit() {
+        // The scalar-stream block path must reproduce run_scalar exactly —
+        // outputs AND post-call RNG state — over arbitrary segment splits.
+        let nl = adder();
+        let s = nl.find("s").unwrap();
+        let c = nl.find("c").unwrap();
+        let profile = ErrorProfile::uniform_at(nl.len(), &[s, c], 0.3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut fast = FaultSimulator::new(&nl, profile.clone(), 7);
+        let mut slow = FaultSimulator::new(&nl, profile, 7);
+        for (start, len) in [(0usize, 64usize), (0, 17), (17, 30), (47, 17)] {
+            let block = PatternBlock::random(2, &mut rng);
+            let lanes = fast.run_scalar_stream(&block, start, len).unwrap();
+            for k in start..start + len {
+                let y = slow.run_scalar(&block.pattern(k)).unwrap();
+                for (o, &bit) in y.iter().enumerate() {
+                    assert_eq!(
+                        bit,
+                        (lanes[o] >> k) & 1 == 1,
+                        "segment ({start},{len}) pattern {k} output {o}"
+                    );
+                }
+            }
+        }
+        // Twins must still agree afterwards: the streams stayed in sync.
+        let probe = [true, true];
+        assert_eq!(
+            fast.run_scalar(&probe).unwrap(),
+            slow.run_scalar(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn install_swaps_the_netlist_and_keeps_the_noise_stream() {
+        let nl = adder();
+        let s = nl.find("s").unwrap();
+        let profile = ErrorProfile::uniform_at(nl.len(), &[s], 0.5);
+        let mut a = FaultSimulator::new(&nl, profile.clone(), 3);
+        let mut b = FaultSimulator::new(&nl, profile, 3);
+        let _ = a.run_scalar(&[true, false]).unwrap();
+        let _ = b.run_scalar(&[true, false]).unwrap();
+        // Install a structurally different netlist of the same size into
+        // `a`: its answers change, but the RNG stream stays the twin's.
+        let mut swapped = adder();
+        let s2 = swapped.find("s").unwrap();
+        swapped.set_gate2_function(s2, Bf2::XNOR).unwrap();
+        a.install(swapped.clone());
+        for p in 0..4u32 {
+            let inputs: Vec<bool> = (0..2).map(|k| (p >> k) & 1 == 1).collect();
+            let ya = a.run_scalar(&inputs).unwrap();
+            let yb = b.run_scalar(&inputs).unwrap();
+            // Same flip draws, different function: outputs differ exactly
+            // where the swapped gate's clean value differs.
+            assert_eq!(ya[0], !yb[0], "XNOR vs XOR under identical flips");
+            assert_eq!(ya[1], yb[1], "carry gate untouched");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "match the error profile")]
+    fn install_rejects_mismatched_size() {
+        let nl = adder();
+        let mut sim = FaultSimulator::new(&nl, ErrorProfile::zero(nl.len()), 0);
+        let mut b = NetlistBuilder::new("tiny");
+        let x = b.input("x");
+        b.output(x);
+        sim.install(b.finish().unwrap());
     }
 }

@@ -17,6 +17,7 @@ fn two_by_two_spec(threads: usize) -> CampaignSpec {
         schemes: vec![CamoScheme::InvBuf, CamoScheme::FourFn],
         attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
         error_rates: vec![0.0],
+        clock_periods_ns: Vec::new(),
         profiles: vec![NoiseShape::Uniform],
         rotation_periods: vec![0],
         trials: 2,
@@ -80,6 +81,7 @@ fn exhausted_budgets_mark_jobs_timed_out_without_hanging_the_pool() {
         schemes: vec![CamoScheme::GsheAll16],
         attacks: vec![AttackKind::Sat, AttackKind::DoubleDip],
         error_rates: vec![0.0],
+        clock_periods_ns: Vec::new(),
         profiles: vec![NoiseShape::Uniform],
         rotation_periods: vec![0],
         trials: 1,
@@ -126,6 +128,7 @@ fn rotation_period_sweep_shows_attack_collapse_end_to_end() {
         schemes: vec![CamoScheme::GsheAll16],
         attacks: vec![AttackKind::Sat],
         error_rates: vec![0.0],
+        clock_periods_ns: Vec::new(),
         profiles: vec![NoiseShape::Uniform],
         rotation_periods: vec![0, 1, 4, 1_000_000],
         trials: 2,
@@ -155,6 +158,130 @@ fn rotation_period_sweep_shows_attack_collapse_end_to_end() {
 }
 
 #[test]
+fn combined_defense_grid_is_no_easier_than_either_defense_alone() {
+    // The oracle-stack refactor's acceptance experiment: run the full
+    // `rotation_periods × error_rates × profiles` cross product end to
+    // end and pin the combined-defense trend — a rotating *and* noisy
+    // chip must be no easier for the attacker than either defense alone
+    // at matched budgets. Period 1_000_000 sits beyond the attack's
+    // query budget (rotation effectively off), so its combined cell
+    // isolates the noise layer inside the stacked oracle.
+    let spec = CampaignSpec {
+        name: "combined".to_string(),
+        benchmarks: vec!["ex1010".to_string()],
+        scale: 400,
+        levels: vec![0.15],
+        schemes: vec![CamoScheme::GsheAll16],
+        attacks: vec![AttackKind::Sat],
+        error_rates: vec![0.0, 0.25],
+        clock_periods_ns: Vec::new(),
+        profiles: vec![NoiseShape::Uniform, NoiseShape::OutputCone],
+        rotation_periods: vec![0, 4, 1_000_000],
+        trials: 2,
+        seed: 7,
+        timeout: Duration::from_secs(30),
+        threads: 2,
+    };
+    let report = Campaign::run(&spec).expect("combined campaign");
+    // 3 periods × (rate-0 collapses profiles → 1 cell, rate 0.25 → 2
+    // profile cells) = 9 rows: the rotation dimension no longer collapses
+    // the noise dimensions.
+    assert_eq!(report.rows.len(), 9);
+
+    let recovery = |period: u64, rate: f64, profile: NoiseShape| -> f64 {
+        report
+            .rows
+            .iter()
+            .find(|r| {
+                r.key.rotation_period == period
+                    && (r.key.error_rate - rate).abs() < 1e-12
+                    && r.key.profile == profile
+            })
+            .unwrap_or_else(|| panic!("missing cell ({period}, {rate}, {profile})"))
+            .key_recovery_rate
+    };
+
+    // Baselines: the undefended cell breaks; fast rotation alone defeats.
+    assert_eq!(recovery(0, 0.0, NoiseShape::Uniform), 1.0);
+    assert_eq!(recovery(4, 0.0, NoiseShape::Uniform), 0.0);
+    // An over-long period alone is no defense.
+    assert_eq!(recovery(1_000_000, 0.0, NoiseShape::Uniform), 1.0);
+
+    // The combined trend, per profile shape and per period.
+    for profile in [NoiseShape::Uniform, NoiseShape::OutputCone] {
+        let noise_only = recovery(0, 0.25, profile);
+        for period in [4u64, 1_000_000] {
+            let rotation_only = recovery(period, 0.0, NoiseShape::Uniform);
+            let combined = recovery(period, 0.25, profile);
+            assert!(
+                combined <= noise_only && combined <= rotation_only,
+                "combined cell easier than a single defense: period {period} \
+                 profile {profile} combined {combined} vs noise {noise_only} / \
+                 rotation {rotation_only}"
+            );
+        }
+    }
+
+    // The deterministic JSON names the combined cells.
+    let json = report.deterministic_json();
+    assert!(json.contains("\"error_rate\":0.25,") && json.contains("\"rotation_period\":4"));
+}
+
+#[test]
+fn clock_period_sweep_derives_physical_rates_end_to_end() {
+    // Sec. V-B from the device Monte Carlo to the campaign table: clock
+    // periods as rate sources. An aggressive 0.8 ns clock pushes every
+    // cloaked switch deep into the stochastic regime (the attack must
+    // collapse); a relaxed 6 ns clock is near-deterministic.
+    let spec = CampaignSpec {
+        name: "clocks".to_string(),
+        benchmarks: vec!["ex1010".to_string()],
+        scale: 400,
+        levels: vec![0.15],
+        schemes: vec![CamoScheme::GsheAll16],
+        attacks: vec![AttackKind::Sat],
+        error_rates: vec![],
+        clock_periods_ns: vec![0.8, 6.0],
+        profiles: vec![NoiseShape::Uniform],
+        rotation_periods: vec![0],
+        trials: 2,
+        seed: 4,
+        timeout: Duration::from_secs(30),
+        threads: 2,
+    };
+    let report = Campaign::run(&spec).expect("clock campaign");
+    assert_eq!(report.rows.len(), 2);
+    let row_for = |clock_ns: f64| {
+        report
+            .rows
+            .iter()
+            .find(|r| (r.key.clock_ns - clock_ns).abs() < 1e-12)
+            .unwrap_or_else(|| panic!("missing clock cell {clock_ns}"))
+    };
+    let aggressive = row_for(0.8);
+    let relaxed = row_for(6.0);
+    assert!(
+        aggressive.key.error_rate > 0.2,
+        "0.8 ns derived rate: {}",
+        aggressive.key.error_rate
+    );
+    assert!(
+        relaxed.key.error_rate < 0.05,
+        "6 ns derived rate: {}",
+        relaxed.key.error_rate
+    );
+    assert_eq!(
+        aggressive.key_recovery_rate, 0.0,
+        "a deep-stochastic chip must defeat the attack"
+    );
+    assert!(relaxed.key_recovery_rate >= aggressive.key_recovery_rate);
+
+    // The deterministic JSON tags physical cells with their clock period.
+    let json = report.deterministic_json();
+    assert!(json.contains("\"clock_ns\":0.8") && json.contains("\"clock_ns\":6"));
+}
+
+#[test]
 fn stochastic_cells_defeat_the_attack_in_campaign_form() {
     // Sec. V-B through the engine: a noisy oracle must not yield the key.
     let spec = CampaignSpec {
@@ -165,6 +292,7 @@ fn stochastic_cells_defeat_the_attack_in_campaign_form() {
         schemes: vec![CamoScheme::GsheAll16],
         attacks: vec![AttackKind::Sat],
         error_rates: vec![0.25],
+        clock_periods_ns: Vec::new(),
         profiles: vec![NoiseShape::Uniform],
         rotation_periods: vec![0],
         trials: 3,

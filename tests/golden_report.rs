@@ -3,18 +3,30 @@
 //! the attacks, oracles, expansion, aggregation, or serialization cannot
 //! silently shift campaign output. The grid deliberately crosses every
 //! deterministic-report feature: two schemes, deterministic + stochastic
-//! cells, a heterogeneous noise profile, and a dynamic-camouflaging
-//! rotation period.
+//! cells, a heterogeneous noise profile, a dynamic-camouflaging rotation
+//! period — and, since the oracle-stack refactor opened the full
+//! `rotation_periods × rates × profiles` cross product, **combined**
+//! rotating + stochastic defense cells.
+//!
+//! Two artifacts are committed:
+//!
+//! * `tests/golden/small_grid.json` — the current full grid;
+//! * `tests/golden/small_grid_pr3.json` — the same spec's output from
+//!   before the stack refactor (when rotation collapsed the noise
+//!   dimensions). Every row of the legacy artifact must appear verbatim,
+//!   in order, in the current one: the refactor only *adds* cells, it
+//!   never changes a pre-existing one.
 //!
 //! If a change *intentionally* alters report output, regenerate the
-//! artifact by printing `Campaign::run(&golden_spec()).deterministic_json()`
-//! into `tests/golden/small_grid.json` — and say so in the commit.
+//! artifact with the ignored `regenerate_golden_file` test below — and
+//! say so in the commit. Never regenerate `small_grid_pr3.json`.
 
 use spin_hall_security::campaign::{Campaign, CampaignSpec, NoiseShape};
 use spin_hall_security::prelude::{AttackKind, CamoScheme};
 use std::time::Duration;
 
 const GOLDEN: &str = include_str!("golden/small_grid.json");
+const GOLDEN_PR3: &str = include_str!("golden/small_grid_pr3.json");
 
 fn golden_spec() -> CampaignSpec {
     CampaignSpec {
@@ -25,6 +37,7 @@ fn golden_spec() -> CampaignSpec {
         schemes: vec![CamoScheme::InvBuf, CamoScheme::GsheAll16],
         attacks: vec![AttackKind::Sat],
         error_rates: vec![0.0, 0.25],
+        clock_periods_ns: Vec::new(),
         profiles: vec![NoiseShape::Uniform, NoiseShape::OutputCone],
         rotation_periods: vec![0, 4],
         trials: 2,
@@ -32,6 +45,22 @@ fn golden_spec() -> CampaignSpec {
         timeout: Duration::from_secs(60),
         threads: 2,
     }
+}
+
+/// Splits a deterministic report's `rows` array into its `{...}` row
+/// objects, textually (the serializer emits no nested braces in rows).
+fn row_objects(json: &str) -> Vec<&str> {
+    let rows = json
+        .split_once("\"rows\":[")
+        .expect("rows array")
+        .1
+        .split_once("],\"device\":")
+        .expect("device array")
+        .0;
+    rows.split_inclusive('}')
+        .map(|r| r.trim_start_matches(',').trim())
+        .filter(|r| !r.is_empty())
+        .collect()
 }
 
 #[test]
@@ -46,10 +75,49 @@ fn deterministic_json_matches_committed_golden_file() {
 }
 
 #[test]
+fn every_pre_stack_cell_is_byte_identical_in_the_new_golden() {
+    // The stack refactor opened new (combined-defense) cells; every cell
+    // that existed before it must survive byte-for-byte, in order.
+    let legacy = row_objects(GOLDEN_PR3);
+    let current = row_objects(GOLDEN);
+    assert!(!legacy.is_empty() && current.len() > legacy.len());
+    let mut cursor = 0usize;
+    for row in &legacy {
+        let found = current[cursor..]
+            .iter()
+            .position(|r| r == row)
+            .unwrap_or_else(|| panic!("pre-stack golden row missing or out of order: {row}"));
+        cursor += found + 1;
+    }
+}
+
+#[test]
 fn golden_file_carries_the_new_grid_dimensions() {
     // Self-check that the pinned artifact actually covers the features it
     // exists to guard (otherwise a regeneration could quietly drop them).
     assert!(GOLDEN.contains("\"profile\":\"output-cone\""));
     assert!(GOLDEN.contains("\"rotation_period\":4"));
     assert!(GOLDEN.contains("\"error_rate\":0.25"));
+    // The combined rotating + stochastic cell: a row carrying both a
+    // nonzero rate and a rotation period.
+    assert!(
+        row_objects(GOLDEN)
+            .iter()
+            .any(|r| r.contains("\"error_rate\":0.25") && r.contains("\"rotation_period\":4")),
+        "no combined-defense cell in the golden grid"
+    );
+}
+
+/// Regenerates `tests/golden/small_grid.json` from the current code.
+/// Run explicitly when a change intentionally alters report output:
+///
+/// ```text
+/// cargo test --test golden_report -- --ignored
+/// ```
+#[test]
+#[ignore = "writes tests/golden/small_grid.json; run explicitly to regenerate"]
+fn regenerate_golden_file() {
+    let report = Campaign::run(&golden_spec()).expect("golden campaign");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/small_grid.json");
+    std::fs::write(path, report.deterministic_json()).expect("write golden");
 }
