@@ -11,13 +11,16 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gshe_core::attacks::OracleStack;
+use gshe_core::campaign::search::{ProfileSearch, SearchSpec};
+use gshe_core::campaign::EvalSession;
 use gshe_core::logic::{suites, ErrorProfile, FaultSimulator, Netlist, PatternBlock};
 use gshe_core::prelude::{
-    camouflage, sat_attack, select_gates, AttackConfig, AttackStatus, CamoScheme, KeyedNetlist,
-    NetlistOracle, Oracle, StochasticOracle,
+    camouflage, sat_attack, select_gates, AttackConfig, AttackKind, AttackStatus, CamoScheme,
+    KeyedNetlist, NetlistOracle, Oracle, StochasticOracle,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn s38584_keyed_at(level: f64) -> (Netlist, KeyedNetlist) {
     let spec = suites::spec("s38584").expect("s-suite benchmark present");
@@ -137,14 +140,62 @@ fn bench_batched_dip(c: &mut Criterion) {
     group.finish();
 }
 
+/// One profile-search candidate evaluation (1 trial × SAT at batch width
+/// 16 against the noisy stack) through a **warm** [`EvalSession`] — pool
+/// up, benchmark and scheme materializations memoized — vs. a **cold**
+/// one rebuilt per evaluation. The gap is what the evaluation-service
+/// refactor buys every candidate after the first; the warm path is the
+/// cost a search actually pays per candidate.
+fn bench_profile_candidate_score(c: &mut Criterion) {
+    let spec = SearchSpec {
+        name: "bench".into(),
+        benchmark: "ex1010".into(),
+        scale: 400,
+        level: 0.15,
+        scheme: CamoScheme::GsheAll16,
+        attacks: vec![AttackKind::Sat],
+        clock_periods_ns: vec![2.0],
+        trials: 1,
+        timeout: Duration::from_secs(30),
+        threads: 1,
+        ..SearchSpec::default()
+    };
+    let mut group = c.benchmark_group("profile_candidate_score");
+
+    let warm_session = EvalSession::new(1);
+    let warm = ProfileSearch::new(&warm_session, spec.clone()).expect("search setup");
+    let mut seeds = warm.seed_candidates();
+    let candidate = seeds.remove(1); // clock:2ns:uniform — a real operating point
+    group.bench_function("warm_session", |b| {
+        b.iter(|| black_box(warm.score(0, vec![candidate.clone()])))
+    });
+
+    group.bench_function("cold_session", |b| {
+        b.iter(|| {
+            let session = EvalSession::new(1);
+            let search = ProfileSearch::new(&session, spec.clone()).expect("search setup");
+            let mut seeds = search.seed_candidates();
+            let candidate = seeds.remove(1);
+            black_box(search.score(0, vec![candidate]))
+        })
+    });
+
+    group.finish();
+}
+
 criterion_group! {
     name = oracle;
     config = Criterion::default().sample_size(30);
     targets = bench_oracle_paths, bench_stacked_oracle
 }
 criterion_group! {
+    name = candidate_score;
+    config = Criterion::default().sample_size(10);
+    targets = bench_profile_candidate_score
+}
+criterion_group! {
     name = batched_dip;
     config = Criterion::default().sample_size(5);
     targets = bench_batched_dip
 }
-criterion_main!(oracle, batched_dip);
+criterion_main!(oracle, batched_dip, candidate_score);

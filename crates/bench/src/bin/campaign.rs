@@ -28,7 +28,7 @@
 use gshe_core::campaign::physical::is_valid_clock_period;
 use gshe_core::campaign::{
     scheme_name, valid_attack_names, valid_key_names, valid_profile_names, valid_scheme_names,
-    Campaign, CampaignSpec, NoiseShape,
+    CampaignSpec, NoiseShape,
 };
 use gshe_core::prelude::{AttackKind, CamoScheme};
 use std::time::Duration;
@@ -68,6 +68,10 @@ GRID FLAGS (each overrides the spec file's value):
   --timeout SECS         per-job attack budget
   --threads N            workers (0 = available parallelism)
 
+RUNTIME:
+  --cache-cap N          oracle-cache entry cap (0 = unbounded; a session
+                         knob, not a spec-file key)
+
 OUTPUT:
   --out PREFIX           write PREFIX.json and PREFIX.csv
   --deterministic        print timing-free JSON (byte-identical across
@@ -90,6 +94,7 @@ fn main() {
     };
     let mut out_prefix: Option<String> = None;
     let mut deterministic = false;
+    let mut cache_cap: u64 = 0;
 
     // Load the spec file first (wherever --spec appears) so explicit flags
     // always override it, independent of argument order.
@@ -243,6 +248,11 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--threads takes an integer"))
             }
+            "--cache-cap" => {
+                cache_cap = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cache-cap takes an integer (0 = unbounded)"))
+            }
             "--out" => out_prefix = Some(value),
             other => fail(&format!(
                 "unknown option `{other}` (run `campaign --help` for the flag list)"
@@ -251,7 +261,10 @@ fn main() {
         i += 2;
     }
 
-    let report = Campaign::run(&spec).unwrap_or_else(|e| fail(&format!("campaign failed: {e}")));
+    let session = gshe_core::campaign::EvalSession::with_cache_cap(spec.threads, cache_cap);
+    let report = session
+        .run(&spec)
+        .unwrap_or_else(|e| fail(&format!("campaign failed: {e}")));
 
     if let Some(prefix) = &out_prefix {
         std::fs::write(format!("{prefix}.json"), report.to_json())
@@ -274,8 +287,16 @@ fn main() {
         report.wall_time.as_secs_f64(),
     );
     println!(
-        "oracle cache: {} hits / {} misses / {} entries (block-level keys)",
-        report.cache_hits, report.cache_misses, report.cache_entries,
+        "oracle cache: {} hits / {} misses / {} entries ({}, {} evictions, block-level keys)",
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_entries,
+        if session.cache().entry_cap() == u64::MAX {
+            "unbounded".to_string()
+        } else {
+            format!("cap {}", session.cache().entry_cap())
+        },
+        session.cache().evictions(),
     );
     println!(
         "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",

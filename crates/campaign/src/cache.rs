@@ -20,6 +20,15 @@
 //! by the key's hash, so concurrent workers rarely contend on the same
 //! lock.
 //!
+//! Long-lived sessions ([`crate::EvalSession`] — one cache across many
+//! campaigns and search generations) can bound residency with an **entry
+//! cap** ([`OracleCache::shared_with_cap`]): when an insert pushes
+//! [`OracleCache::entries`] past the cap, whole shards are evicted
+//! round-robin (coarse, cheap, stats-visible via
+//! [`OracleCache::evictions`]) until the cache fits again. Eviction only
+//! ever costs recomputation, never correctness — entries are pure
+//! memoization.
+//!
 //! [`CacheLayer`] is the layer itself: a thin `query_block`-first
 //! combinator over any inner [`Oracle`]. It only composes soundly over
 //! the bare exact stack — noisy answers are samples and rotating answers
@@ -31,11 +40,14 @@ use crate::job::hash_mix;
 use gshe_attacks::{Oracle, OracleStack};
 use gshe_logic::{Netlist, NodeKind, PatternBlock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Number of independently-locked shards.
 pub const SHARDS: usize = 16;
+
+/// The "unbounded" entry cap (the historical behaviour and the default).
+pub const UNBOUNDED: u64 = u64::MAX;
 
 /// Key: netlist fingerprint, then the packed block ([`pack_block`]) —
 /// input lanes masked to the valid patterns, then the pattern count.
@@ -45,17 +57,87 @@ type Key = (u64, Vec<u64>);
 
 /// A process-wide cache of oracle block responses, safe to share across
 /// workers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct OracleCache {
     shards: [Mutex<HashMap<Key, Vec<u64>>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Entries evicted by the cap so far.
+    evictions: AtomicU64,
+    /// Maximum resident entries ([`UNBOUNDED`] = no cap).
+    entry_cap: AtomicU64,
+    /// Round-robin cursor for coarse shard eviction.
+    evict_cursor: AtomicUsize,
+}
+
+impl Default for OracleCache {
+    fn default() -> Self {
+        OracleCache {
+            shards: Default::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entry_cap: AtomicU64::new(UNBOUNDED),
+            evict_cursor: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl OracleCache {
-    /// An empty cache behind an [`Arc`], ready to hand to workers.
+    /// An empty, unbounded cache behind an [`Arc`], ready to hand to
+    /// workers.
     pub fn shared() -> Arc<OracleCache> {
         Arc::new(OracleCache::default())
+    }
+
+    /// An empty cache bounded to at most `cap` resident entries (0 is
+    /// treated as [`UNBOUNDED`], matching "no cap configured").
+    pub fn shared_with_cap(cap: u64) -> Arc<OracleCache> {
+        let cache = OracleCache::default();
+        cache
+            .entry_cap
+            .store(if cap == 0 { UNBOUNDED } else { cap }, Ordering::Relaxed);
+        Arc::new(cache)
+    }
+
+    /// The configured entry cap ([`UNBOUNDED`] when none).
+    pub fn entry_cap(&self) -> u64 {
+        self.entry_cap.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Coarse cap enforcement, called after an insert: while the cache
+    /// holds more than the cap, clear whole shards round-robin (skipping
+    /// `keep`, the shard just inserted into, so the fresh entry survives).
+    /// Shard-granular eviction keeps the hot path to one extra `entries()`
+    /// sweep per miss and needs no per-entry bookkeeping.
+    fn enforce_cap(&self, keep: usize) {
+        let cap = self.entry_cap.load(Ordering::Relaxed);
+        if cap == UNBOUNDED {
+            return;
+        }
+        while self.entries() > cap {
+            let victim = self.evict_cursor.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            if victim == keep {
+                continue;
+            }
+            let dropped = {
+                let mut shard = self.shards[victim].lock().unwrap();
+                let n = shard.len() as u64;
+                shard.clear();
+                n
+            };
+            self.evictions.fetch_add(dropped, Ordering::Relaxed);
+            if dropped == 0 && self.shards[keep].lock().unwrap().len() as u64 > cap {
+                // Degenerate cap smaller than one shard's load: everything
+                // else is already empty, stop rather than spin.
+                return;
+            }
+        }
     }
 
     /// Looks up `block` for the netlist identified by `fingerprint`,
@@ -85,7 +167,8 @@ impl OracleCache {
         compute: impl FnOnce() -> Vec<u64>,
     ) -> Vec<u64> {
         let key = (fingerprint, packed);
-        let shard = &self.shards[(hash_key(&key) as usize) % SHARDS];
+        let shard_index = (hash_key(&key) as usize) % SHARDS;
+        let shard = &self.shards[shard_index];
         if let Some(hit) = shard.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
@@ -97,6 +180,7 @@ impl OracleCache {
             .unwrap()
             .entry(key)
             .or_insert_with(|| value.clone());
+        self.enforce_cap(shard_index);
         value
     }
 
@@ -363,6 +447,42 @@ mod tests {
         for (bit, lane) in y_scalar.iter().zip(&lanes) {
             assert_eq!(*bit, lane & 1 == 1);
         }
+    }
+
+    #[test]
+    fn entry_cap_evicts_coarsely_and_counts() {
+        // A capped cache must never hold more entries than the cap after
+        // an insert settles, must count what it dropped, and must keep
+        // answering correctly (eviction costs recomputation only).
+        let nl = parse_bench(C17_BENCH).unwrap();
+        let cache = OracleCache::shared_with_cap(8);
+        assert_eq!(cache.entry_cap(), 8);
+        let mut o = CachedOracle::over(&nl, Arc::clone(&cache));
+        let patterns: Vec<Vec<bool>> = (0..32u32)
+            .map(|p| (0..5).map(|k| (p >> k) & 1 == 1).collect())
+            .collect();
+        let answers: Vec<Vec<bool>> = patterns.iter().map(|p| o.query(p)).collect();
+        assert!(
+            cache.entries() <= 8,
+            "cap not enforced: {} entries",
+            cache.entries()
+        );
+        assert!(cache.evictions() > 0, "32 inserts into cap 8 must evict");
+        // Evicted patterns recompute to the same answers.
+        for (p, y) in patterns.iter().zip(&answers) {
+            assert_eq!(o.query(p), *y);
+        }
+        // An unbounded cache never evicts.
+        let unbounded = OracleCache::shared();
+        assert_eq!(unbounded.entry_cap(), UNBOUNDED);
+        let mut o = CachedOracle::over(&nl, Arc::clone(&unbounded));
+        for p in &patterns {
+            let _ = o.query(p);
+        }
+        assert_eq!(unbounded.evictions(), 0);
+        assert_eq!(unbounded.entries(), 32);
+        // Cap 0 means "no cap configured".
+        assert_eq!(OracleCache::shared_with_cap(0).entry_cap(), UNBOUNDED);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
 use gshe_logic::{ErrorProfile, Netlist, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// SplitMix64 finalizer: the one-way mixer used for seed derivation and
@@ -39,6 +39,21 @@ pub fn hash_str(s: &str) -> u64 {
         h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
     }
     hash_mix(h)
+}
+
+/// The campaign grid's gate-selection seed for one (campaign seed,
+/// benchmark, level) cell — shared across schemes and attacks (the
+/// paper's fairness protocol). The profile search derives its instance
+/// through this same function, so a search and a campaign at the same
+/// seed defend/attack exactly the same keyed netlist.
+pub fn select_seed(seed: u64, benchmark: &str, level: f64) -> u64 {
+    hash_mix(seed ^ hash_str(benchmark) ^ (level * 1e4) as u64)
+}
+
+/// The camouflage-transform seed for a scheme, derived from
+/// [`select_seed`]'s value.
+pub fn transform_seed(select: u64, scheme: CamoScheme) -> u64 {
+    hash_mix(select ^ hash_str(crate::spec::scheme_name(scheme)))
 }
 
 /// Seed salt folded into the oracle seed for the rotation-period
@@ -308,6 +323,110 @@ pub struct JobResult {
     pub error: Option<String>,
 }
 
+/// Identity of one scheme materialization: the source netlist (held by
+/// `Arc`, compared by allocation identity — retaining the `Arc` pins the
+/// address, so a dropped-and-reallocated netlist can never alias a memo
+/// entry), protection level, scheme, and the two seeds that fully
+/// determine gate selection and transform shuffling.
+struct KeyedKey {
+    netlist: Arc<Netlist>,
+    level_bits: u64,
+    scheme: CamoScheme,
+    select: u64,
+    transform: u64,
+}
+
+impl KeyedKey {
+    fn matches(
+        &self,
+        nl: &Arc<Netlist>,
+        level: f64,
+        scheme: CamoScheme,
+        seeds: &AttackSeeds,
+    ) -> bool {
+        Arc::ptr_eq(&self.netlist, nl)
+            && self.level_bits == level.to_bits()
+            && self.scheme == scheme
+            && self.select == seeds.select
+            && self.transform == seeds.transform
+    }
+}
+
+/// Memoized scheme materializations (`select_gates` + `camouflage`),
+/// shared by every job of an [`crate::EvalSession`]. Camouflaging a
+/// benchmark is deterministic in its seeds, so trials of one cell — and
+/// every search candidate scored against one keyed netlist — can share a
+/// single materialization instead of re-transforming per job.
+#[derive(Default)]
+pub struct KeyedMemo {
+    entries: Mutex<Vec<(KeyedKey, Arc<KeyedNetlist>)>>,
+}
+
+impl std::fmt::Debug for KeyedMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedMemo")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl KeyedMemo {
+    /// Returns the keyed netlist for `(nl, level, scheme, seeds)`,
+    /// materializing and memoizing it on first use. Materialization runs
+    /// outside the memo lock (concurrent duplicate work is harmless —
+    /// first insert wins); errors are never memoized.
+    pub fn get_or_materialize(
+        &self,
+        nl: &Arc<Netlist>,
+        level: f64,
+        scheme: CamoScheme,
+        seeds: &AttackSeeds,
+    ) -> Result<Arc<KeyedNetlist>, String> {
+        if let Some((_, keyed)) = self
+            .entries
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k.matches(nl, level, scheme, seeds))
+        {
+            return Ok(Arc::clone(keyed));
+        }
+        let picks = select_gates(nl, level, seeds.select);
+        let mut rng = StdRng::seed_from_u64(seeds.transform);
+        let keyed = camouflage(nl, &picks, scheme, &mut rng)
+            .map_err(|e| format!("camouflage failed: {e}"))?;
+        let keyed = Arc::new(keyed);
+        let mut entries = self.entries.lock().unwrap();
+        if let Some((_, existing)) = entries
+            .iter()
+            .find(|(k, _)| k.matches(nl, level, scheme, seeds))
+        {
+            return Ok(Arc::clone(existing));
+        }
+        entries.push((
+            KeyedKey {
+                netlist: Arc::clone(nl),
+                level_bits: level.to_bits(),
+                scheme,
+                select: seeds.select,
+                transform: seeds.transform,
+            },
+            Arc::clone(&keyed),
+        ));
+        Ok(keyed)
+    }
+
+    /// Materializations currently memoized.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// `true` when nothing has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Immutable context shared by every job in a campaign run.
 pub struct JobContext {
     /// Pre-built original netlists, keyed by benchmark name, in spec
@@ -317,6 +436,8 @@ pub struct JobContext {
     pub cache: Arc<OracleCache>,
     /// Device parameters for device jobs.
     pub params: SwitchParams,
+    /// Session-wide memo of scheme materializations.
+    pub keyed: Arc<KeyedMemo>,
 }
 
 impl JobContext {
@@ -362,12 +483,10 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
                 result.elapsed = start.elapsed();
                 return result;
             };
-            let picks = select_gates(nl, *level, seeds.select);
-            let mut rng = StdRng::seed_from_u64(seeds.transform);
-            let keyed = match camouflage(nl, &picks, *scheme, &mut rng) {
+            let keyed = match ctx.keyed.get_or_materialize(nl, *level, *scheme, seeds) {
                 Ok(k) => k,
                 Err(e) => {
-                    result.error = Some(format!("camouflage failed: {e}"));
+                    result.error = Some(e);
                     result.elapsed = start.elapsed();
                     return result;
                 }
@@ -615,6 +734,7 @@ mod tests {
             netlists: Vec::new(),
             cache: OracleCache::shared(),
             params: SwitchParams::table_i(),
+            keyed: Arc::new(KeyedMemo::default()),
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::Failed);
@@ -639,6 +759,7 @@ mod tests {
             netlists: Vec::new(),
             cache: OracleCache::shared(),
             params: SwitchParams::table_i(),
+            keyed: Arc::new(KeyedMemo::default()),
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::TimedOut);
@@ -659,6 +780,7 @@ mod tests {
             netlists: Vec::new(),
             cache: OracleCache::shared(),
             params: SwitchParams::table_i(),
+            keyed: Arc::new(KeyedMemo::default()),
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::Completed);

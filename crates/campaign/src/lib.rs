@@ -26,7 +26,16 @@
 //!   functions, which live here so campaigns can use them);
 //! * [`aggregate`]/[`report`] — reduce raw job results into the paper's
 //!   table rows (key-recovery rate, query counts, output-error rate,
-//!   runtime percentiles) and serialize them to JSON or CSV.
+//!   runtime percentiles) and serialize them to JSON or CSV;
+//! * [`EvalSession`] — the persistent **evaluation service** behind it
+//!   all: a long-lived worker pool plus session-wide oracle cache and
+//!   memoized benchmark/scheme materializations, so repeated scoring
+//!   calls (many specs, or a profile search's candidate stream) stop
+//!   re-spawning threads and re-parsing netlists;
+//! * [`search`] — the defender's inverse problem on top of the service:
+//!   [`ProfileSearch`] (1+λ)-evolves dense per-switch error-rate vectors
+//!   toward the cheapest profile that still defeats the attacks, and
+//!   reports the Pareto front.
 //!
 //! ## Quick start
 //!
@@ -125,96 +134,265 @@ pub mod job;
 pub mod physical;
 pub mod pool;
 pub mod report;
+pub mod search;
 pub mod spec;
 
 pub use aggregate::{CellKey, DeviceRow, TableRow};
 pub use cache::{netlist_fingerprint, CacheLayer, CachedOracle, OracleCache};
 pub use job::{
-    noise_profile, run_job, AttackSeeds, JobContext, JobKind, JobResult, JobSpec, JobStatus,
-    NoiseShape,
+    noise_profile, run_job, select_seed, transform_seed, AttackSeeds, JobContext, JobKind,
+    JobResult, JobSpec, JobStatus, KeyedMemo, NoiseShape,
 };
 pub use physical::ClockRateTable;
 pub use report::CampaignReport;
+pub use search::{Candidate, ProfileSearch, ScoredCandidate, SearchReport, SearchSpec};
 pub use spec::{
     parse_scheme, scheme_name, valid_attack_names, valid_key_names, valid_profile_names,
     valid_scheme_names, CampaignSpec, SPEC_KEYS,
 };
 
+use gshe_camo::KeyedNetlist;
 use gshe_device::SwitchParams;
-use gshe_logic::suites;
-use std::sync::Arc;
+use gshe_logic::{suites, Netlist};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A named, shareable benchmark netlist (one [`JobContext`] entry).
-type NamedNetlist = (String, Arc<gshe_logic::Netlist>);
+type NamedNetlist = (String, Arc<Netlist>);
 
-/// The engine: expands a spec and drives its jobs through the pool.
-#[derive(Debug)]
-pub struct Campaign;
+/// Memo key for one materialized benchmark: (name, scale divisor, seed).
+type NetlistKey = (String, usize, u64);
 
-impl Campaign {
-    /// Runs a full campaign described by `spec`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message when the spec cannot be expanded (unknown
-    /// benchmark selector). Individual job failures do *not* abort the
-    /// campaign; they surface as [`JobStatus::Failed`] results.
-    pub fn run(spec: &CampaignSpec) -> Result<CampaignReport, String> {
-        let jobs = spec.expand()?;
-        Self::run_jobs(spec, jobs)
+/// Resolves a thread-count knob (0 = available parallelism).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// A long-lived **evaluation service**: the persistent machinery one-shot
+/// campaign runs used to rebuild per call — worker threads, the shared
+/// block-level [`OracleCache`], and memoized benchmark / scheme
+/// materializations — extracted so repeated scoring calls (a profile
+/// search evaluates hundreds of candidates; a harness sweeps many specs)
+/// pay for thread spawn, netlist generation, and camouflaging once per
+/// *session* instead of once per *run*.
+///
+/// [`Campaign::run`] is a thin one-session wrapper; its output is
+/// byte-identical whether jobs run through a fresh or a warm session
+/// (memoization only skips recomputing deterministic values, and
+/// cache/timing stats are per-run deltas).
+pub struct EvalSession {
+    pool: pool::WorkerPool,
+    cache: Arc<OracleCache>,
+    netlists: Mutex<Vec<(NetlistKey, Arc<Netlist>)>>,
+    keyed: Arc<job::KeyedMemo>,
+    params: SwitchParams,
+}
+
+impl std::fmt::Debug for EvalSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalSession")
+            .field("threads", &self.threads())
+            .field("cached_netlists", &self.cached_netlists())
+            .field("cached_keyed", &self.cached_keyed())
+            .finish()
+    }
+}
+
+impl EvalSession {
+    /// A session with `threads` workers (0 = available parallelism) and an
+    /// unbounded oracle cache.
+    pub fn new(threads: usize) -> Self {
+        Self::with_cache_cap(threads, 0)
     }
 
-    /// Runs an explicit job list under `spec`'s shared knobs (name, scale,
-    /// seed, threads). This is the entry point for harnesses that need a
-    /// historical seed derivation instead of [`CampaignSpec::expand`]'s.
+    /// A session whose oracle cache is bounded to `cache_cap` entries
+    /// (0 = unbounded) — long-lived sessions scoring open-ended candidate
+    /// streams should set a cap so the cache cannot grow without bound.
+    pub fn with_cache_cap(threads: usize, cache_cap: u64) -> Self {
+        EvalSession {
+            pool: pool::WorkerPool::new(resolve_threads(threads)),
+            cache: OracleCache::shared_with_cap(cache_cap),
+            netlists: Mutex::new(Vec::new()),
+            keyed: Arc::new(job::KeyedMemo::default()),
+            params: SwitchParams::table_i(),
+        }
+    }
+
+    /// Worker threads the session runs on.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The session-wide oracle cache.
+    pub fn cache(&self) -> &Arc<OracleCache> {
+        &self.cache
+    }
+
+    /// Benchmarks materialized so far.
+    pub fn cached_netlists(&self) -> usize {
+        self.netlists.lock().unwrap().len()
+    }
+
+    /// Scheme materializations memoized so far.
+    pub fn cached_keyed(&self) -> usize {
+        self.keyed.len()
+    }
+
+    /// Runs an arbitrary task batch on the session's worker pool, results
+    /// in submission order (the [`pool::WorkerPool::run_all`] contract).
+    /// This is the raw entry point the profile search scores candidates
+    /// through; campaign runs use [`EvalSession::run`].
+    pub fn run_tasks<R: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> R + Send>>,
+    ) -> Vec<R> {
+        self.pool.run_all(tasks)
+    }
+
+    /// The benchmark netlist for `(name, scale, seed)`, generated through
+    /// the worker pool on first use and memoized for the session's
+    /// lifetime.
     ///
     /// # Errors
     ///
-    /// Returns a message when a job references a benchmark that cannot be
-    /// instantiated.
-    pub fn run_jobs(spec: &CampaignSpec, jobs: Vec<JobSpec>) -> Result<CampaignReport, String> {
-        let start = Instant::now();
-        let threads = if spec.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            spec.threads
-        };
+    /// Returns a message when `name` resolves to no known benchmark.
+    pub fn netlist(&self, name: &str, scale: usize, seed: u64) -> Result<Arc<Netlist>, String> {
+        Ok(self
+            .materialize_netlists(&[name.to_string()], scale, seed)?
+            .remove(0)
+            .1)
+    }
 
-        // Instantiate each referenced benchmark once, shared via Arc.
-        // Name resolution is cheap and happens up front (so unknown
-        // benchmarks fail before any work); the generation itself can be
-        // minutes of work at low scale divisors, so it runs through the
-        // same work-stealing pool as the jobs.
-        let mut referenced: Vec<(String, &'static suites::BenchmarkSpec)> = Vec::new();
-        for job in &jobs {
-            if let JobKind::Attack { benchmark, .. } = &job.kind {
-                if referenced.iter().any(|(n, _)| n == benchmark) {
+    /// The keyed (camouflaged) netlist for the given materialization
+    /// identity, memoized for the session's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates benchmark resolution and camouflage failures.
+    pub fn keyed(
+        &self,
+        name: &str,
+        scale: usize,
+        seed: u64,
+        level: f64,
+        scheme: gshe_camo::CamoScheme,
+        seeds: &AttackSeeds,
+    ) -> Result<Arc<KeyedNetlist>, String> {
+        let nl = self.netlist(name, scale, seed)?;
+        self.keyed.get_or_materialize(&nl, level, scheme, seeds)
+    }
+
+    /// Materializes every benchmark in `names` (memoized), generating the
+    /// missing ones in parallel through the pool. Returns entries in
+    /// `names` order.
+    fn materialize_netlists(
+        &self,
+        names: &[String],
+        scale: usize,
+        seed: u64,
+    ) -> Result<Vec<NamedNetlist>, String> {
+        // Resolve every name up front so unknown benchmarks fail before
+        // any generation work.
+        let mut missing: Vec<(String, &'static suites::BenchmarkSpec)> = Vec::new();
+        {
+            let memo = self.netlists.lock().unwrap();
+            for name in names {
+                let key = (name.clone(), scale, seed);
+                if memo.iter().any(|(k, _)| *k == key) || missing.iter().any(|(n, _)| n == name) {
                     continue;
                 }
-                let bench_spec = suites::spec(benchmark)
-                    .ok_or_else(|| format!("unknown benchmark `{benchmark}`"))?;
-                referenced.push((benchmark.clone(), bench_spec));
+                let bench_spec =
+                    suites::spec(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+                missing.push((name.clone(), bench_spec));
             }
         }
-        let gen_tasks: Vec<Box<dyn FnOnce() -> NamedNetlist + Send>> = referenced
+        // Generation can be minutes of work at low scale divisors, so it
+        // runs through the same work-stealing pool as the jobs (and
+        // outside the memo lock).
+        let gen_tasks: Vec<Box<dyn FnOnce() -> NamedNetlist + Send>> = missing
             .into_iter()
             .map(|(name, bench_spec)| {
-                let (scale, seed) = (spec.scale, spec.seed);
                 Box::new(move || {
                     let nl = suites::benchmark_scaled(bench_spec, scale, seed);
                     (name, Arc::new(nl))
                 }) as Box<dyn FnOnce() -> NamedNetlist + Send>
             })
             .collect();
-        let netlists = pool::run_all(threads, gen_tasks);
+        let generated = self.pool.run_all(gen_tasks);
+        let mut memo = self.netlists.lock().unwrap();
+        for (name, nl) in generated {
+            let key = (name.clone(), scale, seed);
+            if !memo.iter().any(|(k, _)| *k == key) {
+                memo.push((key, nl));
+            }
+        }
+        Ok(names
+            .iter()
+            .map(|name| {
+                let key = (name.clone(), scale, seed);
+                let nl = memo
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, nl)| Arc::clone(nl))
+                    .expect("materialized above");
+                (name.clone(), nl)
+            })
+            .collect())
+    }
+
+    /// Runs a full campaign described by `spec` on this session.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the spec cannot be expanded (unknown
+    /// benchmark selector). Individual job failures do *not* abort the
+    /// campaign; they surface as [`JobStatus::Failed`] results.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, String> {
+        let jobs = spec.expand()?;
+        self.run_jobs(spec, jobs)
+    }
+
+    /// Runs an explicit job list under `spec`'s shared knobs (name, scale,
+    /// seed). This is the entry point for harnesses that need a historical
+    /// seed derivation instead of [`CampaignSpec::expand`]'s.
+    ///
+    /// The spec's `threads` knob is ignored here — the session's pool is
+    /// already sized; reported cache stats are per-run deltas, so a warm
+    /// session reports the same shape a fresh one does.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a job references a benchmark that cannot be
+    /// instantiated.
+    pub fn run_jobs(
+        &self,
+        spec: &CampaignSpec,
+        jobs: Vec<JobSpec>,
+    ) -> Result<CampaignReport, String> {
+        let start = Instant::now();
+        let (hits_before, misses_before) = self.cache.stats();
+
+        let mut referenced: Vec<String> = Vec::new();
+        for job in &jobs {
+            if let JobKind::Attack { benchmark, .. } = &job.kind {
+                if !referenced.iter().any(|n| n == benchmark) {
+                    referenced.push(benchmark.clone());
+                }
+            }
+        }
+        let netlists = self.materialize_netlists(&referenced, spec.scale, spec.seed)?;
 
         let ctx = Arc::new(JobContext {
             netlists,
-            cache: OracleCache::shared(),
-            params: SwitchParams::table_i(),
+            cache: Arc::clone(&self.cache),
+            params: self.params,
+            keyed: Arc::clone(&self.keyed),
         });
 
         let tasks: Vec<Box<dyn FnOnce() -> JobResult + Send>> = jobs
@@ -224,16 +402,51 @@ impl Campaign {
                 Box::new(move || run_job(&job, &ctx)) as Box<dyn FnOnce() -> JobResult + Send>
             })
             .collect();
-        let results = pool::run_all(threads, tasks);
+        let results = self.pool.run_all(tasks);
 
-        let (hits, misses) = ctx.cache.stats();
+        let (hits, misses) = self.cache.stats();
         Ok(CampaignReport::new(
             spec.name.clone(),
             results,
-            threads,
+            self.threads(),
             start.elapsed(),
-            (hits, misses, ctx.cache.entries()),
+            (
+                hits - hits_before,
+                misses - misses_before,
+                self.cache.entries(),
+            ),
         ))
+    }
+}
+
+/// The engine: expands a spec and drives its jobs through the pool.
+#[derive(Debug)]
+pub struct Campaign;
+
+impl Campaign {
+    /// Runs a full campaign described by `spec` on a fresh one-shot
+    /// [`EvalSession`]. Long-lived callers (harnesses sweeping many specs,
+    /// the profile search) should hold a session and call
+    /// [`EvalSession::run`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the spec cannot be expanded (unknown
+    /// benchmark selector). Individual job failures do *not* abort the
+    /// campaign; they surface as [`JobStatus::Failed`] results.
+    pub fn run(spec: &CampaignSpec) -> Result<CampaignReport, String> {
+        EvalSession::new(spec.threads).run(spec)
+    }
+
+    /// Runs an explicit job list under `spec`'s shared knobs on a fresh
+    /// one-shot [`EvalSession`] (see [`EvalSession::run_jobs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a job references a benchmark that cannot be
+    /// instantiated.
+    pub fn run_jobs(spec: &CampaignSpec, jobs: Vec<JobSpec>) -> Result<CampaignReport, String> {
+        EvalSession::new(spec.threads).run_jobs(spec, jobs)
     }
 }
 
@@ -280,5 +493,36 @@ mod tests {
         let mut spec = tiny_spec(1);
         spec.benchmarks = vec!["zzz".into()];
         assert!(Campaign::run(&spec).is_err());
+        assert!(EvalSession::new(1).netlist("zzz", 20, 1).is_err());
+    }
+
+    #[test]
+    fn warm_session_reuses_materializations_and_reports_identically() {
+        // The EvalSession contract: a second run on a warm session redoes
+        // no netlist generation or camouflaging, reports per-run cache
+        // deltas, and emits byte-identical deterministic JSON.
+        let spec = tiny_spec(2);
+        let session = EvalSession::new(2);
+        let first = session.run(&spec).unwrap();
+        assert_eq!(session.cached_netlists(), 1);
+        let keyed_after_first = session.cached_keyed();
+        assert_eq!(keyed_after_first, 2, "one materialization per scheme");
+
+        let second = session.run(&spec).unwrap();
+        assert_eq!(session.cached_netlists(), 1, "netlist memo must hit");
+        assert_eq!(
+            session.cached_keyed(),
+            keyed_after_first,
+            "keyed memo must hit"
+        );
+        assert_eq!(first.deterministic_json(), second.deterministic_json());
+        // Deterministic cells replay their query streams: the warm run
+        // answers from the session cache (all hits, no misses).
+        assert_eq!(second.cache_misses, 0, "{second:?}");
+        assert!(second.cache_hits > 0);
+
+        // And the one-shot wrapper agrees byte-for-byte with both.
+        let fresh = Campaign::run(&spec).unwrap();
+        assert_eq!(fresh.deterministic_json(), first.deterministic_json());
     }
 }

@@ -1,14 +1,21 @@
-//! A work-stealing thread pool for campaign jobs.
+//! A persistent work-stealing thread pool for campaign jobs.
 //!
 //! Jobs are coarse (one protect→attack→measure experiment each) and their
 //! runtimes vary by orders of magnitude — a timed-out SAT attack costs
 //! seconds while a cache-hit measurement costs microseconds — so static
-//! chunking wastes workers. Here every worker owns a deque seeded
-//! round-robin at submission; a worker pops from the *front* of its own
-//! deque and, when empty, steals from the *back* of a sibling's, so the
-//! pool drains imbalanced queues without a central dispatcher. Everything
-//! is `std::sync` — the build environment has no external registry, so
+//! chunking wastes workers. Every worker owns a deque seeded round-robin
+//! at submission; a worker pops from the *front* of its own deque and,
+//! when empty, steals from the *back* of a sibling's, so the pool drains
+//! imbalanced queues without a central dispatcher. Everything is
+//! `std::sync` — the build environment has no external registry, so
 //! `crossbeam` is off the table.
+//!
+//! The pool is **persistent** ([`WorkerPool`]): workers spawn once and
+//! sleep on a condvar between batches, so an [`crate::EvalSession`] that
+//! scores thousands of search candidates pays the thread-spawn cost once
+//! per session instead of once per scoring call. The one-shot [`run_all`]
+//! free function (spawn, drain, join) remains for callers that genuinely
+//! run a single batch.
 //!
 //! Results are returned **in submission order**, which is what makes
 //! campaign reports byte-identical across `threads = 1` and `threads = N`:
@@ -16,80 +23,176 @@
 //! sees (seeds are derived from job identity) nor *where* its result lands.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
-/// One pending task: its submission index plus the closure to run.
-struct Task<R> {
-    index: usize,
-    run: Box<dyn FnOnce() -> R + Send>,
+/// An erased pending task; the closure stores its own result and performs
+/// its own batch accounting.
+type ErasedTask = Box<dyn FnOnce() + Send>;
+
+/// Queue state shared by the workers of one [`WorkerPool`].
+struct PoolState {
+    /// Per-worker deques. Tasks are pushed round-robin at submission.
+    queues: Vec<VecDeque<ErasedTask>>,
+    /// Set once by [`WorkerPool::drop`]; workers exit when their queues
+    /// drain afterwards.
+    shutdown: bool,
 }
 
-/// Result slots shared between workers, indexed by submission order.
-type ResultSlots<R> = Arc<Mutex<Vec<Option<Result<R, String>>>>>;
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signals workers that work arrived (or shutdown began).
+    work: Condvar,
+}
 
-/// Executes `tasks` on `threads` workers with work stealing; returns the
-/// results in submission order.
-///
-/// A panicking task poisons nothing: the panic is caught per-task and
-/// re-raised after the pool drains, so sibling jobs still complete.
-pub fn run_all<R: Send + 'static>(
+/// Completion tracking for one submitted batch.
+struct Batch<R> {
+    /// Result slots in submission order; a panicking task stores `Err`.
+    slots: Mutex<Vec<Option<Result<R, String>>>>,
+    /// (remaining task count, condvar the submitter waits on).
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// A persistent work-stealing pool: workers spawn at construction and
+/// live until drop, executing batches submitted via
+/// [`WorkerPool::run_all`]. Batches from one thread run strictly in
+/// submission order; the submitter blocks until its batch drains.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
-    tasks: Vec<Box<dyn FnOnce() -> R + Send>>,
-) -> Vec<R> {
-    let threads = threads.max(1);
-    let n = tasks.len();
+}
 
-    // Per-worker deques, seeded round-robin.
-    let queues: Vec<Arc<Mutex<VecDeque<Task<R>>>>> = (0..threads)
-        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
-        .collect();
-    for (index, run) in tasks.into_iter().enumerate() {
-        queues[index % threads]
-            .lock()
-            .unwrap()
-            .push_back(Task { index, run });
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queues: (0..threads).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, me))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+        }
     }
 
-    let results: ResultSlots<R> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
 
-    std::thread::scope(|scope| {
-        for me in 0..threads {
-            let queues = queues.clone();
-            let results = Arc::clone(&results);
-            scope.spawn(move || {
-                loop {
-                    // Own queue first (front), then steal (back).
-                    let task = pop_own(&queues[me]).or_else(|| steal(&queues, me));
-                    let Some(task) = task else { break };
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.run))
-                        .map_err(|payload| panic_message(&payload));
-                    results.lock().unwrap()[task.index] = Some(outcome);
-                }
-            });
+    /// Executes `tasks` across the workers with work stealing; returns the
+    /// results in submission order. Blocks until the whole batch drains.
+    ///
+    /// A panicking task poisons nothing: the panic is caught per-task and
+    /// re-raised here after the batch drains, so sibling jobs still
+    /// complete.
+    pub fn run_all<R: Send + 'static>(&self, tasks: Vec<Box<dyn FnOnce() -> R + Send>>) -> Vec<R> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
         }
-    });
+        let batch = Arc::new(Batch {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        });
 
-    let collected = Arc::into_inner(results)
-        .expect("workers joined")
-        .into_inner()
-        .expect("results lock clean");
-    collected
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| match slot.expect("every task ran") {
-            Ok(r) => r,
-            Err(msg) => panic!("campaign job {i} panicked: {msg}"),
-        })
-        .collect()
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            let workers = state.queues.len();
+            for (index, run) in tasks.into_iter().enumerate() {
+                let batch = Arc::clone(&batch);
+                let erased: ErasedTask = Box::new(move || {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run))
+                        .map_err(|payload| panic_message(&payload));
+                    batch.slots.lock().unwrap()[index] = Some(outcome);
+                    let mut remaining = batch.remaining.lock().unwrap();
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        batch.done.notify_all();
+                    }
+                });
+                state.queues[index % workers].push_back(erased);
+            }
+        }
+        self.shared.work.notify_all();
+
+        let mut remaining = batch.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = batch.done.wait(remaining).unwrap();
+        }
+        drop(remaining);
+
+        let collected = std::mem::take(&mut *batch.slots.lock().unwrap());
+        collected
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot.expect("every task ran") {
+                Ok(r) => r,
+                Err(msg) => panic!("campaign job {i} panicked: {msg}"),
+            })
+            .collect()
+    }
 }
 
-fn pop_own<R>(queue: &Mutex<VecDeque<Task<R>>>) -> Option<Task<R>> {
-    queue.lock().unwrap().pop_front()
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
-fn steal<R>(queues: &[Arc<Mutex<VecDeque<Task<R>>>>], me: usize) -> Option<Task<R>> {
-    let n = queues.len();
-    (1..n).find_map(|offset| queues[(me + offset) % n].lock().unwrap().pop_back())
+fn worker_loop(shared: &PoolShared, me: usize) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                // Own queue first (front), then steal (back).
+                if let Some(task) = pop_or_steal(&mut state, me) {
+                    break Some(task);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+        match task {
+            Some(task) => task(),
+            None => return,
+        }
+    }
+}
+
+fn pop_or_steal(state: &mut PoolState, me: usize) -> Option<ErasedTask> {
+    if let Some(task) = state.queues[me].pop_front() {
+        return Some(task);
+    }
+    let n = state.queues.len();
+    (1..n).find_map(|offset| state.queues[(me + offset) % n].pop_back())
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -100,6 +203,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// One-shot convenience: spawns an ephemeral pool, runs `tasks`, joins.
+/// Callers that run more than one batch should hold a [`WorkerPool`]
+/// (usually via an [`crate::EvalSession`]) instead.
+pub fn run_all<R: Send + 'static>(
+    threads: usize,
+    tasks: Vec<Box<dyn FnOnce() -> R + Send>>,
+) -> Vec<R> {
+    WorkerPool::new(threads).run_all(tasks)
 }
 
 #[cfg(test)]
@@ -127,6 +240,23 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn persistent_pool_survives_many_batches() {
+        // The EvalSession pattern: one pool, many scoring calls. Workers
+        // must wake for every batch and results must stay ordered.
+        let pool = WorkerPool::new(3);
+        for round in 0..20usize {
+            let tasks = boxed(
+                (0..7)
+                    .map(move |i| move || round * 100 + i)
+                    .collect::<Vec<_>>(),
+            );
+            let out = pool.run_all(tasks);
+            assert_eq!(out, (0..7).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.threads(), 3);
     }
 
     #[test]
@@ -164,11 +294,13 @@ mod tests {
     fn zero_threads_degrades_to_one() {
         let out = run_all(0, boxed(vec![|| 7usize]));
         assert_eq!(out, vec![7]);
+        assert_eq!(WorkerPool::new(0).threads(), 1);
     }
 
     #[test]
     fn empty_task_list_is_fine() {
-        let out: Vec<usize> = run_all(4, Vec::new());
+        let pool = WorkerPool::new(4);
+        let out: Vec<usize> = pool.run_all(Vec::new());
         assert!(out.is_empty());
     }
 
@@ -187,12 +319,22 @@ mod tests {
                 }) as Box<dyn FnOnce() -> usize + Send>
             })
             .collect();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_all(2, tasks)));
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run_all(tasks)));
         assert!(result.is_err());
         assert_eq!(
             completed.load(Ordering::SeqCst),
             5,
             "siblings must still run"
         );
+        // The pool keeps working after a panicking batch.
+        assert_eq!(pool.run_all(boxed(vec![|| 3usize])), vec![3]);
+    }
+
+    #[test]
+    fn drop_joins_workers_without_wedging() {
+        let pool = WorkerPool::new(4);
+        let _ = pool.run_all(boxed(vec![|| 1usize, || 2]));
+        drop(pool); // must return promptly
     }
 }

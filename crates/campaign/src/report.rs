@@ -230,7 +230,7 @@ impl CampaignReport {
 
 /// JSON-compatible float rendering: finite values via Rust's shortest
 /// round-trip formatting, NaN/infinities as null.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -238,7 +238,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_str(out: &mut String, key: &str, value: &str) {
+pub(crate) fn json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":\"");

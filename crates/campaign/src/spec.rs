@@ -12,7 +12,8 @@
 //! [`CampaignSpec::parse_toml`] and the crate-level docs).
 
 use crate::job::{
-    clock_salt, hash_mix, hash_str, rotation_salt, AttackSeeds, JobKind, JobSpec, NoiseShape,
+    clock_salt, hash_mix, hash_str, rotation_salt, select_seed, transform_seed, AttackSeeds,
+    JobKind, JobSpec, NoiseShape,
 };
 use crate::physical::{is_valid_clock_period, ClockRateTable};
 use gshe_attacks::AttackKind;
@@ -231,11 +232,10 @@ impl CampaignSpec {
         }
         let mut jobs = Vec::new();
         for benchmark in &benchmarks {
-            let bench_hash = hash_str(benchmark);
             for &level in &self.levels {
-                let select = hash_mix(self.seed ^ bench_hash ^ (level * 1e4) as u64);
+                let select = select_seed(self.seed, benchmark, level);
                 for &scheme in &self.schemes {
-                    let transform = hash_mix(select ^ hash_str(scheme_name(scheme)));
+                    let transform = transform_seed(select, scheme);
                     for &attack in &self.attacks {
                         for &rotation_period in &periods {
                             for &(clock_ns, error_rate) in &rate_cells {
@@ -424,7 +424,7 @@ impl CampaignSpec {
 
 /// Drops a `#` comment, but only when the `#` sits outside a
 /// double-quoted string.
-fn strip_comment(line: &str) -> &str {
+pub(crate) fn strip_comment(line: &str) -> &str {
     let mut in_string = false;
     for (i, c) in line.char_indices() {
         match c {
@@ -436,12 +436,12 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-fn parse_string(value: &str) -> Option<String> {
+pub(crate) fn parse_string(value: &str) -> Option<String> {
     let inner = value.strip_prefix('"')?.strip_suffix('"')?;
     Some(inner.to_string())
 }
 
-fn parse_string_array(value: &str) -> Option<Vec<String>> {
+pub(crate) fn parse_string_array(value: &str) -> Option<Vec<String>> {
     let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
     if inner.is_empty() {
         return Some(Vec::new());
@@ -452,7 +452,7 @@ fn parse_string_array(value: &str) -> Option<Vec<String>> {
         .collect()
 }
 
-fn parse_array<T: std::str::FromStr>(value: &str) -> Option<Vec<T>> {
+pub(crate) fn parse_array<T: std::str::FromStr>(value: &str) -> Option<Vec<T>> {
     let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
     if inner.is_empty() {
         return Some(Vec::new());

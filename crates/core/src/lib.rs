@@ -64,7 +64,10 @@ pub mod prelude {
         AttackRunner, AttackStatus, NetlistOracle, Oracle, OracleStack, StochasticOracle,
     };
     pub use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
-    pub use gshe_campaign::{Campaign, CampaignReport, CampaignSpec, JobStatus, NoiseShape};
+    pub use gshe_campaign::{
+        Campaign, CampaignReport, CampaignSpec, EvalSession, JobStatus, NoiseShape, ProfileSearch,
+        SearchReport, SearchSpec,
+    };
     pub use gshe_device::{GsheSwitch, MonteCarlo, MonteCarloConfig, SwitchParams};
     pub use gshe_logic::{parse_bench, Bf1, Bf2, Netlist, NetlistBuilder, NodeId};
     pub use gshe_timing::{delay_aware_replace, DelayModel, TimingAnalysis};
