@@ -93,6 +93,7 @@ pub(crate) fn solve_sliced(
     deadline: Instant,
     slice: u64,
 ) -> Option<SolveResult> {
+    let _span = gshe_obs::span("attack.solve");
     loop {
         solver.set_budget(Budget {
             max_conflicts: Some(slice),
@@ -245,13 +246,19 @@ pub fn refine(
                   key: Option<Vec<bool>>,
                   iterations: u64,
                   stats: SolverStats,
-                  oracle: &dyn Oracle| AttackOutcome {
-        status,
-        key,
-        iterations,
-        queries: oracle.queries() - queries_before,
-        elapsed: start.elapsed(),
-        solver_stats: stats,
+                  oracle: &dyn Oracle| {
+        gshe_obs::count("sat.decisions", stats.decisions);
+        gshe_obs::count("sat.propagations", stats.propagations);
+        gshe_obs::count("sat.conflicts", stats.conflicts);
+        gshe_obs::count("sat.learnts", stats.learnts);
+        AttackOutcome {
+            status,
+            key,
+            iterations,
+            queries: oracle.queries() - queries_before,
+            elapsed: start.elapsed(),
+            solver_stats: stats,
+        }
     };
 
     for assumptions in &phases {
@@ -303,6 +310,7 @@ pub fn refine(
                 Some(SolveResult::Unsat) => break 'refine, // phase converged
                 Some(SolveResult::Sat) => {
                     iterations += 1;
+                    gshe_obs::count("attack.rounds", 1);
                     let first: Vec<bool> =
                         input_lits.iter().map(|&l| solver.model_lit(l)).collect();
                     let mut converged = false;
@@ -310,7 +318,11 @@ pub fn refine(
                         // Historical scalar round: query the oracle, then
                         // encode and pin both observations (the exact
                         // pre-engine operation sequence).
-                        let y = oracle.query(&first);
+                        gshe_obs::record("attack.dip_batch_fill", 1);
+                        let y = {
+                            let _span = gshe_obs::span("attack.oracle");
+                            oracle.query(&first)
+                        };
                         let mut enc = CircuitEncoder::new(&mut solver);
                         for key in &keys {
                             let outs = encode_keyed_fixed(&mut enc, keyed, key, &first);
@@ -365,7 +377,11 @@ pub fn refine(
                         // signals to the observations.
                         let patterns: Vec<Vec<bool>> =
                             batch.iter().map(|(dip, _)| dip.clone()).collect();
-                        let lanes = oracle.query_block(&PatternBlock::from_patterns(&patterns));
+                        gshe_obs::record("attack.dip_batch_fill", batch.len() as u64);
+                        let lanes = {
+                            let _span = gshe_obs::span("attack.oracle");
+                            oracle.query_block(&PatternBlock::from_patterns(&patterns))
+                        };
                         let mut enc = CircuitEncoder::new(&mut solver);
                         for (k, (_, per_key)) in batch.iter().enumerate() {
                             let y: Vec<bool> =
@@ -483,7 +499,10 @@ fn appsat_round(
             .map(|_| (0..n_inputs).map(|_| state.rng.gen_bool(0.5)).collect())
             .collect();
         let block = PatternBlock::from_patterns(&patterns);
-        let y_chip = oracle.query_block(&block);
+        let y_chip = {
+            let _span = gshe_obs::span("attack.oracle");
+            oracle.query_block(&block)
+        };
         let y_cand = cand_sim.run_masked(&block).expect("interface matches");
         let mut diff = 0u64;
         for (chip, cand_lane) in y_chip.iter().zip(&y_cand) {

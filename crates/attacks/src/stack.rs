@@ -317,11 +317,32 @@ impl<'a> OracleStack<'a> {
     }
 }
 
+impl OracleStack<'_> {
+    /// Latency-histogram name for this stack's layer composition, so the
+    /// metrics snapshot separates rotating from static query costs.
+    fn latency_histogram(&self, block: bool) -> &'static str {
+        match (self.rotation.is_some(), block) {
+            (false, false) => "oracle.eval.query_ns",
+            (false, true) => "oracle.eval.query_block_ns",
+            (true, false) => "oracle.rotating.query_ns",
+            (true, true) => "oracle.rotating.query_block_ns",
+        }
+    }
+}
+
 impl Oracle for OracleStack<'_> {
     fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let timed = gshe_obs::enabled().then(std::time::Instant::now);
         self.maybe_rotate();
         self.count += 1;
-        self.base.scalar(inputs)
+        let out = self.base.scalar(inputs);
+        if let Some(t0) = timed {
+            gshe_obs::record(
+                self.latency_histogram(false),
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        out
     }
 
     /// Bit-parallel block path. Without a rotation layer this is one pass
@@ -331,9 +352,14 @@ impl Oracle for OracleStack<'_> {
     /// flips, query accounting, and answers match the scalar loop exactly;
     /// only the gate evaluation is batched.
     fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
+        let timed = gshe_obs::enabled().then(std::time::Instant::now);
         if self.rotation.is_none() {
             self.count += block.count as u64;
-            return self.base.block_masked(block);
+            let out = self.base.block_masked(block);
+            if let Some(t0) = timed {
+                gshe_obs::record(self.latency_histogram(true), t0.elapsed().as_nanos() as u64);
+            }
+            return out;
         }
         let mut lanes = vec![0u64; self.num_outputs()];
         let mut k = 0usize;
@@ -353,6 +379,9 @@ impl Oracle for OracleStack<'_> {
             }
             self.count += take as u64;
             k += take;
+        }
+        if let Some(t0) = timed {
+            gshe_obs::record(self.latency_histogram(true), t0.elapsed().as_nanos() as u64);
         }
         lanes
     }

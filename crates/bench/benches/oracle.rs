@@ -115,6 +115,38 @@ fn bench_stacked_oracle(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `gshe_obs` disabled-path overhead pin: the stochastic (noisy
+/// stack) oracle's `query_block` on s38584 with instrumentation compiled
+/// in but **off** (one relaxed atomic load per instrumentation point —
+/// the state every ordinary run executes in) vs. fully **enabled**
+/// metrics. The disabled-path target is < 2% over the bare stack; the
+/// enabled row shows what flipping the switch actually costs.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let (_, keyed) = s38584_keyed();
+    let nodes: Vec<_> = keyed.camo_gates().iter().map(|g| g.node).collect();
+    let profile = ErrorProfile::uniform_at(keyed.netlist().len(), &nodes, 0.05);
+    let n_inputs = keyed.netlist().inputs().len();
+    let mut rng = StdRng::seed_from_u64(7);
+    let block = PatternBlock::random(n_inputs, &mut rng);
+
+    let mut group = c.benchmark_group("obs_overhead_s38584");
+
+    gshe_core::obs::disable();
+    let mut disabled = OracleStack::noisy(&keyed, profile.clone(), 11);
+    group.bench_function("stochastic_query_block_64_obs_disabled", |b| {
+        b.iter(|| black_box(disabled.query_block(black_box(&block))))
+    });
+
+    gshe_core::obs::enable();
+    let mut enabled = OracleStack::noisy(&keyed, profile, 11);
+    group.bench_function("stochastic_query_block_64_obs_enabled", |b| {
+        b.iter(|| black_box(enabled.query_block(black_box(&block))))
+    });
+    gshe_core::obs::disable();
+
+    group.finish();
+}
+
 /// The unified DIP-refinement engine end to end: the full SAT attack on
 /// s38584 (scaled 1/40, 5% protection) at batch width 1 (the historical
 /// one-query-per-iteration loop) vs. width 16 (class-split-blocked batch
@@ -198,4 +230,9 @@ criterion_group! {
     config = Criterion::default().sample_size(5);
     targets = bench_batched_dip
 }
-criterion_main!(oracle, batched_dip, candidate_score);
+criterion_group! {
+    name = obs_overhead;
+    config = Criterion::default().sample_size(30);
+    targets = bench_obs_overhead
+}
+criterion_main!(oracle, obs_overhead, batched_dip, candidate_score);

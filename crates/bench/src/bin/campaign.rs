@@ -27,8 +27,8 @@
 
 use gshe_core::campaign::physical::is_valid_clock_period;
 use gshe_core::campaign::{
-    scheme_name, valid_attack_names, valid_key_names, valid_profile_names, valid_scheme_names,
-    CampaignSpec, NoiseShape,
+    pool_summary, scheme_name, valid_attack_names, valid_key_names, valid_profile_names,
+    valid_scheme_names, CampaignSpec, NoiseShape,
 };
 use gshe_core::prelude::{AttackKind, CamoScheme};
 use std::time::Duration;
@@ -74,6 +74,10 @@ RUNTIME:
 
 OUTPUT:
   --out PREFIX           write PREFIX.json and PREFIX.csv
+  --trace-out FILE       enable instrumentation and write a Chrome
+                         trace-event JSON (chrome://tracing / Perfetto)
+  --metrics-out FILE     enable instrumentation and write a metrics
+                         snapshot (counters + histogram buckets) as JSON
   --deterministic        print timing-free JSON (byte-identical across
                          thread counts) instead of the human table
 
@@ -93,6 +97,8 @@ fn main() {
         ..Default::default()
     };
     let mut out_prefix: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut deterministic = false;
     let mut cache_cap: u64 = 0;
 
@@ -254,11 +260,22 @@ fn main() {
                     .unwrap_or_else(|_| fail("--cache-cap takes an integer (0 = unbounded)"))
             }
             "--out" => out_prefix = Some(value),
+            "--trace-out" => trace_out = Some(value),
+            "--metrics-out" => metrics_out = Some(value),
             other => fail(&format!(
                 "unknown option `{other}` (run `campaign --help` for the flag list)"
             )),
         }
         i += 2;
+    }
+
+    // Flip the instrumentation switch before any work runs. Tracing
+    // implies metrics (spans feed both); metrics alone skips the
+    // per-event trace buffers.
+    if trace_out.is_some() {
+        gshe_core::obs::enable_tracing();
+    } else if metrics_out.is_some() {
+        gshe_core::obs::enable();
     }
 
     let session = gshe_core::campaign::EvalSession::with_cache_cap(spec.threads, cache_cap);
@@ -272,6 +289,16 @@ fn main() {
         std::fs::write(format!("{prefix}.csv"), report.to_csv())
             .unwrap_or_else(|e| fail(&format!("cannot write {prefix}.csv: {e}")));
         eprintln!("wrote {prefix}.json and {prefix}.csv");
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, gshe_core::obs::trace_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, gshe_core::obs::metrics_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote metrics snapshot to {path}");
     }
 
     if deterministic {
@@ -299,7 +326,7 @@ fn main() {
         session.cache().evictions(),
     );
     println!(
-        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8} {:>10} {:>9}",
         "benchmark",
         "scheme",
         "attack",
@@ -313,12 +340,14 @@ fn main() {
         "queries",
         "err-rate",
         "p50 s",
-        "p90 s"
+        "p90 s",
+        "decisions",
+        "conflicts"
     );
-    println!("{:-<137}", "");
+    println!("{:-<158}", "");
     for row in &report.rows {
         println!(
-            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>8} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2}",
+            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>8} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2} {:>10.0} {:>9.0}",
             row.key.benchmark,
             scheme_name(row.key.scheme),
             row.key.attack.name(),
@@ -345,6 +374,8 @@ fn main() {
             },
             row.runtime_p50,
             row.runtime_p90,
+            row.mean_decisions,
+            row.mean_conflicts,
         );
     }
     for row in &report.device {
@@ -361,4 +392,12 @@ fn main() {
             row.value,
         );
     }
+    let (pool_tasks, pool_steals, utilization) = pool_summary(&report.pool);
+    println!(
+        "pool: {} workers ran {} tasks ({} stolen), {:.0}% mean utilization",
+        report.pool.len(),
+        pool_tasks,
+        pool_steals,
+        utilization * 100.0,
+    );
 }

@@ -67,6 +67,10 @@ SEARCH FLAGS (each overrides the spec file's value):
 
 OUTPUT:
   --out PREFIX           write PREFIX.json and PREFIX.csv
+  --trace-out FILE       enable instrumentation and write a Chrome
+                         trace-event JSON (chrome://tracing / Perfetto)
+  --metrics-out FILE     enable instrumentation and write a metrics
+                         snapshot (counters + histogram buckets) as JSON
   --deterministic        print timing-free JSON (byte-identical across
                          thread counts) instead of the human table
 
@@ -82,6 +86,8 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut spec = SearchSpec::default();
     let mut out_prefix: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut deterministic = false;
 
     // Load the spec file first (wherever --spec appears) so explicit flags
@@ -214,11 +220,20 @@ fn main() {
                     .unwrap_or_else(|_| fail("--dip-batch takes an integer"))
             }
             "--out" => out_prefix = Some(value),
+            "--trace-out" => trace_out = Some(value),
+            "--metrics-out" => metrics_out = Some(value),
             other => fail(&format!(
                 "unknown option `{other}` (run `profile-search --help` for the flag list)"
             )),
         }
         i += 2;
+    }
+
+    // Flip the instrumentation switch before any scoring work runs.
+    if trace_out.is_some() {
+        gshe_core::obs::enable_tracing();
+    } else if metrics_out.is_some() {
+        gshe_core::obs::enable();
     }
 
     let session = EvalSession::with_cache_cap(spec.threads, spec.cache_cap);
@@ -232,6 +247,16 @@ fn main() {
         std::fs::write(format!("{prefix}.csv"), report.to_csv())
             .unwrap_or_else(|e| fail(&format!("cannot write {prefix}.csv: {e}")));
         eprintln!("wrote {prefix}.json and {prefix}.csv");
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, gshe_core::obs::trace_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, gshe_core::obs::metrics_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote metrics snapshot to {path}");
     }
 
     if deterministic {

@@ -59,6 +59,12 @@ pub struct TableRow {
     pub runtime_p90: f64,
     /// Maximum job runtime, seconds.
     pub runtime_max: f64,
+    /// Mean CDCL decisions per trial (timing-side diagnostic only).
+    pub mean_decisions: f64,
+    /// Mean CDCL propagations per trial (timing-side diagnostic only).
+    pub mean_propagations: f64,
+    /// Mean CDCL conflicts per trial (timing-side diagnostic only).
+    pub mean_conflicts: f64,
 }
 
 /// One device-measurement result, passed through (device jobs have no
@@ -163,6 +169,10 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
             let mut runtimes: Vec<f64> = bucket.iter().map(|r| r.elapsed.as_secs_f64()).collect();
             runtimes.sort_by(f64::total_cmp);
             let m = runtimes.len();
+            let mut solver = gshe_sat::SolverStats::default();
+            for r in &bucket {
+                solver += r.solver_stats;
+            }
             TableRow {
                 key,
                 trials: n,
@@ -178,6 +188,9 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                 runtime_p50: runtimes[rank(0.5, m)],
                 runtime_p90: runtimes[rank(0.9, m)],
                 runtime_max: runtimes[m - 1],
+                mean_decisions: solver.decisions as f64 / n as f64,
+                mean_propagations: solver.propagations as f64 / n as f64,
+                mean_conflicts: solver.conflicts as f64 / n as f64,
             }
         })
         .collect();
@@ -246,6 +259,12 @@ mod tests {
             },
             measurement: f64::NAN,
             elapsed: Duration::from_secs_f64(secs),
+            solver_stats: gshe_sat::SolverStats {
+                decisions: 10 * queries,
+                propagations: 100 * queries,
+                conflicts: queries,
+                ..Default::default()
+            },
             error: None,
         }
     }
@@ -268,6 +287,9 @@ mod tests {
         assert_eq!(row.runtime_p50, 3.0);
         assert_eq!(row.runtime_max, 60.0);
         assert_eq!(row.mean_output_error, 0.0);
+        assert!((row.mean_decisions - 350.0 / 3.0).abs() < 1e-12);
+        assert!((row.mean_propagations - 3500.0 / 3.0).abs() < 1e-12);
+        assert!((row.mean_conflicts - 35.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -132,6 +132,7 @@ impl OracleCache {
                 n
             };
             self.evictions.fetch_add(dropped, Ordering::Relaxed);
+            gshe_obs::count("cache.evictions", dropped);
             if dropped == 0 && self.shards[keep].lock().unwrap().len() as u64 > cap {
                 // Degenerate cap smaller than one shard's load: everything
                 // else is already empty, stop rather than spin.
@@ -171,9 +172,11 @@ impl OracleCache {
         let shard = &self.shards[shard_index];
         if let Some(hit) = shard.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            gshe_obs::count("cache.hits", 1);
             return hit.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        gshe_obs::count("cache.misses", 1);
         let value = compute();
         shard
             .lock()
@@ -308,20 +311,30 @@ impl<O: Oracle> Oracle for CacheLayer<O> {
         // straight from the inputs: a hit — the case the cache exists
         // for — allocates nothing beyond the key words.
         self.count += 1;
+        let timed = gshe_obs::enabled().then(std::time::Instant::now);
         let inner = &mut self.inner;
         let lanes = self.cache.get_or_insert_packed(
             self.fingerprint,
             pack_bits(inputs.iter().copied()),
             || inner.query_block(&PatternBlock::from_patterns(&[inputs.to_vec()])),
         );
+        if let Some(t0) = timed {
+            gshe_obs::record("cache.query_ns", t0.elapsed().as_nanos() as u64);
+        }
         lanes.iter().map(|lane| lane & 1 == 1).collect()
     }
 
     fn query_block(&mut self, block: &PatternBlock) -> Vec<u64> {
         self.count += block.count as u64;
+        let timed = gshe_obs::enabled().then(std::time::Instant::now);
         let inner = &mut self.inner;
-        self.cache
-            .get_or_insert_block(self.fingerprint, block, || inner.query_block(block))
+        let out = self
+            .cache
+            .get_or_insert_block(self.fingerprint, block, || inner.query_block(block));
+        if let Some(t0) = timed {
+            gshe_obs::record("cache.query_block_ns", t0.elapsed().as_nanos() as u64);
+        }
+        out
     }
 
     fn num_inputs(&self) -> usize {

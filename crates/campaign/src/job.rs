@@ -18,6 +18,7 @@ use gshe_attacks::{verify_key, AttackKind, AttackRunner, AttackStatus, OracleSta
 use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
 use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
 use gshe_logic::{ErrorProfile, Netlist, NodeId};
+use gshe_sat::SolverStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, Mutex};
@@ -319,6 +320,13 @@ pub struct JobResult {
     /// Wall-clock runtime of the job (excluded from deterministic
     /// serializations).
     pub elapsed: Duration,
+    /// Cumulative CDCL solver statistics (decisions, propagations,
+    /// conflicts, …) of the attack's solver; zeroed for device jobs.
+    /// Reported only on the timing side of serializations — the counts
+    /// are deterministic per job, but they are diagnostics, and keeping
+    /// them out of the pinned deterministic JSON leaves the solver free
+    /// to evolve without golden-file churn.
+    pub solver_stats: SolverStats,
     /// Failure detail for [`JobStatus::Failed`].
     pub error: Option<String>,
 }
@@ -463,6 +471,7 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
         output_error_rate: f64::NAN,
         measurement: f64::NAN,
         elapsed: Duration::ZERO,
+        solver_stats: SolverStats::default(),
         error: None,
     };
     match &spec.kind {
@@ -483,12 +492,16 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
                 result.elapsed = start.elapsed();
                 return result;
             };
-            let keyed = match ctx.keyed.get_or_materialize(nl, *level, *scheme, seeds) {
-                Ok(k) => k,
-                Err(e) => {
-                    result.error = Some(e);
-                    result.elapsed = start.elapsed();
-                    return result;
+            let _job_span = gshe_obs::span("job.attack");
+            let keyed = {
+                let _span = gshe_obs::span("job.materialize");
+                match ctx.keyed.get_or_materialize(nl, *level, *scheme, seeds) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        result.error = Some(e);
+                        result.elapsed = start.elapsed();
+                        return result;
+                    }
                 }
             };
             let runner = AttackRunner::new(*attack, spec.timeout, seeds.oracle);
@@ -528,6 +541,7 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
             };
             result.queries = out.queries;
             result.iterations = out.iterations;
+            result.solver_stats = out.solver_stats;
             if let Some(key) = &out.key {
                 match verify_key(nl, &keyed, key) {
                     Ok(v) => {

@@ -144,6 +144,7 @@ pub use job::{
     JobResult, JobSpec, JobStatus, KeyedMemo, NoiseShape,
 };
 pub use physical::ClockRateTable;
+pub use pool::{pool_summary, WorkerPool, WorkerStats};
 pub use report::CampaignReport;
 pub use search::{Candidate, ProfileSearch, ScoredCandidate, SearchReport, SearchSpec};
 pub use spec::{
@@ -319,6 +320,7 @@ impl EvalSession {
             .into_iter()
             .map(|(name, bench_spec)| {
                 Box::new(move || {
+                    let _span = gshe_obs::span("session.materialize");
                     let nl = suites::benchmark_scaled(bench_spec, scale, seed);
                     (name, Arc::new(nl))
                 }) as Box<dyn FnOnce() -> NamedNetlist + Send>
@@ -377,6 +379,7 @@ impl EvalSession {
     ) -> Result<CampaignReport, String> {
         let start = Instant::now();
         let (hits_before, misses_before) = self.cache.stats();
+        let pool_before = self.pool.worker_stats();
 
         let mut referenced: Vec<String> = Vec::new();
         for job in &jobs {
@@ -405,6 +408,13 @@ impl EvalSession {
         let results = self.pool.run_all(tasks);
 
         let (hits, misses) = self.cache.stats();
+        let pool_deltas: Vec<pool::WorkerStats> = self
+            .pool
+            .worker_stats()
+            .iter()
+            .zip(&pool_before)
+            .map(|(now, then)| now.delta_from(then))
+            .collect();
         Ok(CampaignReport::new(
             spec.name.clone(),
             results,
@@ -415,7 +425,8 @@ impl EvalSession {
                 misses - misses_before,
                 self.cache.entries(),
             ),
-        ))
+        )
+        .with_pool_stats(pool_deltas))
     }
 }
 

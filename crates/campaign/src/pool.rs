@@ -23,11 +23,76 @@
 //! sees (seeds are derived from job identity) nor *where* its result lands.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// An erased pending task; the closure stores its own result and performs
 /// its own batch accounting.
 type ErasedTask = Box<dyn FnOnce() + Send>;
+
+/// Per-worker activity counters, updated by the worker itself. These are
+/// always on (plain relaxed atomics, independent of the `gshe_obs`
+/// switch) so the pool-utilization report footer works out of the box;
+/// they never influence scheduling or results.
+#[derive(Default)]
+struct WorkerCounters {
+    /// Tasks this worker executed (own-queue pops plus steals).
+    tasks: AtomicU64,
+    /// Tasks this worker stole from a sibling's queue.
+    steals: AtomicU64,
+    /// Nanoseconds spent executing tasks.
+    busy_ns: AtomicU64,
+    /// Nanoseconds spent parked on the condvar waiting for work.
+    idle_ns: AtomicU64,
+}
+
+/// Snapshot of one worker's activity counters (see [`WorkerPool::worker_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Tasks executed by this worker.
+    pub tasks: u64,
+    /// Tasks stolen from siblings' queues.
+    pub steals: u64,
+    /// Nanoseconds spent executing tasks.
+    pub busy_ns: u64,
+    /// Nanoseconds spent idle waiting for work.
+    pub idle_ns: u64,
+}
+
+impl WorkerStats {
+    /// Busy fraction of this worker's observed lifetime, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / total as f64
+    }
+
+    /// Element-wise difference, saturating at zero (for before/after deltas).
+    pub fn delta_from(&self, earlier: &WorkerStats) -> WorkerStats {
+        WorkerStats {
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            steals: self.steals.saturating_sub(earlier.steals),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
+            idle_ns: self.idle_ns.saturating_sub(earlier.idle_ns),
+        }
+    }
+}
+
+/// Aggregates a slice of per-worker stats into one summary line:
+/// `(tasks, steals, mean utilization)`.
+pub fn pool_summary(stats: &[WorkerStats]) -> (u64, u64, f64) {
+    let tasks: u64 = stats.iter().map(|w| w.tasks).sum();
+    let steals: u64 = stats.iter().map(|w| w.steals).sum();
+    let utilization = if stats.is_empty() {
+        0.0
+    } else {
+        stats.iter().map(WorkerStats::utilization).sum::<f64>() / stats.len() as f64
+    };
+    (tasks, steals, utilization)
+}
 
 /// Queue state shared by the workers of one [`WorkerPool`].
 struct PoolState {
@@ -42,6 +107,8 @@ struct PoolShared {
     state: Mutex<PoolState>,
     /// Signals workers that work arrived (or shutdown began).
     work: Condvar,
+    /// One counter block per worker, indexed by worker id.
+    counters: Vec<WorkerCounters>,
 }
 
 /// Completion tracking for one submitted batch.
@@ -81,6 +148,7 @@ impl WorkerPool {
                 shutdown: false,
             }),
             work: Condvar::new(),
+            counters: (0..threads).map(|_| WorkerCounters::default()).collect(),
         });
         let workers = (0..threads)
             .map(|me| {
@@ -98,6 +166,22 @@ impl WorkerPool {
     /// Worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Snapshots every worker's cumulative activity counters (indexed by
+    /// worker id). Callers wanting per-batch numbers take a snapshot
+    /// before and after and use [`WorkerStats::delta_from`].
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared
+            .counters
+            .iter()
+            .map(|c| WorkerStats {
+                tasks: c.tasks.load(Ordering::Relaxed),
+                steals: c.steals.load(Ordering::Relaxed),
+                busy_ns: c.busy_ns.load(Ordering::Relaxed),
+                idle_ns: c.idle_ns.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Executes `tasks` across the workers with work stealing; returns the
@@ -166,33 +250,57 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &PoolShared, me: usize) {
+    let counters = &shared.counters[me];
     loop {
         let task = {
             let mut state = shared.state.lock().unwrap();
             loop {
                 // Own queue first (front), then steal (back).
-                if let Some(task) = pop_or_steal(&mut state, me) {
+                if let Some((task, stolen)) = pop_or_steal(&mut state, me) {
+                    counters.tasks.fetch_add(1, Ordering::Relaxed);
+                    if stolen {
+                        counters.steals.fetch_add(1, Ordering::Relaxed);
+                    }
                     break Some(task);
                 }
                 if state.shutdown {
                     break None;
                 }
+                let parked = Instant::now();
                 state = shared.work.wait(state).unwrap();
+                counters
+                    .idle_ns
+                    .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
         };
         match task {
-            Some(task) => task(),
+            Some(task) => {
+                let started = Instant::now();
+                {
+                    let _span = gshe_obs::span("pool.task");
+                    task();
+                }
+                counters
+                    .busy_ns
+                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
             None => return,
         }
     }
 }
 
-fn pop_or_steal(state: &mut PoolState, me: usize) -> Option<ErasedTask> {
+/// Pops the next task for worker `me`; the flag reports whether it was
+/// stolen from a sibling's queue rather than popped from `me`'s own.
+fn pop_or_steal(state: &mut PoolState, me: usize) -> Option<(ErasedTask, bool)> {
     if let Some(task) = state.queues[me].pop_front() {
-        return Some(task);
+        return Some((task, false));
     }
     let n = state.queues.len();
-    (1..n).find_map(|offset| state.queues[(me + offset) % n].pop_back())
+    (1..n).find_map(|offset| {
+        state.queues[(me + offset) % n]
+            .pop_back()
+            .map(|task| (task, true))
+    })
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -329,6 +437,38 @@ mod tests {
         );
         // The pool keeps working after a panicking batch.
         assert_eq!(pool.run_all(boxed(vec![|| 3usize])), vec![3]);
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_task() {
+        let pool = WorkerPool::new(2);
+        let tasks = boxed(
+            (0..10usize)
+                .map(|i| {
+                    move || {
+                        std::thread::sleep(Duration::from_millis(1));
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        let before = pool.worker_stats();
+        let _ = pool.run_all(tasks);
+        let after = pool.worker_stats();
+        assert_eq!(after.len(), 2);
+        let deltas: Vec<WorkerStats> = after
+            .iter()
+            .zip(&before)
+            .map(|(now, then)| now.delta_from(then))
+            .collect();
+        let (tasks, steals, utilization) = pool_summary(&deltas);
+        assert_eq!(tasks, 10, "every task attributed to some worker");
+        assert!(steals <= 10);
+        assert!((0.0..=1.0).contains(&utilization));
+        assert!(
+            deltas.iter().any(|w| w.busy_ns > 0),
+            "sleeping tasks must register busy time"
+        );
     }
 
     #[test]

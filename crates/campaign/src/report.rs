@@ -8,6 +8,7 @@
 
 use crate::aggregate::{aggregate, DeviceRow, TableRow};
 use crate::job::{JobKind, JobResult, NoiseShape};
+use crate::pool::{pool_summary, WorkerStats};
 use crate::spec::scheme_name;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -34,6 +35,10 @@ pub struct CampaignReport {
     /// Distinct blocks resident in the oracle cache at the end of the run
     /// (block-level keys: one entry answers up to 64 patterns).
     pub cache_entries: u64,
+    /// Per-worker pool activity over this run (indexed by worker id);
+    /// empty when the runner didn't capture pool deltas. Wall-clock data,
+    /// so it surfaces only on the timing side of serializations.
+    pub pool: Vec<WorkerStats>,
 }
 
 impl CampaignReport {
@@ -57,7 +62,14 @@ impl CampaignReport {
             cache_hits: cache_stats.0,
             cache_misses: cache_stats.1,
             cache_entries: cache_stats.2,
+            pool: Vec::new(),
         }
+    }
+
+    /// Attaches per-worker pool activity deltas captured over this run.
+    pub fn with_pool_stats(mut self, pool: Vec<WorkerStats>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Full JSON, including wall-clock timings and run metadata.
@@ -87,6 +99,19 @@ impl CampaignReport {
                 self.cache_misses,
                 self.cache_entries
             );
+            out.push_str(",\"pool\":{\"workers\":[");
+            for (i, w) in self.pool.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"tasks\":{},\"steals\":{},\"busy_ns\":{},\"idle_ns\":{}}}",
+                    w.tasks, w.steals, w.busy_ns, w.idle_ns
+                );
+            }
+            let (_, _, utilization) = pool_summary(&self.pool);
+            let _ = write!(out, "],\"utilization\":{}}}", json_f64(utilization));
         }
         out.push_str(",\"rows\":[");
         for (i, row) in self.rows.iter().enumerate() {
@@ -136,10 +161,14 @@ impl CampaignReport {
             if timing {
                 let _ = write!(
                     out,
-                    ",\"runtime_p50\":{},\"runtime_p90\":{},\"runtime_max\":{}",
+                    ",\"runtime_p50\":{},\"runtime_p90\":{},\"runtime_max\":{},\
+                     \"mean_decisions\":{},\"mean_propagations\":{},\"mean_conflicts\":{}",
                     json_f64(row.runtime_p50),
                     json_f64(row.runtime_p90),
                     json_f64(row.runtime_max),
+                    json_f64(row.mean_decisions),
+                    json_f64(row.mean_propagations),
+                    json_f64(row.mean_conflicts),
                 );
             }
             out.push('}');
@@ -291,6 +320,12 @@ mod tests {
             output_error_rate: 0.0,
             measurement: f64::NAN,
             elapsed: Duration::from_millis(1234),
+            solver_stats: gshe_sat::SolverStats {
+                decisions: 40,
+                propagations: 400,
+                conflicts: 4,
+                ..Default::default()
+            },
             error: None,
         };
         CampaignReport::new(
@@ -313,6 +348,37 @@ mod tests {
         assert!(!det.contains("wall_time"));
         assert!(det.contains("\"key_recovery_rate\":1"));
         assert!(det.contains("\"mean_queries\":12"));
+        // Solver and pool diagnostics live strictly on the timing side.
+        assert!(full.contains("\"mean_decisions\":40"));
+        assert!(full.contains("\"mean_propagations\":400"));
+        assert!(full.contains("\"mean_conflicts\":4"));
+        assert!(full.contains("\"pool\":{\"workers\":["));
+        assert!(!det.contains("decisions"));
+        assert!(!det.contains("pool"));
+    }
+
+    #[test]
+    fn pool_stats_render_per_worker_in_timing_json() {
+        let report = sample_report().with_pool_stats(vec![
+            WorkerStats {
+                tasks: 3,
+                steals: 1,
+                busy_ns: 750,
+                idle_ns: 250,
+            },
+            WorkerStats {
+                tasks: 2,
+                steals: 0,
+                busy_ns: 250,
+                idle_ns: 750,
+            },
+        ]);
+        let full = report.to_json();
+        assert!(full.contains(
+            "\"pool\":{\"workers\":[{\"tasks\":3,\"steals\":1,\"busy_ns\":750,\"idle_ns\":250},\
+             {\"tasks\":2,\"steals\":0,\"busy_ns\":250,\"idle_ns\":750}],\"utilization\":0.5}"
+        ));
+        assert!(!report.deterministic_json().contains("pool"));
     }
 
     #[test]

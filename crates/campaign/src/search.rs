@@ -617,6 +617,8 @@ impl<'s> ProfileSearch<'s> {
                     .with_dip_batch(spec.dip_batch);
                     let period = spec.rotation_period;
                     tasks.push(Box::new(move || {
+                        let _span = gshe_obs::span("search.trial");
+                        gshe_obs::count("search.trials", 1);
                         let runner = AttackRunner::with_config(attack, config, oracle_seed);
                         // Build the stack from the candidate's dimensions,
                         // exactly like campaign job materialization: quiet

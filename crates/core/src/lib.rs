@@ -48,6 +48,7 @@ pub use gshe_camo as camo;
 pub use gshe_campaign as campaign;
 pub use gshe_device as device;
 pub use gshe_logic as logic;
+pub use gshe_obs as obs;
 pub use gshe_sat as sat;
 pub use gshe_timing as timing;
 

@@ -34,6 +34,19 @@ pub struct SolverStats {
     pub deleted: u64,
 }
 
+/// Component-wise accumulation, used by the campaign layer to roll many
+/// per-attack stats up into per-cell and per-run aggregates.
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+        self.conflicts += rhs.conflicts;
+        self.restarts += rhs.restarts;
+        self.learnts += rhs.learnts;
+        self.deleted += rhs.deleted;
+    }
+}
+
 /// Resource limits; `None` means unlimited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Budget {
