@@ -48,7 +48,7 @@ use crate::sat_attack::{AttackConfig, AttackOutcome, AttackStatus};
 use gshe_camo::KeyedNetlist;
 use gshe_logic::{PatternBlock, Simulator};
 use gshe_sat::solver::Budget;
-use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver, SolverStats};
+use gshe_sat::{CircuitEncoder, Lit, SearchConfig, SolveResult, Solver, SolverStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -181,6 +181,10 @@ pub fn refine(
         max_conflicts: None,
         max_vars: config.max_vars,
     });
+    solver.set_search_config(SearchConfig {
+        restart: config.restart_mode,
+        ..SearchConfig::default()
+    });
 
     // Key copies first (their variable indices anchor the search), then the
     // circuit copies sharing one set of primary inputs, then the miter(s).
@@ -251,6 +255,11 @@ pub fn refine(
         gshe_obs::count("sat.propagations", stats.propagations);
         gshe_obs::count("sat.conflicts", stats.conflicts);
         gshe_obs::count("sat.learnts", stats.learnts);
+        gshe_obs::count("sat.restarts", stats.restarts);
+        gshe_obs::count("sat.db_gc", stats.db_gcs);
+        if stats.db_gcs > 0 {
+            gshe_obs::record("attack.solver_gc_ns", stats.gc_ns);
+        }
         AttackOutcome {
             status,
             key,

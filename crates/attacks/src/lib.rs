@@ -46,6 +46,7 @@ pub use appsat::{appsat_attack, AppSatConfig};
 pub use dip_engine::{RefinePolicy, DEFAULT_BATCH_WIDTH};
 pub use double_dip::double_dip_attack;
 pub use encode::{assert_valid_key_codes, encode_keyed, encode_keyed_fixed, EncodedCopy};
+pub use gshe_sat::RestartMode;
 pub use metrics::{verify_key, KeyVerification};
 pub use oracle::{NetlistOracle, Oracle, RotatingOracle, StochasticOracle};
 pub use runner::{AttackKind, AttackRunner};

@@ -12,7 +12,7 @@
 use crate::dip_engine::{refine, RefinePolicy};
 use crate::oracle::Oracle;
 use gshe_camo::KeyedNetlist;
-use gshe_sat::SolverStats;
+use gshe_sat::{RestartMode, SolverStats};
 use std::time::Duration;
 
 /// Attack configuration.
@@ -36,6 +36,10 @@ pub struct AttackConfig {
     /// [`crate::dip_engine::DEFAULT_BATCH_WIDTH`] is the recommended
     /// throughput setting.
     pub dip_batch: usize,
+    /// Restart pacing for the shared solver:
+    /// [`RestartMode::LbdEma`] (Glucose-style adaptive, the default) or
+    /// [`RestartMode::Luby`].
+    pub restart_mode: RestartMode,
 }
 
 impl Default for AttackConfig {
@@ -46,6 +50,7 @@ impl Default for AttackConfig {
             conflicts_per_slice: 20_000,
             max_vars: Some(134_217_724),
             dip_batch: 1,
+            restart_mode: RestartMode::default(),
         }
     }
 }
@@ -63,6 +68,14 @@ impl AttackConfig {
     pub fn with_dip_batch(self, width: usize) -> Self {
         AttackConfig {
             dip_batch: width,
+            ..self
+        }
+    }
+
+    /// Returns the configuration with the solver restart mode set.
+    pub fn with_restart_mode(self, restart_mode: RestartMode) -> Self {
+        AttackConfig {
+            restart_mode,
             ..self
         }
     }

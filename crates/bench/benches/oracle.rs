@@ -16,7 +16,7 @@ use gshe_core::campaign::EvalSession;
 use gshe_core::logic::{suites, ErrorProfile, FaultSimulator, Netlist, PatternBlock};
 use gshe_core::prelude::{
     camouflage, sat_attack, select_gates, AttackConfig, AttackKind, AttackStatus, CamoScheme,
-    KeyedNetlist, NetlistOracle, Oracle, StochasticOracle,
+    KeyedNetlist, NetlistOracle, Oracle, RestartMode, StochasticOracle,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -172,6 +172,36 @@ fn bench_batched_dip(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental CDCL core's two restart pacers head to head on the
+/// full batched SAT attack (s38584 scaled 1/40, 5% protection, batch
+/// width 16): Glucose-style LBD-EMA adaptive restarts (the default) vs.
+/// the legacy Luby schedule. Both run the same arena clause database,
+/// tiered DB reduction, and GC; the gap isolates what adaptive restart
+/// pacing contributes on an incremental enumeration workload.
+fn bench_incremental_solver(c: &mut Criterion) {
+    let (nl, keyed) = s38584_keyed_at(0.05);
+    let mut group = c.benchmark_group("incremental_solver_s38584");
+
+    for (label, mode) in [
+        ("lbd_ema", RestartMode::LbdEma),
+        ("luby", RestartMode::Luby),
+    ] {
+        let config = AttackConfig::with_timeout_secs(120)
+            .with_dip_batch(16)
+            .with_restart_mode(mode);
+        group.bench_function(format!("sat_attack_restart_{label}"), |b| {
+            b.iter(|| {
+                let mut oracle = NetlistOracle::new(&nl);
+                let out = sat_attack(black_box(&keyed), &mut oracle, &config);
+                assert_eq!(out.status, AttackStatus::Success, "restart mode {label}");
+                black_box(out.iterations)
+            })
+        });
+    }
+
+    group.finish();
+}
+
 /// One profile-search candidate evaluation (1 trial × SAT at batch width
 /// 16 against the noisy stack) through a **warm** [`EvalSession`] — pool
 /// up, benchmark and scheme materializations memoized — vs. a **cold**
@@ -231,8 +261,19 @@ criterion_group! {
     targets = bench_batched_dip
 }
 criterion_group! {
+    name = incremental_solver;
+    config = Criterion::default().sample_size(5);
+    targets = bench_incremental_solver
+}
+criterion_group! {
     name = obs_overhead;
     config = Criterion::default().sample_size(30);
     targets = bench_obs_overhead
 }
-criterion_main!(oracle, obs_overhead, batched_dip, candidate_score);
+criterion_main!(
+    oracle,
+    obs_overhead,
+    batched_dip,
+    incremental_solver,
+    candidate_score
+);

@@ -326,7 +326,7 @@ fn main() {
         session.cache().evictions(),
     );
     println!(
-        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8} {:>10} {:>9}",
+        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8} {:>10} {:>9} {:>8}",
         "benchmark",
         "scheme",
         "attack",
@@ -342,12 +342,13 @@ fn main() {
         "p50 s",
         "p90 s",
         "decisions",
-        "conflicts"
+        "conflicts",
+        "restarts"
     );
-    println!("{:-<158}", "");
+    println!("{:-<167}", "");
     for row in &report.rows {
         println!(
-            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>8} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2} {:>10.0} {:>9.0}",
+            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>8} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2} {:>10.0} {:>9.0} {:>8.0}",
             row.key.benchmark,
             scheme_name(row.key.scheme),
             row.key.attack.name(),
@@ -376,6 +377,7 @@ fn main() {
             row.runtime_p90,
             row.mean_decisions,
             row.mean_conflicts,
+            row.mean_restarts,
         );
     }
     for row in &report.device {

@@ -65,6 +65,11 @@ pub struct TableRow {
     pub mean_propagations: f64,
     /// Mean CDCL conflicts per trial (timing-side diagnostic only).
     pub mean_conflicts: f64,
+    /// Mean CDCL restarts per trial (timing-side diagnostic only).
+    pub mean_restarts: f64,
+    /// Mean learnt clauses deleted by DB reduction per trial (timing-side
+    /// diagnostic only).
+    pub mean_learnts_deleted: f64,
 }
 
 /// One device-measurement result, passed through (device jobs have no
@@ -191,6 +196,8 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                 mean_decisions: solver.decisions as f64 / n as f64,
                 mean_propagations: solver.propagations as f64 / n as f64,
                 mean_conflicts: solver.conflicts as f64 / n as f64,
+                mean_restarts: solver.restarts as f64 / n as f64,
+                mean_learnts_deleted: solver.deleted as f64 / n as f64,
             }
         })
         .collect();
@@ -263,6 +270,8 @@ mod tests {
                 decisions: 10 * queries,
                 propagations: 100 * queries,
                 conflicts: queries,
+                restarts: 2 * queries,
+                deleted: 3 * queries,
                 ..Default::default()
             },
             error: None,
@@ -290,6 +299,8 @@ mod tests {
         assert!((row.mean_decisions - 350.0 / 3.0).abs() < 1e-12);
         assert!((row.mean_propagations - 3500.0 / 3.0).abs() < 1e-12);
         assert!((row.mean_conflicts - 35.0 / 3.0).abs() < 1e-12);
+        assert!((row.mean_restarts - 70.0 / 3.0).abs() < 1e-12);
+        assert!((row.mean_learnts_deleted - 105.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -162,13 +162,16 @@ impl CampaignReport {
                 let _ = write!(
                     out,
                     ",\"runtime_p50\":{},\"runtime_p90\":{},\"runtime_max\":{},\
-                     \"mean_decisions\":{},\"mean_propagations\":{},\"mean_conflicts\":{}",
+                     \"mean_decisions\":{},\"mean_propagations\":{},\"mean_conflicts\":{},\
+                     \"mean_restarts\":{},\"mean_learnts_deleted\":{}",
                     json_f64(row.runtime_p50),
                     json_f64(row.runtime_p90),
                     json_f64(row.runtime_max),
                     json_f64(row.mean_decisions),
                     json_f64(row.mean_propagations),
                     json_f64(row.mean_conflicts),
+                    json_f64(row.mean_restarts),
+                    json_f64(row.mean_learnts_deleted),
                 );
             }
             out.push('}');
@@ -324,6 +327,8 @@ mod tests {
                 decisions: 40,
                 propagations: 400,
                 conflicts: 4,
+                restarts: 2,
+                deleted: 6,
                 ..Default::default()
             },
             error: None,
@@ -352,8 +357,11 @@ mod tests {
         assert!(full.contains("\"mean_decisions\":40"));
         assert!(full.contains("\"mean_propagations\":400"));
         assert!(full.contains("\"mean_conflicts\":4"));
+        assert!(full.contains("\"mean_restarts\":2"));
+        assert!(full.contains("\"mean_learnts_deleted\":6"));
         assert!(full.contains("\"pool\":{\"workers\":["));
         assert!(!det.contains("decisions"));
+        assert!(!det.contains("restarts"));
         assert!(!det.contains("pool"));
     }
 

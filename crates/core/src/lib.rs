@@ -62,7 +62,8 @@ pub mod prelude {
     };
     pub use gshe_attacks::{
         appsat_attack, double_dip_attack, sat_attack, verify_key, AttackConfig, AttackKind,
-        AttackRunner, AttackStatus, NetlistOracle, Oracle, OracleStack, StochasticOracle,
+        AttackRunner, AttackStatus, NetlistOracle, Oracle, OracleStack, RestartMode,
+        StochasticOracle,
     };
     pub use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
     pub use gshe_campaign::{

@@ -1,10 +1,24 @@
 //! # gshe-sat
 //!
-//! A from-scratch CDCL (conflict-driven clause learning) SAT solver with
-//! watched literals, 1UIP learning with clause minimization, EVSIDS
-//! branching, phase saving, Luby restarts, LBD-based learnt-clause
-//! reduction, incremental clause addition, and solving under assumptions —
-//! the substrate under the paper's SAT attacks (refs. 8, 12, 37 of the paper).
+//! A from-scratch modern CDCL (conflict-driven clause learning) SAT
+//! solver — the substrate under the paper's SAT attacks (refs. 8, 12, 37
+//! of the paper). Features:
+//!
+//! - **Arena clause database**: clauses live in one flat `u32` buffer
+//!   (header word + inline literals, [`arena::ClauseRef`] offsets) with a
+//!   real garbage collector that compacts the arena, rebuilds watch
+//!   lists, and remaps reason references — memory stays bounded across
+//!   long incremental sessions.
+//! - **Propagation**: two watched literals with a blocker-literal fast
+//!   path, plus dedicated binary-clause watchers that carry the implied
+//!   literal inline so binary propagation never touches the arena.
+//! - **Search**: 1UIP learning with clause minimization, EVSIDS
+//!   branching, phase saving, Glucose-style adaptive restarts (fast/slow
+//!   LBD averages with trail-depth restart blocking; Luby as a fallback
+//!   mode), on-the-fly LBD updates, and LBD-tiered learnt-DB reduction on
+//!   a geometric schedule — see [`solver::SearchConfig`].
+//! - **Incrementality**: clause addition between solves, solving under
+//!   assumptions, and model-blocking enumeration primitives.
 //!
 //! The solver also enforces an explicit resource budget, mirroring the
 //! scalability failures the paper observes ("internal error in 'lglib.c':
@@ -25,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cnf;
 pub mod dimacs;
 pub mod heap;
@@ -34,5 +49,5 @@ pub mod tseitin;
 
 pub use cnf::{ClauseSink, CnfFormula};
 pub use lit::{Lit, Var};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{RestartMode, SearchConfig, SolveResult, Solver, SolverStats};
 pub use tseitin::CircuitEncoder;

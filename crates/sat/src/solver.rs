@@ -1,5 +1,31 @@
 //! The CDCL solver.
+//!
+//! The engine room is a modern CDCL core:
+//!
+//! - **Clause storage** is the flat [`ClauseArena`] (see [`crate::arena`]):
+//!   clauses are contiguous `u32` runs addressed by [`ClauseRef`] offsets,
+//!   and a real garbage collector ([`Solver::garbage_collect`]) compacts
+//!   the arena, rebuilds every watch list, and remaps `reason` references
+//!   once deleted clauses waste enough space.
+//! - **Binary clauses** live in dedicated watcher lists that carry the
+//!   implied literal inline, so binary propagation never touches the
+//!   arena; longer clauses use two watched literals with a blocker-literal
+//!   fast path.
+//! - **Restarts** default to Glucose-style adaptive pacing
+//!   ([`RestartMode::LbdEma`]): restart when the recent-LBD average runs
+//!   hot against the lifetime average, blocked while the trail is much
+//!   deeper than usual (the solver is probably closing in on a model).
+//!   [`RestartMode::Luby`] keeps the classic Luby schedule as a fallback.
+//! - **Learnt-DB reduction** follows a geometric schedule with LBD-tiered
+//!   retention: core clauses (LBD ≤ 2) and binaries are permanent, mid
+//!   clauses recently improved during conflict analysis get a one-round
+//!   reprieve, and the worse half of the rest is deleted. A clause that is
+//!   the reason for a current assignment is detected with an O(1) lookup.
+//!
+//! All knobs live in [`SearchConfig`]; the public solving API is
+//! incremental and assumption-based.
 
+use crate::arena::{ClauseArena, ClauseRef};
 use crate::cnf::ClauseSink;
 use crate::heap::OrderHeap;
 use crate::lit::{LBool, Lit, Var};
@@ -32,6 +58,10 @@ pub struct SolverStats {
     pub learnts: u64,
     /// Learnt clauses deleted by DB reduction.
     pub deleted: u64,
+    /// Arena garbage collections performed.
+    pub db_gcs: u64,
+    /// Total nanoseconds spent compacting the arena.
+    pub gc_ns: u64,
 }
 
 /// Component-wise accumulation, used by the campaign layer to roll many
@@ -44,6 +74,8 @@ impl std::ops::AddAssign for SolverStats {
         self.restarts += rhs.restarts;
         self.learnts += rhs.learnts;
         self.deleted += rhs.deleted;
+        self.db_gcs += rhs.db_gcs;
+        self.gc_ns += rhs.gc_ns;
     }
 }
 
@@ -57,30 +89,127 @@ pub struct Budget {
     pub max_vars: Option<usize>,
 }
 
-const CLAUSE_NONE: u32 = u32::MAX;
-
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    lbd: u32,
-    deleted: bool,
+/// Restart pacing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartMode {
+    /// Glucose-style adaptive restarts: fire when the windowed average of
+    /// recent learnt-clause LBDs runs hot against the lifetime average,
+    /// blocked while the trail is unusually deep. The default.
+    #[default]
+    LbdEma,
+    /// The classic Luby schedule (unit 100 conflicts).
+    Luby,
 }
 
+/// Search-heuristic knobs; [`SearchConfig::default`] is the tuned setting
+/// every attack runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Restart pacing.
+    pub restart: RestartMode,
+    /// Learnt clauses triggering the first DB reduction.
+    pub reduce_base: usize,
+    /// Percent growth of the reduction trigger after each reduction
+    /// (geometric schedule).
+    pub reduce_growth_pct: u32,
+    /// Garbage-collect the arena when at least this percentage of it is
+    /// wasted by deleted clauses.
+    pub gc_wasted_pct: u32,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            restart: RestartMode::LbdEma,
+            reduce_base: 8192,
+            reduce_growth_pct: 10,
+            gc_wasted_pct: 25,
+        }
+    }
+}
+
+/// Watcher for a clause of three or more literals. `blocker` is some other
+/// literal of the clause; if it is already true the clause is satisfied
+/// and the arena is never touched.
 #[derive(Debug, Clone, Copy)]
 struct Watch {
-    clause: u32,
+    clause: ClauseRef,
     blocker: Lit,
+}
+
+/// Watcher for a binary clause: `other` is the remaining literal, so
+/// propagation resolves entirely from the watcher itself.
+#[derive(Debug, Clone, Copy)]
+struct BinWatch {
+    other: Lit,
+    clause: ClauseRef,
+}
+
+/// Fixed-capacity ring of recent values with a running sum (the Glucose
+/// `bqueue`), driving the adaptive-restart and restart-blocking tests.
+#[derive(Debug, Clone)]
+struct BoundedQueue {
+    buf: Vec<u64>,
+    cap: usize,
+    head: usize,
+    sum: u64,
+}
+
+impl BoundedQueue {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            sum: 0,
+        }
+    }
+
+    fn push(&mut self, v: u64) {
+        if self.buf.len() == self.cap {
+            self.sum -= self.buf[self.head];
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+        } else {
+            self.buf.push(v);
+        }
+        self.sum += v;
+    }
+
+    fn full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.sum = 0;
+    }
 }
 
 /// A CDCL SAT solver (see the crate docs for the feature list).
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    arena: ClauseArena,
+    /// Live problem clauses (length ≥ 2), in allocation order.
+    clauses: Vec<ClauseRef>,
+    /// Live learnt clauses, in allocation order.
+    learnts: Vec<ClauseRef>,
+    /// Per-literal watchers for clauses of length ≥ 3.
     watches: Vec<Vec<Watch>>,
+    /// Per-literal watchers for binary clauses.
+    bwatches: Vec<Vec<BinWatch>>,
     assign: Vec<LBool>,
     level: Vec<u32>,
-    reason: Vec<u32>,
+    reason: Vec<ClauseRef>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -89,12 +218,24 @@ pub struct Solver {
     heap: OrderHeap,
     phase: Vec<bool>,
     seen: Vec<bool>,
+    /// Level-stamp scratch for O(clause) LBD recomputation, indexed by
+    /// decision level (entry 0 is unused padding).
+    lbd_stamp: Vec<u64>,
+    lbd_stamp_gen: u64,
     ok: bool,
     model: Vec<bool>,
     stats: SolverStats,
     budget: Budget,
-    learnt_count: usize,
-    max_learnts: usize,
+    config: SearchConfig,
+    /// Learnt clauses triggering the next DB reduction (grows
+    /// geometrically from `config.reduce_base`).
+    reduce_limit: usize,
+    /// Recent learnt-clause LBDs (cleared on restart / restart blocking).
+    lbd_queue: BoundedQueue,
+    /// Recent trail depths at conflict time (restart blocking).
+    trail_queue: BoundedQueue,
+    /// Lifetime sum of learnt-clause LBDs (the "slow" average numerator).
+    global_lbd_sum: u64,
     /// Conflict counter since last restart.
     conflicts_since_restart: u64,
     luby_index: u64,
@@ -109,13 +250,28 @@ impl Default for Solver {
 const VAR_DECAY: f64 = 1.0 / 0.95;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_UNIT: u64 = 100;
+/// Window of recent LBDs for the "fast" restart average.
+const LBD_QUEUE_LEN: usize = 50;
+/// Window of recent trail depths for restart blocking.
+const TRAIL_QUEUE_LEN: usize = 5000;
+/// Restart blocking only kicks in after this many lifetime conflicts.
+const RESTART_BLOCK_MIN_CONFLICTS: u64 = 10_000;
+/// Core tier: learnt clauses at or below this LBD are never deleted.
+const CORE_LBD: u32 = 2;
+/// Mid tier: clauses at or below this LBD whose LBD just improved get a
+/// one-round reduction reprieve.
+const MID_LBD: u32 = 6;
 
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
+        let config = SearchConfig::default();
         Solver {
+            arena: ClauseArena::new(),
             clauses: Vec::new(),
+            learnts: Vec::new(),
             watches: Vec::new(),
+            bwatches: Vec::new(),
             assign: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -127,12 +283,17 @@ impl Solver {
             heap: OrderHeap::new(),
             phase: Vec::new(),
             seen: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_stamp_gen: 0,
             ok: true,
             model: Vec::new(),
             stats: SolverStats::default(),
             budget: Budget::default(),
-            learnt_count: 0,
-            max_learnts: 8192,
+            config,
+            reduce_limit: config.reduce_base,
+            lbd_queue: BoundedQueue::new(LBD_QUEUE_LEN),
+            trail_queue: BoundedQueue::new(TRAIL_QUEUE_LEN),
+            global_lbd_sum: 0,
             conflicts_since_restart: 0,
             luby_index: 0,
         }
@@ -143,9 +304,32 @@ impl Solver {
         self.budget = budget;
     }
 
+    /// Sets the search-heuristic knobs. Resets the reduction trigger to
+    /// the new base; safe to call between `solve` calls.
+    pub fn set_search_config(&mut self, config: SearchConfig) {
+        self.config = config;
+        self.reduce_limit = config.reduce_base;
+    }
+
+    /// The current search-heuristic knobs.
+    pub fn search_config(&self) -> SearchConfig {
+        self.config
+    }
+
     /// Search statistics so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Bytes currently held by the clause arena (live + not-yet-collected
+    /// deleted clauses).
+    pub fn db_bytes(&self) -> usize {
+        self.arena.used_words() * std::mem::size_of::<u32>()
+    }
+
+    /// Bytes of the arena wasted by deleted clauses awaiting collection.
+    pub fn db_wasted_bytes(&self) -> usize {
+        self.arena.wasted_words() * std::mem::size_of::<u32>()
     }
 
     /// Number of variables allocated.
@@ -155,7 +339,7 @@ impl Solver {
 
     /// Number of clauses (problem + retained learnts, minus deleted).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted).count()
+        self.clauses.len() + self.learnts.len()
     }
 
     /// Allocates a fresh variable.
@@ -178,12 +362,15 @@ impl Solver {
         let v = Var(self.assign.len() as u32);
         self.assign.push(LBool::Undef);
         self.level.push(0);
-        self.reason.push(CLAUSE_NONE);
+        self.reason.push(ClauseRef::NONE);
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
+        self.lbd_stamp.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bwatches.push(Vec::new());
+        self.bwatches.push(Vec::new());
         self.heap.insert(v, &self.activity);
         Some(v)
     }
@@ -216,7 +403,7 @@ impl Solver {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) -> bool {
         match self.value_lit(l) {
             LBool::True => true,
             LBool::False => false,
@@ -241,6 +428,11 @@ impl Solver {
             return false;
         }
         // Normalize: sort, dedupe, drop false literals, detect tautology.
+        // After the sort+dedup, the two polarities of a variable are
+        // adjacent (the literal code is var<<1|sign), so the adjacent
+        // complementary-literal check below catches every tautology no
+        // matter how the input interleaved duplicates and complements —
+        // pinned by `tautology_detection_survives_interleaving`.
         let mut c: Vec<Lit> = lits.to_vec();
         c.sort_unstable();
         c.dedup();
@@ -261,18 +453,18 @@ impl Solver {
                 false
             }
             1 => {
-                if !self.enqueue(out[0], CLAUSE_NONE) {
+                if !self.enqueue(out[0], ClauseRef::NONE) {
                     self.ok = false;
                     return false;
                 }
-                if self.propagate() != CLAUSE_NONE {
+                if !self.propagate().is_none() {
                     self.ok = false;
                     return false;
                 }
                 true
             }
             _ => {
-                self.attach_clause(out, false, 0);
+                self.attach_clause(&out, false, 0);
                 true
             }
         }
@@ -318,104 +510,153 @@ impl Solver {
         self.add_clause(&clause)
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let id = self.clauses.len() as u32;
-        let w0 = Watch {
-            clause: id,
-            blocker: lits[1],
-        };
-        let w1 = Watch {
-            clause: id,
-            blocker: lits[0],
-        };
-        self.watches[(!lits[0]).code()].push(w0);
-        self.watches[(!lits[1]).code()].push(w1);
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            lbd,
-            deleted: false,
-        });
+        let c = self.arena.alloc(lits, learnt, lbd);
+        self.attach_watches(c);
         if learnt {
-            self.learnt_count += 1;
-            self.stats.learnts = self.learnt_count as u64;
+            self.learnts.push(c);
+            self.stats.learnts = self.learnts.len() as u64;
+        } else {
+            self.clauses.push(c);
         }
-        id
+        c
     }
 
-    /// Boolean constraint propagation. Returns the conflicting clause id or
-    /// `CLAUSE_NONE`.
-    fn propagate(&mut self) -> u32 {
+    /// Installs the watchers for `c` on its first two literals — the
+    /// dedicated binary lists for two-literal clauses, the blocker-carrying
+    /// long lists otherwise.
+    fn attach_watches(&mut self, c: ClauseRef) {
+        let l0 = self.arena.lit(c, 0);
+        let l1 = self.arena.lit(c, 1);
+        if self.arena.len(c) == 2 {
+            self.bwatches[(!l0).code()].push(BinWatch {
+                other: l1,
+                clause: c,
+            });
+            self.bwatches[(!l1).code()].push(BinWatch {
+                other: l0,
+                clause: c,
+            });
+        } else {
+            self.watches[(!l0).code()].push(Watch {
+                clause: c,
+                blocker: l1,
+            });
+            self.watches[(!l1).code()].push(Watch {
+                clause: c,
+                blocker: l0,
+            });
+        }
+    }
+
+    /// Boolean constraint propagation. Returns the conflicting clause or
+    /// [`ClauseRef::NONE`].
+    fn propagate(&mut self) -> ClauseRef {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
-            // Clauses watching ¬p (now false) live in watches[p].
             let false_lit = !p;
-            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
+
+            // Binary clauses watching ¬p: the watcher itself carries the
+            // implied literal, so this loop never touches the arena.
+            let n_bin = self.bwatches[p.code()].len();
+            for i in 0..n_bin {
+                let w = self.bwatches[p.code()][i];
+                match self.value_lit(w.other) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.qhead = self.trail.len();
+                        return w.clause;
+                    }
+                    LBool::Undef => {
+                        let _ = self.enqueue(w.other, w.clause);
+                    }
+                }
+            }
+
+            // Longer clauses: two watched literals with in-place watcher
+            // compaction (kept watchers slide down over dropped ones).
+            let mut list = std::mem::take(&mut self.watches[p.code()]);
             let mut i = 0usize;
-            let mut conflict = CLAUSE_NONE;
-            while i < watch_list.len() {
-                let w = watch_list[i];
+            let mut j = 0usize;
+            let mut conflict = ClauseRef::NONE;
+            while i < list.len() {
+                let w = list[i];
                 // Quick satisfied check via the blocker literal.
                 if self.value_lit(w.blocker) == LBool::True {
+                    list[j] = w;
                     i += 1;
+                    j += 1;
                     continue;
                 }
-                let cid = w.clause as usize;
-                if self.clauses[cid].deleted {
-                    watch_list.swap_remove(i);
+                let c = w.clause;
+                if self.arena.is_deleted(c) {
+                    i += 1; // drop the watcher of a deleted clause
                     continue;
                 }
                 // Make sure the false literal is at position 1.
-                {
-                    let lits = &mut self.clauses[cid].lits;
-                    if lits[0] == false_lit {
-                        lits.swap(0, 1);
-                    }
+                if self.arena.lit(c, 0) == false_lit {
+                    self.arena.swap_lits(c, 0, 1);
                 }
-                let first = self.clauses[cid].lits[0];
+                debug_assert_eq!(self.arena.lit(c, 1), false_lit);
+                let first = self.arena.lit(c, 0);
                 if first != w.blocker && self.value_lit(first) == LBool::True {
-                    watch_list[i].blocker = first;
+                    list[j] = Watch {
+                        clause: c,
+                        blocker: first,
+                    };
                     i += 1;
+                    j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
+                let len = self.arena.len(c);
                 let mut found = false;
-                for k in 2..self.clauses[cid].lits.len() {
-                    let l = self.clauses[cid].lits[k];
+                for k in 2..len {
+                    let l = self.arena.lit(c, k);
                     if self.value_lit(l) != LBool::False {
-                        self.clauses[cid].lits.swap(1, k);
+                        self.arena.swap_lits(c, 1, k);
+                        // l ≠ false_lit (it is not false), so this never
+                        // pushes onto the list taken above.
                         self.watches[(!l).code()].push(Watch {
-                            clause: w.clause,
+                            clause: c,
                             blocker: first,
                         });
-                        watch_list.swap_remove(i);
                         found = true;
                         break;
                     }
                 }
                 if found {
+                    i += 1; // watcher moved to another literal
                     continue;
                 }
-                // Clause is unit or conflicting.
-                if self.value_lit(first) == LBool::False {
-                    conflict = w.clause;
-                    self.qhead = self.trail.len();
-                    i += 1;
-                    // Keep remaining watches intact.
-                    continue;
-                }
-                let _ = self.enqueue(first, w.clause);
+                // Clause is unit or conflicting; the watcher stays.
+                list[j] = w;
                 i += 1;
+                j += 1;
+                if self.value_lit(first) == LBool::False {
+                    conflict = c;
+                    self.qhead = self.trail.len();
+                    // Keep the remaining watchers intact.
+                    while i < list.len() {
+                        list[j] = list[i];
+                        i += 1;
+                        j += 1;
+                    }
+                    break;
+                }
+                let _ = self.enqueue(first, c);
             }
-            self.watches[p.code()].append(&mut watch_list);
-            if conflict != CLAUSE_NONE {
+            list.truncate(j);
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = list;
+            if !conflict.is_none() {
                 return conflict;
             }
         }
-        CLAUSE_NONE
+        ClauseRef::NONE
     }
 
     fn bump_var(&mut self, v: Var) {
@@ -430,8 +671,24 @@ impl Solver {
         self.heap.decrease_key(v, &self.activity);
     }
 
+    /// Recomputes the LBD of `c` under the current assignment, via a
+    /// generation-stamped level scratch (O(|c|), no allocation).
+    fn clause_lbd(&mut self, c: ClauseRef) -> u32 {
+        self.lbd_stamp_gen += 1;
+        let gen = self.lbd_stamp_gen;
+        let mut n = 0u32;
+        for k in 0..self.arena.len(c) {
+            let lvl = self.level[self.arena.lit(c, k).var().index()] as usize;
+            if lvl != 0 && self.lbd_stamp[lvl] != gen {
+                self.lbd_stamp[lvl] = gen;
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// 1UIP conflict analysis; returns (learnt clause, backtrack level, lbd).
-    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32, u32) {
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
@@ -440,12 +697,28 @@ impl Solver {
         let current = self.decision_level();
 
         loop {
-            debug_assert_ne!(confl, CLAUSE_NONE, "reason must exist below the UIP");
+            debug_assert!(!confl.is_none(), "reason must exist below the UIP");
+            // On-the-fly LBD: a learnt clause pulled into analysis gets its
+            // glue refreshed; an improvement into the mid tier earns a
+            // one-round reduction reprieve.
+            if self.arena.is_learnt(confl) && self.arena.len(confl) > 2 {
+                let lbd = self.clause_lbd(confl);
+                if lbd < self.arena.lbd(confl) {
+                    self.arena.set_lbd(confl, lbd);
+                    if lbd <= MID_LBD {
+                        self.arena.set_protected(confl, true);
+                    }
+                }
+            }
             // Iterate literals of the reason clause (skipping the
             // propagated literal itself).
-            let start = usize::from(p.is_some());
-            for k in start..self.clauses[confl as usize].lits.len() {
-                let q = self.clauses[confl as usize].lits[k];
+            for k in 0..self.arena.len(confl) {
+                let q = self.arena.lit(confl, k);
+                if let Some(p) = p {
+                    if q.var() == p.var() {
+                        continue;
+                    }
+                }
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -525,10 +798,11 @@ impl Solver {
     fn literal_is_redundant(&self, l: Lit) -> bool {
         let v = l.var();
         let r = self.reason[v.index()];
-        if r == CLAUSE_NONE {
+        if r.is_none() {
             return false;
         }
-        self.clauses[r as usize].lits.iter().all(|&q| {
+        (0..self.arena.len(r)).all(|k| {
+            let q = self.arena.lit(r, k);
             q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
         })
     }
@@ -541,7 +815,7 @@ impl Solver {
         for i in (bound..self.trail.len()).rev() {
             let v = self.trail[i].var();
             self.assign[v.index()] = LBool::Undef;
-            self.reason[v.index()] = CLAUSE_NONE;
+            self.reason[v.index()] = ClauseRef::NONE;
             self.heap.insert(v, &self.activity);
         }
         self.trail.truncate(bound);
@@ -558,29 +832,140 @@ impl Solver {
         None
     }
 
+    /// `true` if `c` is the reason for a current assignment — an O(1)
+    /// check: a reason clause always carries its implied literal at
+    /// position 0, so it suffices to look that variable's reason up.
+    fn locked(&self, c: ClauseRef) -> bool {
+        let first = self.arena.lit(c, 0);
+        self.value_lit(first) == LBool::True && self.reason[first.var().index()] == c
+    }
+
+    /// Learnt-DB reduction with LBD-tiered retention: binaries and core
+    /// clauses (LBD ≤ [`CORE_LBD`]) are permanent; mid-tier clauses
+    /// (LBD ≤ [`MID_LBD`]) whose glue just improved survive one round;
+    /// the worse half of the remaining candidates (by LBD, ties by
+    /// length, then age) is deleted. Reason-locked clauses are skipped via
+    /// the O(1) [`Solver::locked`] lookup and counted only when actually
+    /// deleted, so no double counting across passes.
     fn reduce_db(&mut self) {
-        // Keep binary and low-LBD clauses; delete the worse half of the
-        // rest (by LBD, ties by length).
-        let mut candidates: Vec<(u32, u32, usize)> = self
-            .clauses
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2 && c.lbd > 3)
-            .map(|(i, c)| (c.lbd, i as u32, c.lits.len()))
-            .collect();
-        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.2.cmp(&a.2)));
-        let locked: Vec<u32> = self.reason.clone();
-        let mut deleted = 0u64;
-        for &(_, id, _) in candidates.iter().take(candidates.len() / 2) {
-            if locked.contains(&id) {
-                continue; // clause is a reason for a current assignment
+        let mut candidates: Vec<(u32, u32, ClauseRef)> = Vec::new();
+        for idx in 0..self.learnts.len() {
+            let c = self.learnts[idx];
+            debug_assert!(!self.arena.is_deleted(c));
+            let len = self.arena.len(c);
+            let lbd = self.arena.lbd(c);
+            if len <= 2 || lbd <= CORE_LBD {
+                continue;
             }
-            self.clauses[id as usize].deleted = true;
-            self.learnt_count -= 1;
-            deleted += 1;
+            if self.arena.protected(c) {
+                // The reprieve is spent either way; it only saves the
+                // clause while its glue still sits in the mid tier.
+                self.arena.set_protected(c, false);
+                if lbd <= MID_LBD {
+                    continue;
+                }
+            }
+            if self.locked(c) {
+                continue;
+            }
+            candidates.push((lbd, len as u32, c));
         }
-        self.stats.deleted += deleted;
-        self.stats.learnts = self.learnt_count as u64;
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+        let doomed = candidates.len() / 2;
+        for &(_, _, c) in candidates.iter().take(doomed) {
+            self.arena.delete(c);
+        }
+        let arena = &self.arena;
+        self.learnts.retain(|&c| !arena.is_deleted(c));
+        self.stats.deleted += doomed as u64;
+        self.stats.learnts = self.learnts.len() as u64;
+        // Geometric schedule: each reduction raises the next trigger.
+        self.reduce_limit += self.reduce_limit * self.config.reduce_growth_pct as usize / 100;
+        self.maybe_gc();
+    }
+
+    fn maybe_gc(&mut self) {
+        let used = self.arena.used_words();
+        if used > 0 && self.arena.wasted_words() * 100 >= used * self.config.gc_wasted_pct as usize
+        {
+            self.garbage_collect();
+        }
+    }
+
+    /// The arena garbage collector: compacts the clause buffer, remaps the
+    /// live clause lists and every `reason` reference, and rebuilds all
+    /// watch lists from scratch. Deleted clauses are never reasons (reason
+    /// clauses are `locked` and skipped by reduction), so every held
+    /// reference survives the compaction by construction.
+    fn garbage_collect(&mut self) {
+        let t = std::time::Instant::now();
+        let tables = self.arena.compact();
+        for c in self.clauses.iter_mut().chain(self.learnts.iter_mut()) {
+            *c = ClauseArena::remap(&tables, *c);
+        }
+        for r in self.reason.iter_mut() {
+            if !r.is_none() {
+                *r = ClauseArena::remap(&tables, *r);
+            }
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for w in &mut self.bwatches {
+            w.clear();
+        }
+        for idx in 0..self.clauses.len() {
+            let c = self.clauses[idx];
+            self.attach_watches(c);
+        }
+        for idx in 0..self.learnts.len() {
+            let c = self.learnts[idx];
+            self.attach_watches(c);
+        }
+        self.stats.db_gcs += 1;
+        self.stats.gc_ns += t.elapsed().as_nanos() as u64;
+        debug_assert!(self.watches_are_consistent());
+    }
+
+    /// Debug-only watch-list integrity check: every live clause is watched
+    /// exactly on the negations of its first two literals, in the list
+    /// matching its length class, and live clauses hold exactly two
+    /// watcher entries. (Watchers of deleted clauses may linger until
+    /// propagation or GC drops them — they are not counted.)
+    #[allow(dead_code)] // referenced from debug_assert! only
+    fn watches_are_consistent(&self) -> bool {
+        let mut expected = 0usize;
+        for &c in self.clauses.iter().chain(self.learnts.iter()) {
+            if self.arena.is_deleted(c) {
+                return false;
+            }
+            expected += 2;
+            let l0 = self.arena.lit(c, 0);
+            let l1 = self.arena.lit(c, 1);
+            let watched = |lit: Lit| {
+                if self.arena.len(c) == 2 {
+                    self.bwatches[(!lit).code()].iter().any(|w| w.clause == c)
+                } else {
+                    self.watches[(!lit).code()].iter().any(|w| w.clause == c)
+                }
+            };
+            if !watched(l0) || !watched(l1) {
+                return false;
+            }
+        }
+        let arena = &self.arena;
+        let live = |c: ClauseRef| !arena.is_deleted(c);
+        let actual: usize = self
+            .watches
+            .iter()
+            .map(|l| l.iter().filter(|w| live(w.clause)).count())
+            .sum::<usize>()
+            + self
+                .bwatches
+                .iter()
+                .map(|l| l.iter().filter(|w| live(w.clause)).count())
+                .sum::<usize>();
+        expected == actual
     }
 
     /// The Luby restart sequence 1,1,2,1,1,2,4,… (0-indexed).
@@ -618,7 +1003,7 @@ impl Solver {
     }
 
     fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
-        if self.propagate() != CLAUSE_NONE {
+        if !self.propagate().is_none() {
             self.ok = false;
             return SolveResult::Unsat;
         }
@@ -628,17 +1013,30 @@ impl Solver {
 
         loop {
             let conflict = self.propagate();
-            if conflict != CLAUSE_NONE {
+            if !conflict.is_none() {
                 self.stats.conflicts += 1;
                 self.conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SolveResult::Unsat;
                 }
+                // Restart blocking (Glucose): an unusually deep trail means
+                // the solver may be closing in on a model — hold restarts
+                // by draining the fast-average window.
+                self.trail_queue.push(self.trail.len() as u64);
+                if self.stats.conflicts > RESTART_BLOCK_MIN_CONFLICTS
+                    && self.trail_queue.full()
+                    && (self.trail.len() as u64) * (self.trail_queue.len() as u64) * 5
+                        > self.trail_queue.sum() * 7
+                {
+                    self.lbd_queue.clear();
+                }
                 // Conflicts under assumption levels make the assumption set
                 // unsatisfiable once analysis would backtrack above them —
                 // handled below by clamping.
                 let (learnt, bt, lbd) = self.analyze(conflict);
+                self.lbd_queue.push(lbd as u64);
+                self.global_lbd_sum += lbd as u64;
                 let assumed = (assumptions.len() as u32).min(self.decision_level());
                 if bt < assumed {
                     // The learnt clause flips something at/above an
@@ -650,13 +1048,13 @@ impl Solver {
                     self.cancel_until(bt);
                 }
                 if learnt.len() == 1 {
-                    if !self.enqueue(learnt[0], CLAUSE_NONE) {
+                    if !self.enqueue(learnt[0], ClauseRef::NONE) {
                         self.ok = false;
                         return SolveResult::Unsat;
                     }
                 } else {
-                    let id = self.attach_clause(learnt.clone(), true, lbd);
-                    let _ = self.enqueue(learnt[0], id);
+                    let c = self.attach_clause(&learnt, true, lbd);
+                    let _ = self.enqueue(learnt[0], c);
                 }
                 self.var_inc *= VAR_DECAY;
                 if let Some(max) = self.budget.max_conflicts {
@@ -664,16 +1062,31 @@ impl Solver {
                         return SolveResult::Unknown;
                     }
                 }
-                if self.learnt_count > self.max_learnts {
+                if self.learnts.len() >= self.reduce_limit {
                     self.reduce_db();
                 }
-                if self.conflicts_since_restart >= restart_budget {
+                let restart = match self.config.restart {
+                    RestartMode::Luby => self.conflicts_since_restart >= restart_budget,
+                    // Fast (windowed) LBD average running 25% hot against
+                    // the lifetime average: the search degraded, restart.
+                    RestartMode::LbdEma => {
+                        self.lbd_queue.full()
+                            && self.lbd_queue.sum() * 4 * self.stats.conflicts
+                                > self.global_lbd_sum * 5 * self.lbd_queue.len() as u64
+                    }
+                };
+                if restart {
                     // Restart: keep assumptions by only backtracking to the
                     // assumption boundary.
                     self.stats.restarts += 1;
-                    self.luby_index += 1;
                     self.conflicts_since_restart = 0;
-                    restart_budget = RESTART_UNIT * Self::luby(self.luby_index);
+                    match self.config.restart {
+                        RestartMode::Luby => {
+                            self.luby_index += 1;
+                            restart_budget = RESTART_UNIT * Self::luby(self.luby_index);
+                        }
+                        RestartMode::LbdEma => self.lbd_queue.clear(),
+                    }
                     let keep = (assumptions.len() as u32).min(self.decision_level());
                     self.cancel_until(keep);
                 }
@@ -693,7 +1106,7 @@ impl Solver {
                     LBool::False => return SolveResult::Unsat,
                     LBool::Undef => {
                         self.trail_lim.push(self.trail.len());
-                        let _ = self.enqueue(a, CLAUSE_NONE);
+                        let _ = self.enqueue(a, ClauseRef::NONE);
                     }
                 }
                 continue;
@@ -712,7 +1125,7 @@ impl Solver {
                     self.stats.decisions += 1;
                     self.trail_lim.push(self.trail.len());
                     let lit = Lit::with_polarity(v, self.phase[v.index()]);
-                    let _ = self.enqueue(lit, CLAUSE_NONE);
+                    let _ = self.enqueue(lit, ClauseRef::NONE);
                 }
             }
         }
@@ -736,6 +1149,32 @@ mod tests {
 
     fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
         (0..n).map(|_| Lit::pos(s.new_var())).collect()
+    }
+
+    /// A tiny schedule that forces reduction and GC on small instances.
+    fn tight_config(restart: RestartMode) -> SearchConfig {
+        SearchConfig {
+            restart,
+            reduce_base: 8,
+            reduce_growth_pct: 10,
+            gc_wasted_pct: 10,
+        }
+    }
+
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let p: Vec<Vec<Lit>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
     }
 
     #[test]
@@ -844,23 +1283,29 @@ mod tests {
     }
 
     #[test]
+    fn tautology_detection_survives_interleaving() {
+        // The tautology check runs post-sort, where the two polarities of
+        // a variable land adjacent — so arbitrarily interleaved duplicates
+        // and complements must still be caught and add no clause.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let before = s.num_clauses();
+        assert!(s.add_clause(&[v[0], v[1], v[0], !v[0], v[2]]));
+        assert!(s.add_clause(&[v[2], v[1], !v[1], v[2], v[1]]));
+        assert!(s.add_clause(&[!v[2], v[0], v[1], v[2]]));
+        assert_eq!(s.num_clauses(), before, "tautologies must not attach");
+        // A mere duplicate is not a tautology: it dedupes and attaches.
+        assert!(s.add_clause(&[v[0], v[1], v[0]]));
+        assert_eq!(s.num_clauses(), before + 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_lit(v[0]) || s.model_lit(v[1]));
+    }
+
+    #[test]
     fn pigeonhole_3_into_2_is_unsat() {
         // PHP(3,2): classic small UNSAT instance requiring real search.
         let mut s = Solver::new();
-        // p[i][j]: pigeon i in hole j.
-        let p: Vec<Vec<Lit>> = (0..3)
-            .map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect())
-            .collect();
-        for row in &p {
-            s.add_clause(row); // every pigeon somewhere
-        }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 3, 2);
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
@@ -922,20 +1367,7 @@ mod tests {
     fn conflict_budget_returns_unknown() {
         // A hard instance (PHP 7 into 6) with a 1-conflict budget.
         let mut s = Solver::new();
-        let n = 7;
-        let p: Vec<Vec<Lit>> = (0..n)
-            .map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect())
-            .collect();
-        for row in &p {
-            s.add_clause(row);
-        }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 7, 6);
         s.set_budget(Budget {
             max_conflicts: Some(1),
             max_vars: None,
@@ -992,6 +1424,52 @@ mod tests {
         s.add_clause(&[v[2], v[3]]);
         let _ = s.solve();
         assert!(s.stats().decisions > 0 || s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn stats_invariants_hold_through_reduction_and_gc() {
+        // A hard instance on a tiny schedule so reduction, the reprieve
+        // path, and GC all fire repeatedly — then the counters must still
+        // describe reality: `learnts` is the live list, every live learnt
+        // is live in the arena, and `deleted` matches the GC-visible
+        // history (each deletion counted exactly once even when locked
+        // clauses were skipped on earlier passes).
+        for restart in [RestartMode::LbdEma, RestartMode::Luby] {
+            let mut s = Solver::new();
+            s.set_search_config(tight_config(restart));
+            pigeonhole(&mut s, 8, 7);
+            assert_eq!(s.solve(), SolveResult::Unsat, "{restart:?}");
+            let st = s.stats();
+            assert_eq!(st.learnts, s.learnts.len() as u64, "{restart:?}");
+            assert!(
+                s.learnts.iter().all(|&c| !s.arena.is_deleted(c)),
+                "{restart:?}: live list holds a deleted clause"
+            );
+            assert!(st.deleted > 0, "{restart:?}: reduction never fired");
+            assert!(st.restarts > 0, "{restart:?}: restarts never fired");
+            assert!(st.db_gcs > 0, "{restart:?}: GC never fired");
+            assert!(
+                s.db_wasted_bytes() * 100
+                    < s.db_bytes().max(1) * (s.config.gc_wasted_pct as usize + 100),
+                "{restart:?}: wasted space runs past the GC trigger"
+            );
+            assert!(s.watches_are_consistent(), "{restart:?}");
+        }
+    }
+
+    #[test]
+    fn restart_modes_agree_on_satisfiability() {
+        for (pigeons, holes, expect) in [(3, 2, SolveResult::Unsat), (6, 6, SolveResult::Sat)] {
+            for restart in [RestartMode::LbdEma, RestartMode::Luby] {
+                let mut s = Solver::new();
+                s.set_search_config(SearchConfig {
+                    restart,
+                    ..SearchConfig::default()
+                });
+                pigeonhole(&mut s, pigeons, holes);
+                assert_eq!(s.solve(), expect, "{restart:?} PHP({pigeons},{holes})");
+            }
+        }
     }
 
     #[test]
