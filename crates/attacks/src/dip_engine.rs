@@ -39,6 +39,7 @@
 //! [`DEFAULT_BATCH_WIDTH`] is the recommended setting for
 //! throughput-oriented runs.
 
+use crate::coi::{CoiMode, CoiOracle, CoiProjection};
 use crate::encode::{
     assert_outputs_agree, assert_outputs_equal, assert_valid_key_codes, encode_keyed,
     encode_keyed_fixed, SigVal,
@@ -159,6 +160,24 @@ pub fn refine(
     config: &AttackConfig,
     policy: &RefinePolicy,
 ) -> AttackOutcome {
+    // Cone-of-influence reduction: when the cloaked cells reach only a
+    // strict subset of the outputs (and the config opts in), run the
+    // identical loop on the compact cone instance against a projected
+    // oracle, then expand the recovered cone key to the full design.
+    if let Some(proj) = CoiProjection::build(keyed, config.coi) {
+        gshe_obs::count("attack.coi_reductions", 1);
+        gshe_obs::record("attack.coi_cone_nodes", proj.cone_len() as u64);
+        let mut cone_oracle = CoiOracle::new(oracle, &proj);
+        let inner = AttackConfig {
+            coi: CoiMode::Off,
+            ..*config
+        };
+        let mut out = refine(proj.keyed(), &mut cone_oracle, &inner, policy);
+        if let Some(cone_key) = out.key.take() {
+            out.key = Some(proj.expand_key(&cone_key));
+        }
+        return out;
+    }
     let start = Instant::now();
     let deadline = start + config.timeout;
     let mut appsat = match *policy {

@@ -86,7 +86,7 @@ pub fn encode_keyed<S: ClauseSink>(
     let mut lits: Vec<Lit> = Vec::with_capacity(nl.len());
     let mut inputs = Vec::new();
 
-    for (i, node) in nl.nodes().iter().enumerate() {
+    for (i, node) in nl.nodes().enumerate() {
         let z = if let Some(gate) = camo.get(&i) {
             encode_camo_cell(enc, gate, key, &lits, &node.kind)
         } else {
@@ -181,7 +181,7 @@ pub fn encode_keyed_fixed<S: ClauseSink>(
     let mut vals: Vec<SigVal> = Vec::with_capacity(nl.len());
     let mut next_input = 0usize;
 
-    for (i, node) in nl.nodes().iter().enumerate() {
+    for (i, node) in nl.nodes().enumerate() {
         let v = if let Some(gate) = camo.get(&i) {
             SigVal::Sym(encode_camo_cell_fixed(enc, gate, key, &vals, &node.kind))
         } else {

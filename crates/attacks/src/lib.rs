@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod appsat;
+pub mod coi;
 pub mod dip_engine;
 pub mod double_dip;
 pub mod encode;
@@ -43,6 +44,7 @@ pub mod sat_attack;
 pub mod stack;
 
 pub use appsat::{appsat_attack, AppSatConfig};
+pub use coi::{CoiMode, CoiOracle, CoiProjection, COI_AUTO_THRESHOLD};
 pub use dip_engine::{RefinePolicy, DEFAULT_BATCH_WIDTH};
 pub use double_dip::double_dip_attack;
 pub use encode::{assert_valid_key_codes, encode_keyed, encode_keyed_fixed, EncodedCopy};

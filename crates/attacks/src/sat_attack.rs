@@ -9,6 +9,7 @@
 //! consistent with the accumulated I/O constraints is functionally correct
 //! (for a deterministic oracle).
 
+use crate::coi::CoiMode;
 use crate::dip_engine::{refine, RefinePolicy};
 use crate::oracle::Oracle;
 use gshe_camo::KeyedNetlist;
@@ -40,6 +41,11 @@ pub struct AttackConfig {
     /// [`RestartMode::LbdEma`] (Glucose-style adaptive, the default) or
     /// [`RestartMode::Luby`].
     pub restart_mode: RestartMode,
+    /// Cone-of-influence miter reduction ([`CoiMode::Auto`] by default:
+    /// designs with at least [`crate::coi::COI_AUTO_THRESHOLD`] nodes
+    /// are attacked through the cloaked cells' output cone; smaller
+    /// instances keep the historical full-miter trace bit-for-bit).
+    pub coi: CoiMode,
 }
 
 impl Default for AttackConfig {
@@ -51,6 +57,7 @@ impl Default for AttackConfig {
             max_vars: Some(134_217_724),
             dip_batch: 1,
             restart_mode: RestartMode::default(),
+            coi: CoiMode::default(),
         }
     }
 }
@@ -78,6 +85,11 @@ impl AttackConfig {
             restart_mode,
             ..self
         }
+    }
+
+    /// Returns the configuration with the cone-of-influence mode set.
+    pub fn with_coi(self, coi: CoiMode) -> Self {
+        AttackConfig { coi, ..self }
     }
 }
 

@@ -171,14 +171,19 @@ impl<'a> EvalLayer<'a> {
         }
     }
 
-    /// An epoch segment (`start..start + len`) of `block`, unmasked — the
-    /// rotation layer's per-epoch pass. The noisy base draws the scalar
-    /// noise stream for exactly the segment's patterns, so segmented block
-    /// queries stay bit-for-bit the scalar loop.
-    fn segment(&mut self, block: &PatternBlock, start: usize, len: usize) -> Vec<u64> {
+    /// An epoch segment (`start..start + len`) of `block`, unmasked, into
+    /// a caller-owned buffer — the rotation layer's per-epoch pass. The
+    /// noisy base draws the scalar noise stream for exactly the segment's
+    /// patterns, so segmented block queries stay bit-for-bit the scalar
+    /// loop. Writing into the hoisted buffer keeps the steady-state
+    /// rotating block path at one allocation per call (the returned lane
+    /// vector), regardless of how many epoch segments the block spans.
+    fn segment_into(&mut self, block: &PatternBlock, start: usize, len: usize, out: &mut Vec<u64>) {
         match self {
-            EvalLayer::Exact { netlist, scratch } => sim::run_with_scratch(netlist, scratch, block),
-            EvalLayer::Noisy(engine) => engine.run_scalar_stream(block, start, len),
+            EvalLayer::Exact { netlist, scratch } => {
+                sim::run_with_scratch_into(netlist, scratch, block, out)
+            }
+            EvalLayer::Noisy(engine) => engine.run_scalar_stream_into(block, start, len, out),
         }
         .expect("oracle input arity mismatch")
     }
@@ -210,6 +215,9 @@ pub struct OracleStack<'a> {
     base: EvalLayer<'a>,
     rotation: Option<Rotation<'a>>,
     count: u64,
+    /// Per-epoch segment lanes, hoisted so a rotating block query reuses
+    /// one buffer across all its segments (and across calls).
+    seg_buf: Vec<u64>,
 }
 
 impl<'a> OracleStack<'a> {
@@ -220,6 +228,7 @@ impl<'a> OracleStack<'a> {
             base: EvalLayer::exact(netlist),
             rotation: None,
             count: 0,
+            seg_buf: Vec::new(),
         }
     }
 
@@ -236,6 +245,7 @@ impl<'a> OracleStack<'a> {
             base: EvalLayer::noisy(keyed.netlist(), profile, seed ^ NOISE_SEED_SALT),
             rotation: None,
             count: 0,
+            seg_buf: Vec::new(),
         }
     }
 
@@ -253,6 +263,7 @@ impl<'a> OracleStack<'a> {
             base: EvalLayer::exact_owned(resolved),
             rotation: Some(rotation),
             count: 0,
+            seg_buf: Vec::new(),
         }
     }
 
@@ -277,6 +288,7 @@ impl<'a> OracleStack<'a> {
             base: EvalLayer::noisy_owned(resolved, profile, seed ^ NOISE_SEED_SALT),
             rotation: Some(rotation),
             count: 0,
+            seg_buf: Vec::new(),
         }
     }
 
@@ -373,8 +385,8 @@ impl Oracle for OracleStack<'_> {
             } else {
                 ((1u64 << take) - 1) << k
             };
-            let outs = self.base.segment(block, k, take);
-            for (lane, out) in lanes.iter_mut().zip(&outs) {
+            self.base.segment_into(block, k, take, &mut self.seg_buf);
+            for (lane, out) in lanes.iter_mut().zip(&self.seg_buf) {
                 *lane |= out & segment;
             }
             self.count += take as u64;

@@ -245,10 +245,66 @@ fn bench_profile_candidate_score(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw arena-sweep throughput on the **unscaled** s38584 (19k gates,
+/// the shape the superblue path stresses): one bit-parallel
+/// `query_block` evaluates `gate_count × 64` gate-pattern pairs, so
+/// gates/sec = `gate_count × 64 / time`. This is the gate-evaluation
+/// rate the `logic.nodes_evaluated` counter meters and the figure the
+/// README's scaling section quotes.
+fn bench_gates_per_sec(c: &mut Criterion) {
+    let spec = suites::spec("s38584").expect("s-suite benchmark present");
+    let nl = suites::benchmark(spec, 1, 1);
+    let gates = nl.gate_count();
+    let mut rng = StdRng::seed_from_u64(7);
+    let block = PatternBlock::random(nl.inputs().len(), &mut rng);
+
+    let mut group = c.benchmark_group("gates_per_sec_s38584");
+    let mut oracle = NetlistOracle::new(&nl);
+    group.bench_function(format!("query_block_64x{gates}_gates"), |b| {
+        b.iter(|| black_box(oracle.query_block(black_box(&block))))
+    });
+    group.finish();
+}
+
+/// The cone-of-influence miter reduction end to end: the width-16
+/// batched SAT attack on s38584 (scale 4, full 304-output interface, 6
+/// camouflaged gates) with `CoiMode::On` vs. `CoiMode::Off`. With few
+/// cloaked cells the affected-output cone is a small slice of the
+/// netlist, so the On row encodes and propagates a fraction of the
+/// gates per DIP round; the acceptance target is a ≥1.5× wall-clock
+/// reduction of the On row over the Off (full-miter, PR 7 baseline)
+/// row.
+fn bench_coi_miter(c: &mut Criterion) {
+    use gshe_core::attacks::CoiMode;
+    use gshe_core::camo::select_gates_count;
+
+    let spec = suites::spec("s38584").expect("s-suite benchmark present");
+    let nl = suites::benchmark(spec, 4, 1);
+    let picks = select_gates_count(&nl, 6, 3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).expect("camouflage");
+
+    let mut group = c.benchmark_group("coi_miter_s38584");
+    for (label, coi) in [("coi_on", CoiMode::On), ("coi_off", CoiMode::Off)] {
+        let config = AttackConfig::with_timeout_secs(120)
+            .with_dip_batch(16)
+            .with_coi(coi);
+        group.bench_function(format!("sat_attack_w16_{label}"), |b| {
+            b.iter(|| {
+                let mut oracle = NetlistOracle::new(&nl);
+                let out = sat_attack(black_box(&keyed), &mut oracle, &config);
+                assert_eq!(out.status, AttackStatus::Success, "{label}");
+                black_box(out.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = oracle;
     config = Criterion::default().sample_size(30);
-    targets = bench_oracle_paths, bench_stacked_oracle
+    targets = bench_oracle_paths, bench_stacked_oracle, bench_gates_per_sec
 }
 criterion_group! {
     name = candidate_score;
@@ -259,6 +315,11 @@ criterion_group! {
     name = batched_dip;
     config = Criterion::default().sample_size(5);
     targets = bench_batched_dip
+}
+criterion_group! {
+    name = coi_miter;
+    config = Criterion::default().sample_size(5);
+    targets = bench_coi_miter
 }
 criterion_group! {
     name = incremental_solver;
@@ -274,6 +335,7 @@ criterion_main!(
     oracle,
     obs_overhead,
     batched_dip,
+    coi_miter,
     incremental_solver,
     candidate_score
 );

@@ -93,15 +93,15 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
         map[id.index()].expect("topological order guarantees the fanin exists")
     };
 
-    for (i, node) in netlist.nodes().iter().enumerate() {
+    for (i, node) in netlist.nodes().enumerate() {
         let old = NodeId(i as u32);
         if !picked[i] {
             let new_id = match node.kind {
-                NodeKind::Input => b.input(node.name.clone()),
+                NodeKind::Input => b.input(node.name),
                 NodeKind::Const(c) => b.constant(c),
-                NodeKind::Gate1 { f, a } => b.gate1(node.name.clone(), f, remap(&map, a)),
+                NodeKind::Gate1 { f, a } => b.gate1(node.name, f, remap(&map, a)),
                 NodeKind::Gate2 { f, a, b: bb } => {
-                    b.gate2(node.name.clone(), f, remap(&map, a), remap(&map, bb))
+                    b.gate2(node.name, f, remap(&map, a), remap(&map, bb))
                 }
             };
             map[i] = Some(new_id);
@@ -131,7 +131,7 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
                     _ => return Err(CamoError::NotAGate(old)),
                 };
                 let cell_fn = if invert { Bf1::Inv } else { Bf1::Buf };
-                let cell = b.gate1(node.name.clone(), cell_fn, pre);
+                let cell = b.gate1(node.name, cell_fn, pre);
                 let correct = fs
                     .iter()
                     .position(|&f| f == cell_fn)
@@ -144,12 +144,12 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
             (Candidates::TwoInput(fs), NodeKind::Gate2 { f, a, b: bb }) => {
                 let (na, nb) = (remap(&map, a), remap(&map, bb));
                 if let Some(pos) = fs.iter().position(|&g| g == f) {
-                    let cell = b.gate2(node.name.clone(), f, na, nb);
+                    let cell = b.gate2(node.name, f, na, nb);
                     report.direct += 1;
                     (cell, pos, cell)
                 } else if let Some(pos) = fs.iter().position(|&g| g == f.complement()) {
                     let cell = b.gate2(format!("{}__camocell", node.name), f.complement(), na, nb);
-                    let inv = b.gate1(node.name.clone(), Bf1::Inv, cell);
+                    let inv = b.gate1(node.name, Bf1::Inv, cell);
                     report.complemented += 1;
                     report.extra_gates += 1;
                     (cell, pos, inv)
@@ -161,12 +161,12 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
                     let pos = fs.iter().position(|&g| g == Bf2::NAND).expect("checked");
                     report.decomposed += 1;
                     if f == Bf2::XOR {
-                        let cell = b.gate2(node.name.clone(), Bf2::NAND, t2, t3);
+                        let cell = b.gate2(node.name, Bf2::NAND, t2, t3);
                         report.extra_gates += 3;
                         (cell, pos, cell)
                     } else {
                         let cell = b.gate2(format!("{}__camocell", node.name), Bf2::NAND, t2, t3);
-                        let inv = b.gate1(node.name.clone(), Bf1::Inv, cell);
+                        let inv = b.gate1(node.name, Bf1::Inv, cell);
                         report.extra_gates += 4;
                         (cell, pos, inv)
                     }
@@ -185,12 +185,12 @@ pub fn camouflage_with_report<R: Rng + ?Sized>(
                 let matches_compl =
                     |g: &Bf2| (0..2).all(|v| g.eval(v == 1, v == 1) != f.eval(v == 1));
                 if let Some(pos) = fs.iter().position(matches_direct) {
-                    let cell = b.gate2(node.name.clone(), fs[pos], na, na);
+                    let cell = b.gate2(node.name, fs[pos], na, na);
                     report.degenerate += 1;
                     (cell, pos, cell)
                 } else if let Some(pos) = fs.iter().position(matches_compl) {
                     let cell = b.gate2(format!("{}__camocell", node.name), fs[pos], na, na);
-                    let inv = b.gate1(node.name.clone(), Bf1::Inv, cell);
+                    let inv = b.gate1(node.name, Bf1::Inv, cell);
                     report.degenerate += 1;
                     report.extra_gates += 1;
                     (cell, pos, inv)

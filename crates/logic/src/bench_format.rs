@@ -332,8 +332,8 @@ pub fn write_bench(nl: &Netlist) -> String {
                 }
             }
             NodeKind::Gate2 { f, a, b } => {
-                let an = nl.node(a).name.clone();
-                let bn = nl.node(b).name.clone();
+                let an = nl.node(a).name;
+                let bn = nl.node(b).name;
                 let direct = match f {
                     Bf2::AND => Some("AND"),
                     Bf2::OR => Some("OR"),

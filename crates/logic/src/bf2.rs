@@ -243,6 +243,32 @@ impl Bf1 {
     /// All four one-input functions.
     pub const ALL: [Bf1; 4] = [Bf1::Buf, Bf1::Inv, Bf1::Const0, Bf1::Const1];
 
+    /// A stable 2-bit code for the function (the netlist arena packs this
+    /// into a node's meta byte).
+    pub const fn code(self) -> u8 {
+        match self {
+            Bf1::Buf => 0,
+            Bf1::Inv => 1,
+            Bf1::Const0 => 2,
+            Bf1::Const1 => 3,
+        }
+    }
+
+    /// Inverse of [`Bf1::code`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 3`.
+    pub const fn from_code(code: u8) -> Bf1 {
+        match code {
+            0 => Bf1::Buf,
+            1 => Bf1::Inv,
+            2 => Bf1::Const0,
+            3 => Bf1::Const1,
+            _ => panic!("Bf1 code must be 0..=3"),
+        }
+    }
+
     /// Evaluates the function.
     pub const fn eval(self, a: bool) -> bool {
         match self {
@@ -426,6 +452,13 @@ mod tests {
         }
         assert_eq!(Bf1::Buf.complement(), Bf1::Inv);
         assert_eq!(Bf1::Inv.eval_u64(0), !0u64);
+    }
+
+    #[test]
+    fn bf1_code_round_trips() {
+        for f in Bf1::ALL {
+            assert_eq!(Bf1::from_code(f.code()), f);
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aiger;
 pub mod bench_format;
 pub mod bf2;
 pub mod builder;
@@ -37,12 +38,13 @@ pub mod sim;
 pub mod stats;
 pub mod suites;
 
+pub use aiger::{parse_aag, write_aag};
 pub use bench_format::{parse_bench, write_bench};
 pub use bf2::{Bf1, Bf2};
 pub use builder::NetlistBuilder;
 pub use error::LogicError;
 pub use generator::{GeneratorConfig, NetlistGenerator};
-pub use netlist::{Netlist, Node, NodeId, NodeKind};
+pub use netlist::{FanoutCsr, IdMap, Netlist, Node, NodeId, NodeKind, NodeRef};
 pub use noise::{bernoulli_mask, ErrorProfile, FaultSimulator};
 pub use opt::{optimize, OptReport};
 pub use seq::scan_preprocess;

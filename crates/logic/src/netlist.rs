@@ -1,10 +1,46 @@
 //! The gate-level netlist intermediate representation.
 //!
-//! A [`Netlist`] is a DAG of [`Node`]s stored **in topological order**:
-//! every gate's fanin indices are strictly smaller than the gate's own
-//! index. The builder and parser enforce the invariant; [`Netlist::check`]
-//! re-validates it, and all downstream passes (simulation, SAT encoding,
-//! timing) rely on a single forward sweep being sufficient.
+//! A [`Netlist`] is a DAG of nodes stored **in topological order**: every
+//! gate's fanin indices are strictly smaller than the gate's own index. The
+//! builder and parser enforce the invariant; [`Netlist::check`] re-validates
+//! it, and all downstream passes (simulation, SAT encoding, timing) rely on
+//! a single forward sweep being sufficient.
+//!
+//! # Arena storage
+//!
+//! Nodes live in parallel flat arrays (struct-of-arrays), not a
+//! `Vec<Node>`:
+//!
+//! * `meta: Vec<u8>` — one packed byte per node. Bits 0–1 are the kind tag
+//!   (input / constant / one-input gate / two-input gate); bits 2–5 carry
+//!   the payload (constant value, [`Bf1`] code, or the [`Bf2`] truth-table
+//!   nibble).
+//! * `fanin_a`, `fanin_b: Vec<u32>` — fanin node indices. For an `Input`
+//!   node, `fanin_a` stores the node's *input ordinal* (its position in
+//!   [`Netlist::inputs`]), so evaluation sweeps index the pattern lanes
+//!   directly instead of threading a counter.
+//! * an interned [`NameTable`] — all signal names in one `String` with a
+//!   span per node, out of the hot path entirely.
+//!
+//! The evaluation sweep is therefore a cache-linear walk over ~9 bytes per
+//! node instead of pointer-chasing `String`-carrying structs — per-node
+//! memory drops roughly an order of magnitude, which is what lets the
+//! 856k-gate superblue `sb1` benchmark run unscaled (≈20 MB of arena
+//! instead of ≈80 MB of node structs plus a heap allocation per name).
+//!
+//! The public accessors keep the old shape: [`Netlist::node`] returns a
+//! by-value [`NodeRef`] (`.kind`, `.name`), [`Netlist::nodes`] iterates
+//! them, and [`Node`] (kind + owned name) remains the construction type
+//! consumed by [`Netlist::from_parts`].
+//!
+//! # Cone extraction
+//!
+//! [`Netlist::cone_of`] extracts the transitive fanin cone of a set of
+//! roots as a standalone netlist plus an [`IdMap`] between the two id
+//! spaces. The cone preserves relative topological order, keeps the
+//! original primary-input order (restricted to the cone), and is
+//! re-validated by [`Netlist::check`]. The SAT attack uses this to encode
+//! cone-of-influence-restricted miters at superblue scale.
 
 use crate::bf2::{Bf1, Bf2};
 use crate::error::LogicError;
@@ -80,6 +116,9 @@ impl NodeKind {
     /// lane word for [`NodeKind::Input`] nodes (ignored otherwise). Scalar
     /// interpreters use lane 0 only; every operation is bitwise, so the
     /// unused lanes are free.
+    ///
+    /// Hot sweeps should prefer [`Netlist::eval_node_lanes`], which reads
+    /// the packed arena directly instead of materializing a `NodeKind`.
     #[inline]
     pub fn eval_lanes(&self, values: &[u64], input: u64) -> u64 {
         match *self {
@@ -97,7 +136,10 @@ impl NodeKind {
     }
 }
 
-/// A single node: its kind plus a (unique) signal name.
+/// A single node: its kind plus a (unique) signal name. This is the
+/// *construction* type consumed by [`Netlist::from_parts`]; inside a
+/// [`Netlist`] nodes are packed into the flat arena and read back out as
+/// [`NodeRef`]s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// Functional kind.
@@ -106,11 +148,64 @@ pub struct Node {
     pub name: String,
 }
 
-/// A combinational gate-level netlist in topological order.
+/// A node viewed out of the arena: its kind (by value — `NodeKind` is
+/// `Copy`) and its interned name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef<'a> {
+    /// Functional kind.
+    pub kind: NodeKind,
+    /// Signal name (unique within the netlist).
+    pub name: &'a str,
+}
+
+/// All signal names of a netlist interned into one buffer: name `i` is
+/// `bytes[spans[i]..spans[i + 1]]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct NameTable {
+    bytes: String,
+    /// `n + 1` offsets into `bytes` (starts with 0).
+    spans: Vec<u32>,
+}
+
+impl NameTable {
+    fn with_capacity(n: usize) -> Self {
+        let mut spans = Vec::with_capacity(n + 1);
+        spans.push(0);
+        NameTable {
+            bytes: String::new(),
+            spans,
+        }
+    }
+
+    fn push(&mut self, name: &str) {
+        self.bytes.push_str(name);
+        self.spans.push(self.bytes.len() as u32);
+    }
+
+    fn get(&self, i: usize) -> &str {
+        &self.bytes[self.spans[i] as usize..self.spans[i + 1] as usize]
+    }
+}
+
+/// Kind tag in bits 0–1 of a node's `meta` byte.
+const TAG_INPUT: u8 = 0b00;
+const TAG_CONST: u8 = 0b01;
+const TAG_GATE1: u8 = 0b10;
+const TAG_GATE2: u8 = 0b11;
+const TAG_MASK: u8 = 0b11;
+
+/// A combinational gate-level netlist in topological order, stored as a
+/// flat arena (see the module docs for the layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Netlist {
     name: String,
-    nodes: Vec<Node>,
+    /// Packed kind/function byte per node.
+    meta: Vec<u8>,
+    /// First fanin index per node; input ordinal for `Input` nodes.
+    fanin_a: Vec<u32>,
+    /// Second fanin index per node (`Gate2` only; 0 otherwise).
+    fanin_b: Vec<u32>,
+    names: NameTable,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
 }
@@ -121,16 +216,42 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns [`LogicError::Validation`] if node order is not topological,
-    /// names collide, outputs dangle, or inputs are misclassified.
+    /// names collide, outputs dangle, or the inputs list is not exactly the
+    /// `Input` nodes in ascending id order.
     pub fn from_parts(
         name: impl Into<String>,
         nodes: Vec<Node>,
         inputs: Vec<NodeId>,
         outputs: Vec<NodeId>,
     ) -> Result<Self, LogicError> {
+        let n = nodes.len();
+        let mut meta = Vec::with_capacity(n);
+        let mut fanin_a = Vec::with_capacity(n);
+        let mut fanin_b = Vec::with_capacity(n);
+        let mut names = NameTable::with_capacity(n);
+        let mut ordinal = 0u32;
+        for node in &nodes {
+            let (m, a, b) = match node.kind {
+                NodeKind::Input => {
+                    let o = ordinal;
+                    ordinal += 1;
+                    (TAG_INPUT, o, 0)
+                }
+                NodeKind::Const(c) => (TAG_CONST | (c as u8) << 2, 0, 0),
+                NodeKind::Gate1 { f, a } => (TAG_GATE1 | f.code() << 2, a.0, 0),
+                NodeKind::Gate2 { f, a, b } => (TAG_GATE2 | f.truth_table() << 2, a.0, b.0),
+            };
+            meta.push(m);
+            fanin_a.push(a);
+            fanin_b.push(b);
+            names.push(&node.name);
+        }
         let nl = Netlist {
             name: name.into(),
-            nodes,
+            meta,
+            fanin_a,
+            fanin_b,
+            names,
             inputs,
             outputs,
         };
@@ -144,44 +265,50 @@ impl Netlist {
     ///
     /// Returns [`LogicError::Validation`] describing the first violation.
     pub fn check(&self) -> Result<(), LogicError> {
-        let n = self.nodes.len();
+        let n = self.len();
         let mut seen_names: HashMap<&str, usize> = HashMap::with_capacity(n);
-        for (i, node) in self.nodes.iter().enumerate() {
-            if let Some(prev) = seen_names.insert(node.name.as_str(), i) {
+        for i in 0..n {
+            let name = self.names.get(i);
+            if let Some(prev) = seen_names.insert(name, i) {
                 return Err(LogicError::Validation(format!(
-                    "name `{}` used by nodes {prev} and {i}",
-                    node.name
+                    "name `{name}` used by nodes {prev} and {i}"
                 )));
             }
-            for fanin in node.kind.fanins() {
+            for fanin in self.fanins(NodeId(i as u32)) {
                 if fanin.index() >= i {
                     return Err(LogicError::Validation(format!(
-                        "node {i} (`{}`) has non-topological fanin {fanin}",
-                        node.name
+                        "node {i} (`{name}`) has non-topological fanin {fanin}"
                     )));
                 }
             }
         }
-        for (pos, &id) in self.inputs.iter().enumerate() {
-            let node = self.nodes.get(id.index()).ok_or_else(|| {
-                LogicError::Validation(format!("input list entry {pos} out of range"))
-            })?;
-            if node.kind != NodeKind::Input {
-                return Err(LogicError::Validation(format!(
-                    "node `{}` listed as input but is not an Input node",
-                    node.name
-                )));
+        // The inputs list must be exactly the Input nodes in ascending id
+        // order — the order every evaluation path feeds pattern values in.
+        let mut pos = 0usize;
+        for i in 0..n {
+            if self.meta[i] & TAG_MASK == TAG_INPUT {
+                match self.inputs.get(pos) {
+                    Some(&id) if id.index() == i => {}
+                    _ => {
+                        return Err(LogicError::Validation(format!(
+                            "Input node `{}` (node {i}) is not primary input {pos}; the \
+                             inputs list must be the Input nodes in ascending id order",
+                            self.names.get(i)
+                        )))
+                    }
+                }
+                if self.fanin_a[i] as usize != pos {
+                    return Err(LogicError::Validation(format!(
+                        "input ordinal corrupted at node {i}"
+                    )));
+                }
+                pos += 1;
             }
         }
-        let listed = self.inputs.len();
-        let actual = self
-            .nodes
-            .iter()
-            .filter(|nd| nd.kind == NodeKind::Input)
-            .count();
-        if listed != actual {
+        if pos != self.inputs.len() {
             return Err(LogicError::Validation(format!(
-                "{actual} Input nodes but {listed} listed as primary inputs"
+                "{pos} Input nodes but {} listed as primary inputs",
+                self.inputs.len()
             )));
         }
         for &id in &self.outputs {
@@ -198,8 +325,11 @@ impl Netlist {
     }
 
     /// All nodes, in topological order.
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    pub fn nodes(&self) -> Nodes<'_> {
+        Nodes {
+            nl: self,
+            range: 0..self.len(),
+        }
     }
 
     /// Node by id.
@@ -207,8 +337,92 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        NodeRef {
+            kind: self.kind(id),
+            name: self.names.get(id.index()),
+        }
+    }
+
+    /// Functional kind of `id` (reconstructed from the packed arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        let i = id.index();
+        let m = self.meta[i];
+        match m & TAG_MASK {
+            TAG_INPUT => NodeKind::Input,
+            TAG_CONST => NodeKind::Const(m >> 2 != 0),
+            TAG_GATE1 => NodeKind::Gate1 {
+                f: Bf1::from_code(m >> 2),
+                a: NodeId(self.fanin_a[i]),
+            },
+            _ => NodeKind::Gate2 {
+                f: Bf2::from_truth_table(m >> 2),
+                a: NodeId(self.fanin_a[i]),
+                b: NodeId(self.fanin_b[i]),
+            },
+        }
+    }
+
+    /// Fanin node ids of `id` (0, 1 or 2 of them), straight off the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fanins(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let i = id.index();
+        let (a, b) = match self.meta[i] & TAG_MASK {
+            TAG_GATE1 => (Some(NodeId(self.fanin_a[i])), None),
+            TAG_GATE2 => (Some(NodeId(self.fanin_a[i])), Some(NodeId(self.fanin_b[i]))),
+            _ => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Evaluates node `i` over 64 bit-packed lanes directly from the packed
+    /// arena — the cache-linear core every simulator sweep runs on.
+    /// `values` holds the lanes of earlier nodes; `input` maps an input
+    /// *ordinal* (position in [`Netlist::inputs`]) to its lane word.
+    #[inline]
+    pub fn eval_node_lanes(
+        &self,
+        i: usize,
+        values: &[u64],
+        input: impl FnOnce(usize) -> u64,
+    ) -> u64 {
+        let m = self.meta[i];
+        match m & TAG_MASK {
+            TAG_INPUT => input(self.fanin_a[i] as usize),
+            TAG_CONST => {
+                if m & 0b100 != 0 {
+                    !0
+                } else {
+                    0
+                }
+            }
+            TAG_GATE1 => Bf1::from_code(m >> 2).eval_u64(values[self.fanin_a[i] as usize]),
+            _ => Bf2::from_truth_table(m >> 2).eval_u64(
+                values[self.fanin_a[i] as usize],
+                values[self.fanin_b[i] as usize],
+            ),
+        }
+    }
+
+    /// One full bit-parallel pass over the arena: fills `values[i]` with
+    /// node `i`'s 64 lanes, feeding primary input `k` from
+    /// `input_lanes[k]`. `values` must hold at least [`Netlist::len`]
+    /// words; `input_lanes` one word per primary input.
+    pub fn sweep_lanes(&self, values: &mut [u64], input_lanes: &[u64]) {
+        debug_assert!(values.len() >= self.len());
+        debug_assert_eq!(input_lanes.len(), self.inputs.len());
+        for i in 0..self.len() {
+            let v = self.eval_node_lanes(i, values, |k| input_lanes[k]);
+            values[i] = v;
+        }
     }
 
     /// Primary inputs, in declaration order.
@@ -223,65 +437,98 @@ impl Netlist {
 
     /// Number of nodes (inputs + constants + gates).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.meta.len()
     }
 
     /// `true` if the netlist has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.meta.is_empty()
     }
 
     /// Number of gate nodes (excludes inputs and constants).
     pub fn gate_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind.is_gate()).count()
+        self.meta.iter().filter(|&&m| m & 0b10 != 0).count()
     }
 
     /// Ids of all gate nodes, in topological order.
     pub fn gate_ids(&self) -> Vec<NodeId> {
-        self.nodes
+        self.meta
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.kind.is_gate())
+            .filter(|(_, &m)| m & 0b10 != 0)
             .map(|(i, _)| NodeId(i as u32))
             .collect()
+    }
+
+    /// Bytes held by the flat node arena (meta + fanin slots + interned
+    /// names + port lists) — the number the sb1 smoke test bounds.
+    pub fn arena_bytes(&self) -> usize {
+        self.meta.len()
+            + 4 * (self.fanin_a.len() + self.fanin_b.len())
+            + self.names.bytes.len()
+            + 4 * self.names.spans.len()
+            + 4 * (self.inputs.len() + self.outputs.len())
     }
 
     /// Id of the node with signal name `name`, if any (linear scan; build a
     /// map via [`Netlist::name_map`] for repeated lookups).
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
+        (0..self.len())
+            .position(|i| self.names.get(i) == name)
             .map(|i| NodeId(i as u32))
     }
 
     /// Name → id map for all signals.
     pub fn name_map(&self) -> HashMap<&str, NodeId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.name.as_str(), NodeId(i as u32)))
+        (0..self.len())
+            .map(|i| (self.names.get(i), NodeId(i as u32)))
             .collect()
     }
 
     /// Fanout adjacency: for each node, the ids of nodes it feeds.
     pub fn fanouts(&self) -> Vec<Vec<NodeId>> {
-        let mut out = vec![Vec::new(); self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            for fanin in node.kind.fanins() {
+        let mut out = vec![Vec::new(); self.len()];
+        for i in 0..self.len() {
+            for fanin in self.fanins(NodeId(i as u32)) {
                 out[fanin.index()].push(NodeId(i as u32));
             }
         }
         out
     }
 
+    /// Fanout adjacency in compressed-sparse-row form — two flat arrays
+    /// instead of a `Vec` per node, built in two counting passes. This is
+    /// the form reachability passes (cone-of-influence, fanout statistics)
+    /// walk at superblue scale.
+    pub fn fanout_csr(&self) -> FanoutCsr {
+        let n = self.len();
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            for fanin in self.fanins(NodeId(i as u32)) {
+                offsets[fanin.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NodeId(0); offsets[n] as usize];
+        for i in 0..n {
+            for fanin in self.fanins(NodeId(i as u32)) {
+                let c = &mut cursor[fanin.index()];
+                targets[*c as usize] = NodeId(i as u32);
+                *c += 1;
+            }
+        }
+        FanoutCsr { offsets, targets }
+    }
+
     /// Logic level of every node (inputs/constants at level 0).
     pub fn levels(&self) -> Vec<usize> {
-        let mut level = vec![0usize; self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            level[i] = node
-                .kind
-                .fanins()
+        let mut level = vec![0usize; self.len()];
+        for i in 0..self.len() {
+            level[i] = self
+                .fanins(NodeId(i as u32))
                 .map(|f| level[f.index()] + 1)
                 .max()
                 .unwrap_or(0);
@@ -324,8 +571,8 @@ impl Netlist {
     /// order. Useful for fault-injection and probing experiments.
     ///
     /// Runs lane 0 of the shared bit-parallel gate core
-    /// ([`NodeKind::eval_lanes`]) so scalar and packed evaluation cannot
-    /// drift apart.
+    /// ([`Netlist::eval_node_lanes`]) so scalar and packed evaluation
+    /// cannot drift apart.
     ///
     /// # Errors
     ///
@@ -337,17 +584,10 @@ impl Netlist {
                 got: values.len(),
             });
         }
-        let mut lanes = vec![0u64; self.nodes.len()];
-        let mut next_input = 0usize;
-        for (i, node) in self.nodes.iter().enumerate() {
-            let input = if node.kind == NodeKind::Input {
-                let v = values[next_input] as u64;
-                next_input += 1;
-                v
-            } else {
-                0
-            };
-            lanes[i] = node.kind.eval_lanes(&lanes, input);
+        let mut lanes = vec![0u64; self.len()];
+        for i in 0..self.len() {
+            let v = self.eval_node_lanes(i, &lanes, |k| values[k] as u64);
+            lanes[i] = v;
         }
         Ok(lanes.iter().map(|&v| v & 1 == 1).collect())
     }
@@ -362,15 +602,15 @@ impl Netlist {
     ///
     /// Returns [`LogicError::Validation`] if `id` is not a `Gate2`.
     pub fn set_gate2_function(&mut self, id: NodeId, f: Bf2) -> Result<(), LogicError> {
-        match &mut self.nodes[id.index()].kind {
-            NodeKind::Gate2 { f: slot, .. } => {
-                *slot = f;
-                Ok(())
-            }
-            other => Err(LogicError::Validation(format!(
-                "node {id} is {other:?}, not a two-input gate"
-            ))),
+        let i = id.index();
+        if self.meta[i] & TAG_MASK != TAG_GATE2 {
+            return Err(LogicError::Validation(format!(
+                "node {id} is {:?}, not a two-input gate",
+                self.kind(id)
+            )));
         }
+        self.meta[i] = TAG_GATE2 | f.truth_table() << 2;
+        Ok(())
     }
 
     /// Replaces the function of the one-input gate `id` (keeping fanin `a`,
@@ -381,25 +621,29 @@ impl Netlist {
     /// Returns [`LogicError::Validation`] if `id` is not a `Gate1` or the
     /// fanin does not match.
     pub fn set_gate1_function(&mut self, id: NodeId, f: Bf1, a: NodeId) -> Result<(), LogicError> {
-        match &mut self.nodes[id.index()].kind {
-            NodeKind::Gate1 { f: slot, a: fanin } if *fanin == a => {
-                *slot = f;
-                Ok(())
-            }
-            other => Err(LogicError::Validation(format!(
-                "node {id} is {other:?}, not a one-input gate fed by {a}"
-            ))),
+        let i = id.index();
+        if self.meta[i] & TAG_MASK != TAG_GATE1 || self.fanin_a[i] != a.0 {
+            return Err(LogicError::Validation(format!(
+                "node {id} is {:?}, not a one-input gate fed by {a}",
+                self.kind(id)
+            )));
         }
+        self.meta[i] = TAG_GATE1 | f.code() << 2;
+        Ok(())
     }
 
     /// A histogram of gate functions: `(function name, count)` sorted by
     /// descending count.
     pub fn function_histogram(&self) -> Vec<(&'static str, usize)> {
         let mut counts: HashMap<&'static str, usize> = HashMap::new();
-        for node in &self.nodes {
-            match node.kind {
-                NodeKind::Gate1 { f, .. } => *counts.entry(f.name()).or_default() += 1,
-                NodeKind::Gate2 { f, .. } => *counts.entry(f.name()).or_default() += 1,
+        for &m in &self.meta {
+            match m & TAG_MASK {
+                TAG_GATE1 => *counts.entry(Bf1::from_code(m >> 2).name()).or_default() += 1,
+                TAG_GATE2 => {
+                    *counts
+                        .entry(Bf2::from_truth_table(m >> 2).name())
+                        .or_default() += 1
+                }
                 _ => {}
             }
         }
@@ -411,21 +655,89 @@ impl Netlist {
     /// Ids of nodes in the transitive fanin cone of `root` (including
     /// `root`).
     pub fn fanin_cone(&self, root: NodeId) -> Vec<NodeId> {
-        let mut marked = vec![false; self.nodes.len()];
-        let mut stack = vec![root];
-        while let Some(id) = stack.pop() {
-            if marked[id.index()] {
-                continue;
-            }
-            marked[id.index()] = true;
-            stack.extend(self.nodes[id.index()].kind.fanins());
-        }
+        let marked = self.mark_cone(&[root]);
         marked
             .iter()
             .enumerate()
             .filter(|(_, &m)| m)
             .map(|(i, _)| NodeId(i as u32))
             .collect()
+    }
+
+    /// Marks the transitive fanin cone of `roots` (backward DFS).
+    fn mark_cone(&self, roots: &[NodeId]) -> Vec<bool> {
+        let mut marked = vec![false; self.len()];
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if marked[id.index()] {
+                continue;
+            }
+            marked[id.index()] = true;
+            stack.extend(self.fanins(id));
+        }
+        marked
+    }
+
+    /// Extracts the transitive fanin cone of `roots` as a standalone
+    /// netlist, plus the [`IdMap`] between the two id spaces.
+    ///
+    /// The cone keeps the full netlist's relative topological order, its
+    /// primary inputs are the original inputs that lie in the cone (in
+    /// original order), and its outputs are `roots` in the given order.
+    /// The result is re-validated by [`Netlist::check`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any root id is out of range.
+    pub fn cone_of(&self, roots: &[NodeId]) -> (Netlist, IdMap) {
+        let n = self.len();
+        let marked = self.mark_cone(roots);
+        let cone_n = marked.iter().filter(|&&m| m).count();
+        let mut forward = vec![u32::MAX; n];
+        let mut back = Vec::with_capacity(cone_n);
+        let mut meta = Vec::with_capacity(cone_n);
+        let mut fanin_a = Vec::with_capacity(cone_n);
+        let mut fanin_b = Vec::with_capacity(cone_n);
+        let mut names = NameTable::with_capacity(cone_n);
+        let mut inputs = Vec::new();
+        for i in 0..n {
+            if !marked[i] {
+                continue;
+            }
+            let new_id = back.len() as u32;
+            forward[i] = new_id;
+            back.push(NodeId(i as u32));
+            let m = self.meta[i];
+            let (a, b) = match m & TAG_MASK {
+                TAG_INPUT => {
+                    inputs.push(NodeId(new_id));
+                    (inputs.len() as u32 - 1, 0)
+                }
+                TAG_CONST => (0, 0),
+                TAG_GATE1 => (forward[self.fanin_a[i] as usize], 0),
+                _ => (
+                    forward[self.fanin_a[i] as usize],
+                    forward[self.fanin_b[i] as usize],
+                ),
+            };
+            meta.push(m);
+            fanin_a.push(a);
+            fanin_b.push(b);
+            names.push(self.names.get(i));
+        }
+        let outputs = roots.iter().map(|r| NodeId(forward[r.index()])).collect();
+        let cone = Netlist {
+            name: format!("{}_cone", self.name),
+            meta,
+            fanin_a,
+            fanin_b,
+            names,
+            inputs,
+            outputs,
+        };
+        cone.check()
+            .expect("cone extraction preserves netlist invariants");
+        (cone, IdMap { forward, back })
     }
 }
 
@@ -440,6 +752,117 @@ impl fmt::Display for Netlist {
             self.gate_count(),
             self.depth()
         )
+    }
+}
+
+/// Iterator over a netlist's nodes as [`NodeRef`]s, in topological order.
+#[derive(Debug, Clone)]
+pub struct Nodes<'a> {
+    nl: &'a Netlist,
+    range: std::ops::Range<usize>,
+}
+
+impl<'a> Iterator for Nodes<'a> {
+    type Item = NodeRef<'a>;
+
+    fn next(&mut self) -> Option<NodeRef<'a>> {
+        self.range.next().map(|i| self.nl.node(NodeId(i as u32)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Nodes<'_> {}
+
+impl DoubleEndedIterator for Nodes<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        self.range
+            .next_back()
+            .map(|i| self.nl.node(NodeId(i as u32)))
+    }
+}
+
+/// Fanout adjacency in compressed-sparse-row form: the fanouts of node `i`
+/// are `targets[offsets[i]..offsets[i + 1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutCsr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl FanoutCsr {
+    /// The ids of the nodes `id` feeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` if no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of fanout edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Old-id ↔ new-id correspondence produced by [`Netlist::cone_of`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdMap {
+    /// Full-netlist id → cone id (`u32::MAX` when outside the cone).
+    forward: Vec<u32>,
+    /// Cone id → full-netlist id.
+    back: Vec<NodeId>,
+}
+
+impl IdMap {
+    /// The cone id of full-netlist node `full`, if it lies in the cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` is out of range for the full netlist.
+    pub fn to_cone(&self, full: NodeId) -> Option<NodeId> {
+        match self.forward[full.index()] {
+            u32::MAX => None,
+            i => Some(NodeId(i)),
+        }
+    }
+
+    /// The full-netlist id of cone node `cone`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cone` is out of range for the cone.
+    pub fn to_full(&self, cone: NodeId) -> NodeId {
+        self.back[cone.index()]
+    }
+
+    /// `true` if `full` lies in the cone.
+    pub fn contains(&self, full: NodeId) -> bool {
+        self.forward[full.index()] != u32::MAX
+    }
+
+    /// Number of nodes in the cone.
+    pub fn cone_len(&self) -> usize {
+        self.back.len()
+    }
+
+    /// Number of nodes in the full netlist.
+    pub fn full_len(&self) -> usize {
+        self.forward.len()
     }
 }
 
@@ -489,6 +912,32 @@ mod tests {
     }
 
     #[test]
+    fn packed_kinds_round_trip() {
+        let mut b = NetlistBuilder::new("kinds");
+        let x = b.input("x");
+        let k0 = b.constant(false);
+        let k1 = b.constant(true);
+        let inv = b.gate1("inv", Bf1::Inv, x);
+        let g = b.gate2("g", Bf2::NOR, inv, k0);
+        b.output(g);
+        b.output(k1);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.kind(x), NodeKind::Input);
+        assert_eq!(nl.kind(k0), NodeKind::Const(false));
+        assert_eq!(nl.kind(k1), NodeKind::Const(true));
+        assert_eq!(nl.kind(inv), NodeKind::Gate1 { f: Bf1::Inv, a: x });
+        assert_eq!(
+            nl.kind(g),
+            NodeKind::Gate2 {
+                f: Bf2::NOR,
+                a: inv,
+                b: k0
+            }
+        );
+        assert_eq!(nl.node(inv).name, "inv");
+    }
+
+    #[test]
     fn fanouts_are_consistent_with_fanins() {
         let nl = full_adder();
         let fo = nl.fanouts();
@@ -496,8 +945,20 @@ mod tests {
         for list in &fo {
             edges_from_fanouts += list.len();
         }
-        let edges_from_fanins: usize = nl.nodes().iter().map(|n| n.kind.fanins().count()).sum();
+        let edges_from_fanins: usize = nl.nodes().map(|n| n.kind.fanins().count()).sum();
         assert_eq!(edges_from_fanouts, edges_from_fanins);
+    }
+
+    #[test]
+    fn fanout_csr_matches_vec_form() {
+        let nl = full_adder();
+        let fo = nl.fanouts();
+        let csr = nl.fanout_csr();
+        assert_eq!(csr.len(), nl.len());
+        for (i, list) in fo.iter().enumerate() {
+            assert_eq!(csr.fanouts(NodeId(i as u32)), &list[..], "node {i}");
+        }
+        assert_eq!(csr.edge_count(), fo.iter().map(|l| l.len()).sum::<usize>());
     }
 
     #[test]
@@ -575,14 +1036,79 @@ mod tests {
     }
 
     #[test]
+    fn check_rejects_out_of_order_input_list() {
+        let nodes = vec![
+            Node {
+                kind: NodeKind::Input,
+                name: "x".into(),
+            },
+            Node {
+                kind: NodeKind::Input,
+                name: "y".into(),
+            },
+        ];
+        let err =
+            Netlist::from_parts("bad", nodes, vec![NodeId(1), NodeId(0)], vec![]).unwrap_err();
+        assert!(matches!(err, LogicError::Validation(_)));
+    }
+
+    #[test]
     fn fanin_cone_of_output_contains_inputs_it_depends_on() {
         let nl = full_adder();
         let cone = nl.fanin_cone(nl.find("cout").unwrap());
-        let names: Vec<&str> = cone.iter().map(|&id| nl.node(id).name.as_str()).collect();
+        let names: Vec<&str> = cone.iter().map(|&id| nl.node(id).name).collect();
         for needed in ["a", "b", "cin", "c1", "c2", "s1"] {
             assert!(names.contains(&needed), "missing {needed}");
         }
         assert!(!names.contains(&"sum"));
+    }
+
+    #[test]
+    fn cone_of_extracts_a_working_subcircuit() {
+        let nl = full_adder();
+        let cout = nl.find("cout").unwrap();
+        let (cone, map) = nl.cone_of(&[cout]);
+        // `sum` is outside cout's cone; everything else is in it.
+        assert_eq!(cone.len(), nl.len() - 1);
+        assert_eq!(map.cone_len(), cone.len());
+        assert_eq!(map.full_len(), nl.len());
+        assert!(!map.contains(nl.find("sum").unwrap()));
+        assert_eq!(cone.inputs().len(), 3);
+        assert_eq!(cone.outputs().len(), 1);
+        // Same function on the shared outputs.
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let full = nl.evaluate(&[a, b, cin]);
+                    let sub = cone.evaluate(&[a, b, cin]);
+                    assert_eq!(sub[0], full[1], "cout for {a}{b}{cin}");
+                }
+            }
+        }
+        // Ids map back to the same signals.
+        for i in 0..cone.len() {
+            let cid = NodeId(i as u32);
+            let fid = map.to_full(cid);
+            assert_eq!(cone.node(cid).name, nl.node(fid).name);
+            assert_eq!(map.to_cone(fid), Some(cid));
+        }
+    }
+
+    #[test]
+    fn cone_of_drops_unreachable_inputs() {
+        let mut b = NetlistBuilder::new("two_halves");
+        let x = b.input("x");
+        let y = b.input("y");
+        let gx = b.gate1("gx", Bf1::Inv, x);
+        let gy = b.gate1("gy", Bf1::Inv, y);
+        b.output(gx);
+        b.output(gy);
+        let nl = b.finish().unwrap();
+        let (cone, map) = nl.cone_of(&[gy]);
+        assert_eq!(cone.inputs().len(), 1);
+        assert_eq!(cone.node(cone.inputs()[0]).name, "y");
+        assert!(!map.contains(x));
+        assert_eq!(cone.evaluate(&[true]), vec![false]);
     }
 
     #[test]
@@ -600,6 +1126,15 @@ mod tests {
         let nl = full_adder();
         let s = nl.to_string();
         assert!(s.contains("full_adder") && s.contains("3 inputs"));
+    }
+
+    #[test]
+    fn arena_bytes_is_small_and_tracks_size() {
+        let nl = full_adder();
+        // 8 nodes: 1 meta byte + 8 fanin bytes + spans + short names.
+        assert!(nl.arena_bytes() < 8 * 64, "{}", nl.arena_bytes());
+        let (cone, _) = nl.cone_of(&[nl.find("cout").unwrap()]);
+        assert!(cone.arena_bytes() < nl.arena_bytes());
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //! [`NodeKind::eval_lanes`].
 
 use crate::error::LogicError;
-use crate::netlist::{Netlist, NodeId, NodeKind};
-use crate::sim::PatternBlock;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::{PatternBlock, NODES_EVALUATED};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::borrow::Cow;
@@ -254,6 +254,9 @@ pub struct FaultSimulator<'a> {
     profile: ErrorProfile,
     /// Scratch buffer reused across calls.
     values: Vec<u64>,
+    /// Pre-drawn flip masks for the scalar-stream path (one slot per noisy
+    /// node), reused across calls so a stream segment allocates nothing.
+    flips: Vec<u64>,
     rng: StdRng,
 }
 
@@ -286,6 +289,7 @@ impl<'a> FaultSimulator<'a> {
         );
         FaultSimulator {
             values: vec![0; netlist.len()],
+            flips: vec![0; profile.noisy.len()],
             netlist,
             profile,
             rng: StdRng::seed_from_u64(seed),
@@ -338,22 +342,15 @@ impl<'a> FaultSimulator<'a> {
         }
         let values = &mut self.values;
         let rates = self.profile.rates();
-        let mut next_input = 0usize;
-        for (i, node) in nl.nodes().iter().enumerate() {
-            let input = if node.kind == NodeKind::Input {
-                let v = block.lanes[next_input];
-                next_input += 1;
-                v
-            } else {
-                0
-            };
-            let mut v = node.kind.eval_lanes(values, input);
+        for i in 0..nl.len() {
+            let mut v = nl.eval_node_lanes(i, values, |k| block.lanes[k]);
             let rate = rates[i];
             if rate > 0.0 {
                 v ^= bernoulli_mask(&mut self.rng, rate);
             }
             values[i] = v;
         }
+        gshe_obs::count(NODES_EVALUATED, nl.len() as u64);
         Ok(nl.outputs().iter().map(|o| values[o.index()]).collect())
     }
 
@@ -390,24 +387,17 @@ impl<'a> FaultSimulator<'a> {
         }
         let values = &mut self.values;
         let rates = self.profile.rates();
-        let mut next_input = 0usize;
         // Lane 0 carries the pattern; the gate core is bitwise, so the
         // remaining lanes are simply ignored.
-        for (i, node) in nl.nodes().iter().enumerate() {
-            let input = if node.kind == NodeKind::Input {
-                let v = inputs[next_input] as u64;
-                next_input += 1;
-                v
-            } else {
-                0
-            };
-            let mut v = node.kind.eval_lanes(values, input);
+        for i in 0..nl.len() {
+            let mut v = nl.eval_node_lanes(i, values, |k| inputs[k] as u64);
             let rate = rates[i];
             if rate > 0.0 && self.rng.gen_bool(rate) {
                 v ^= 1;
             }
             values[i] = v;
         }
+        gshe_obs::count(NODES_EVALUATED, nl.len() as u64);
         Ok(nl
             .outputs()
             .iter()
@@ -443,6 +433,31 @@ impl<'a> FaultSimulator<'a> {
         start: usize,
         len: usize,
     ) -> Result<Vec<u64>, LogicError> {
+        let mut out = Vec::with_capacity(self.netlist.outputs().len());
+        self.run_scalar_stream_into(block, start, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`FaultSimulator::run_scalar_stream`], but writes the output
+    /// lanes into a caller-owned buffer (cleared and refilled) — zero
+    /// allocations per segment in the steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputCountMismatch`] on arity mismatch
+    /// (leaving `out` cleared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds `block.count`.
+    pub fn run_scalar_stream_into(
+        &mut self,
+        block: &PatternBlock,
+        start: usize,
+        len: usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), LogicError> {
+        out.clear();
         let nl: &Netlist = &self.netlist;
         if block.lanes.len() != nl.inputs().len() {
             return Err(LogicError::InputCountMismatch {
@@ -453,8 +468,12 @@ impl<'a> FaultSimulator<'a> {
         assert!(start + len <= block.count, "segment exceeds block");
         // Pre-draw the flip masks in scalar order: pattern-major, noisy
         // nodes in topological (ascending-id) order within each pattern.
+        // The mask buffer is hoisted onto the simulator so a stream
+        // segment performs no allocation at all.
         let rates = self.profile.rates();
-        let mut flips = vec![0u64; self.profile.noisy.len()];
+        let flips = &mut self.flips;
+        flips.clear();
+        flips.resize(self.profile.noisy.len(), 0);
         for k in start..start + len {
             for (slot, &i) in flips.iter_mut().zip(&self.profile.noisy) {
                 if self.rng.gen_bool(rates[i as usize]) {
@@ -463,24 +482,18 @@ impl<'a> FaultSimulator<'a> {
             }
         }
         let values = &mut self.values;
-        let mut next_input = 0usize;
         let mut next_noisy = 0usize;
-        for (i, node) in nl.nodes().iter().enumerate() {
-            let input = if node.kind == NodeKind::Input {
-                let v = block.lanes[next_input];
-                next_input += 1;
-                v
-            } else {
-                0
-            };
-            let mut v = node.kind.eval_lanes(values, input);
+        for i in 0..nl.len() {
+            let mut v = nl.eval_node_lanes(i, values, |k| block.lanes[k]);
             if rates[i] > 0.0 {
                 v ^= flips[next_noisy];
                 next_noisy += 1;
             }
             values[i] = v;
         }
-        Ok(nl.outputs().iter().map(|o| values[o.index()]).collect())
+        gshe_obs::count(NODES_EVALUATED, nl.len() as u64);
+        out.extend(nl.outputs().iter().map(|o| values[o.index()]));
+        Ok(())
     }
 
     /// Values of *all* nodes from the most recent run (packed lanes; for

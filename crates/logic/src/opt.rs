@@ -69,14 +69,14 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
         }
     };
 
-    for (i, node) in nl.nodes().iter().enumerate() {
+    for (i, node) in nl.nodes().enumerate() {
         if !live[i] {
             report.swept_dead += node.kind.is_gate() as usize;
             continue;
         }
         match node.kind {
             NodeKind::Input => {
-                emitted[i] = Some(b.input(node.name.clone()));
+                emitted[i] = Some(b.input(node.name));
             }
             NodeKind::Const(c) => {
                 folds[i] = Some(Fold::Const(c));
@@ -171,7 +171,7 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
                                 &mut report,
                             ));
                         } else {
-                            emitted[i] = Some(b.gate2(node.name.clone(), g, na, nb));
+                            emitted[i] = Some(b.gate2(node.name, g, na, nb));
                         }
                     }
                     _ => unreachable!("each operand is exactly const or alias"),

@@ -6,8 +6,12 @@
 //! this engine.
 
 use crate::error::LogicError;
-use crate::netlist::{Netlist, NodeKind};
+use crate::netlist::Netlist;
 use rand::Rng;
+
+/// Obs counter: nodes evaluated by simulation sweeps (gate throughput —
+/// divide by wall clock for a gates/sec figure).
+pub(crate) const NODES_EVALUATED: &str = "logic.nodes_evaluated";
 
 /// A block of up to 64 input patterns, one per bit lane.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,6 +180,27 @@ pub fn run_with_scratch(
     scratch: &mut Vec<u64>,
     block: &PatternBlock,
 ) -> Result<Vec<u64>, LogicError> {
+    let mut out = Vec::with_capacity(netlist.outputs().len());
+    run_with_scratch_into(netlist, scratch, block, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`run_with_scratch`], but writes the output lanes into a
+/// caller-owned buffer (cleared and refilled), so a steady-state caller —
+/// e.g. a rotating oracle answering epoch segments — performs **zero**
+/// allocations per pass.
+///
+/// # Errors
+///
+/// Returns [`LogicError::InputCountMismatch`] on arity mismatch (leaving
+/// `out` cleared).
+pub fn run_with_scratch_into(
+    netlist: &Netlist,
+    scratch: &mut Vec<u64>,
+    block: &PatternBlock,
+    out: &mut Vec<u64>,
+) -> Result<(), LogicError> {
+    out.clear();
     if block.lanes.len() != netlist.inputs().len() {
         return Err(LogicError::InputCountMismatch {
             expected: netlist.inputs().len(),
@@ -183,22 +208,10 @@ pub fn run_with_scratch(
         });
     }
     scratch.resize(netlist.len(), 0);
-    let mut next_input = 0usize;
-    for (i, node) in netlist.nodes().iter().enumerate() {
-        let input = if node.kind == NodeKind::Input {
-            let v = block.lanes[next_input];
-            next_input += 1;
-            v
-        } else {
-            0
-        };
-        scratch[i] = node.kind.eval_lanes(scratch, input);
-    }
-    Ok(netlist
-        .outputs()
-        .iter()
-        .map(|o| scratch[o.index()])
-        .collect())
+    netlist.sweep_lanes(scratch, &block.lanes);
+    gshe_obs::count(NODES_EVALUATED, netlist.len() as u64);
+    out.extend(netlist.outputs().iter().map(|o| scratch[o.index()]));
+    Ok(())
 }
 
 /// Scalar sibling of [`run_with_scratch`]: evaluates one pattern through
@@ -221,17 +234,11 @@ pub fn run_scalar_with_scratch(
         });
     }
     scratch.resize(netlist.len(), 0);
-    let mut next_input = 0usize;
-    for (i, node) in netlist.nodes().iter().enumerate() {
-        let input = if node.kind == NodeKind::Input {
-            let v = inputs[next_input] as u64;
-            next_input += 1;
-            v
-        } else {
-            0
-        };
-        scratch[i] = node.kind.eval_lanes(scratch, input);
+    for i in 0..netlist.len() {
+        let v = netlist.eval_node_lanes(i, scratch, |k| inputs[k] as u64);
+        scratch[i] = v;
     }
+    gshe_obs::count(NODES_EVALUATED, netlist.len() as u64);
     Ok(netlist
         .outputs()
         .iter()

@@ -28,11 +28,12 @@ pub struct NetlistStats {
 impl NetlistStats {
     /// Computes statistics for `netlist`.
     pub fn compute(netlist: &Netlist) -> Self {
-        let fanouts = netlist.fanouts();
+        let fanouts = netlist.fanout_csr();
         let mut max_fanout = 0usize;
         let mut fanout_sum = 0usize;
         let mut driven = 0usize;
-        for f in &fanouts {
+        for i in 0..netlist.len() {
+            let f = fanouts.fanouts(crate::netlist::NodeId(i as u32));
             max_fanout = max_fanout.max(f.len());
             if !f.is_empty() {
                 fanout_sum += f.len();
@@ -48,11 +49,12 @@ impl NetlistStats {
         };
         let dead_gates = netlist
             .nodes()
-            .iter()
             .enumerate()
             .filter(|(i, n)| {
                 matches!(n.kind, NodeKind::Gate1 { .. } | NodeKind::Gate2 { .. })
-                    && fanouts[*i].is_empty()
+                    && fanouts
+                        .fanouts(crate::netlist::NodeId(*i as u32))
+                        .is_empty()
                     && !is_output[*i]
             })
             .count();

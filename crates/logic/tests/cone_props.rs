@@ -1,0 +1,134 @@
+//! Property tests for [`Netlist::cone_of`]: on arbitrary generated
+//! netlists and arbitrary output subsets, evaluating the extracted cone
+//! (with its inputs gathered from the full pattern block through the
+//! [`IdMap`]) is *bit-identical* to evaluating the full netlist and
+//! reading the same outputs. This is the contract the attack-side
+//! cone-of-influence miter reduction rests on.
+
+use gshe_logic::{GeneratorConfig, NetlistGenerator, NodeId, NodeKind, PatternBlock, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cone_evaluation_is_bit_identical_to_full_netlist(
+        inputs in 2usize..12,
+        outputs in 2usize..8,
+        gates in 8usize..150,
+        netlist_seed in 0u64..10_000,
+        subset_mask in 1u64..200,
+        block_seed in 0u64..10_000,
+    ) {
+        let nl = NetlistGenerator::new(
+            GeneratorConfig::new("prop", inputs, outputs, gates).with_seed(netlist_seed),
+        )
+        .unwrap()
+        .generate();
+
+        // An arbitrary nonempty output subset, chosen by mask bits.
+        let full_outs = nl.outputs();
+        let mut roots: Vec<(usize, NodeId)> = full_outs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(k, _)| (subset_mask >> (k % 8)) & 1 == 1)
+            .collect();
+        if roots.is_empty() {
+            roots.push((0, full_outs[0]));
+        }
+        let root_ids: Vec<NodeId> = roots.iter().map(|&(_, id)| id).collect();
+
+        let (cone, map) = nl.cone_of(&root_ids);
+
+        // Structural sanity: the cone holds every root, never grows, and
+        // its inputs are genuine inputs of the full netlist.
+        prop_assert!(cone.len() <= nl.len());
+        prop_assert_eq!(map.full_len(), nl.len());
+        prop_assert_eq!(map.cone_len(), cone.len());
+        for &(_, root) in &roots {
+            prop_assert!(map.contains(root));
+        }
+        // Full-netlist ordinal of each surviving input, for lane gathering.
+        let gather: Vec<usize> = cone
+            .inputs()
+            .iter()
+            .map(|&ci| {
+                let full_id = map.to_full(ci);
+                prop_assert!(matches!(nl.kind(full_id), NodeKind::Input));
+                Ok(nl
+                    .inputs()
+                    .iter()
+                    .position(|&f| f == full_id)
+                    .expect("cone input maps back to a full input"))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut full_sim = Simulator::new(&nl);
+        let mut cone_sim = Simulator::new(&cone);
+        let mut rng = StdRng::seed_from_u64(block_seed);
+        for _ in 0..4 {
+            let block = PatternBlock::random(nl.inputs().len(), &mut rng);
+            let full_out = full_sim.run(&block).unwrap();
+            let cone_block = PatternBlock {
+                lanes: gather.iter().map(|&k| block.lanes[k]).collect(),
+                count: block.count,
+            };
+            let cone_out = cone_sim.run(&cone_block).unwrap();
+            prop_assert_eq!(cone_out.len(), roots.len());
+            for (cone_pos, &(full_pos, _)) in roots.iter().enumerate() {
+                prop_assert_eq!(
+                    cone_out[cone_pos],
+                    full_out[full_pos],
+                    "output {} (cone position {})",
+                    full_pos,
+                    cone_pos
+                );
+            }
+        }
+    }
+
+    /// Taking the cone of *all* outputs reproduces the reachable part of
+    /// the netlist exactly: same evaluation on every output.
+    #[test]
+    fn cone_of_all_outputs_is_equivalent(
+        inputs in 2usize..10,
+        outputs in 1usize..6,
+        gates in 8usize..100,
+        netlist_seed in 0u64..10_000,
+        block_seed in 0u64..10_000,
+    ) {
+        let nl = NetlistGenerator::new(
+            GeneratorConfig::new("prop", inputs, outputs, gates).with_seed(netlist_seed),
+        )
+        .unwrap()
+        .generate();
+        let (cone, map) = nl.cone_of(nl.outputs());
+        let gather: Vec<usize> = cone
+            .inputs()
+            .iter()
+            .map(|&ci| {
+                nl.inputs()
+                    .iter()
+                    .position(|&f| f == map.to_full(ci))
+                    .expect("cone input maps back to a full input")
+            })
+            .collect();
+        let mut full_sim = Simulator::new(&nl);
+        let mut cone_sim = Simulator::new(&cone);
+        let mut rng = StdRng::seed_from_u64(block_seed);
+        for _ in 0..4 {
+            let block = PatternBlock::random(nl.inputs().len(), &mut rng);
+            let cone_block = PatternBlock {
+                lanes: gather.iter().map(|&k| block.lanes[k]).collect(),
+                count: block.count,
+            };
+            prop_assert_eq!(
+                cone_sim.run(&cone_block).unwrap(),
+                full_sim.run(&block).unwrap()
+            );
+        }
+    }
+}

@@ -77,10 +77,7 @@ impl DelayModel {
 
     /// Per-node delay vector for a netlist, all CMOS.
     pub fn node_delays(&self, nl: &Netlist) -> Vec<f64> {
-        nl.nodes()
-            .iter()
-            .map(|n| self.delay_node(&n.kind))
-            .collect()
+        nl.nodes().map(|n| self.delay_node(&n.kind)).collect()
     }
 
     /// Per-node delay vector under a hybrid technology assignment.
@@ -91,7 +88,6 @@ impl DelayModel {
     pub fn node_delays_hybrid(&self, nl: &Netlist, tech: &[Technology]) -> Vec<f64> {
         assert_eq!(tech.len(), nl.len(), "technology assignment width mismatch");
         nl.nodes()
-            .iter()
             .zip(tech)
             .map(|(n, &t)| match (t, &n.kind) {
                 (_, NodeKind::Input | NodeKind::Const(_)) => 0.0,
@@ -104,7 +100,6 @@ impl DelayModel {
     /// Total static power of a hybrid design, W.
     pub fn power_hybrid(&self, nl: &Netlist, tech: &[Technology]) -> f64 {
         nl.nodes()
-            .iter()
             .zip(tech)
             .map(|(n, &t)| {
                 if !n.kind.is_gate() {

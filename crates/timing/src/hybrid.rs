@@ -48,7 +48,6 @@ pub fn delay_aware_replace(nl: &Netlist, model: &DelayModel, slack_margin: f64) 
 
     let penalty: Vec<f64> = nl
         .nodes()
-        .iter()
         .enumerate()
         .map(|(i, node)| {
             if node.kind.is_gate() {

@@ -101,7 +101,7 @@ pub fn path_delay_histogram(
     let mut dp: Vec<Option<Vec<f64>>> = vec![None; nl.len()];
     let mut out = vec![0.0f64; ibins];
 
-    for (i, node) in nl.nodes().iter().enumerate() {
+    for (i, node) in nl.nodes().enumerate() {
         let mut v = vec![0.0f64; ibins];
         let mut has_fanin = false;
         for f in node.kind.fanins() {
@@ -184,7 +184,6 @@ mod tests {
         let nl = b.finish().unwrap();
         let d: Vec<f64> = nl
             .nodes()
-            .iter()
             .map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 })
             .collect();
         let h = path_delay_histogram(&nl, &d, 16, 1.0);
@@ -203,13 +202,12 @@ mod tests {
             .generate();
         let d: Vec<f64> = nl
             .nodes()
-            .iter()
             .map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 })
             .collect();
         let h = path_delay_histogram(&nl, &d, 256, 1.0);
         // Exact count.
         let mut paths = vec![0.0f64; nl.len()];
-        for (i, node) in nl.nodes().iter().enumerate() {
+        for (i, node) in nl.nodes().enumerate() {
             let s: f64 = node.kind.fanins().map(|f| paths[f.index()]).sum();
             paths[i] = if node.kind.fanins().count() == 0 {
                 1.0
@@ -234,7 +232,6 @@ mod tests {
         .generate();
         let d: Vec<f64> = nl
             .nodes()
-            .iter()
             .map(|n| if n.kind.is_gate() { 100e-12 } else { 0.0 })
             .collect();
         let h = path_delay_histogram(&nl, &d, 200, 100e-12);
@@ -253,7 +250,6 @@ mod tests {
             .generate();
         let d: Vec<f64> = nl
             .nodes()
-            .iter()
             .map(|n| if n.kind.is_gate() { 1.0 } else { 0.0 })
             .collect();
         let h = path_delay_histogram(&nl, &d, 64, 1.0);

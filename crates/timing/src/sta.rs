@@ -23,7 +23,7 @@ impl TimingAnalysis {
         assert_eq!(delays.len(), nl.len(), "delay vector width mismatch");
         let n = nl.len();
         let mut arrival = vec![0.0f64; n];
-        for (i, node) in nl.nodes().iter().enumerate() {
+        for (i, node) in nl.nodes().enumerate() {
             let in_arr = node
                 .kind
                 .fanins()
@@ -42,7 +42,7 @@ impl TimingAnalysis {
         for &o in nl.outputs() {
             required[o.index()] = required[o.index()].min(critical);
         }
-        for (i, node) in nl.nodes().iter().enumerate().rev() {
+        for (i, node) in nl.nodes().enumerate().rev() {
             if required[i].is_infinite() {
                 continue; // dead logic constrains nothing
             }

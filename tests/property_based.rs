@@ -165,7 +165,7 @@ proptest! {
         let model = DelayModel::cmos_45nm();
         let delays = model.node_delays(&nl);
         let sta = TimingAnalysis::analyze(&nl, &delays);
-        for (i, node) in nl.nodes().iter().enumerate() {
+        for (i, node) in nl.nodes().enumerate() {
             for f in node.kind.fanins() {
                 prop_assert!(sta.arrivals()[i] >= sta.arrivals()[f.index()]);
             }
