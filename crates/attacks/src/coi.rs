@@ -51,10 +51,134 @@ pub enum CoiMode {
     /// seeded instances keep their historical byte-identical trace).
     #[default]
     Auto,
+    /// Like [`CoiMode::Auto`] with a caller-chosen node threshold.
+    AutoAt(usize),
     /// Always reduce (when the cone is a strict subset).
     On,
     /// Never reduce.
     Off,
+}
+
+impl CoiMode {
+    /// The node-count threshold at or above which this mode engages the
+    /// reduction, or `None` when it never engages.
+    pub fn threshold(self) -> Option<usize> {
+        match self {
+            CoiMode::Auto => Some(COI_AUTO_THRESHOLD),
+            CoiMode::AutoAt(t) => Some(t),
+            CoiMode::On => Some(0),
+            CoiMode::Off => None,
+        }
+    }
+
+    /// Whether this mode engages the reduction on a design of `nodes`
+    /// nodes. The affected-output preconditions (non-empty strict subset)
+    /// are checked separately by [`CoiProjection::build`].
+    pub fn engages(self, nodes: usize) -> bool {
+        self.threshold().is_some_and(|t| nodes >= t)
+    }
+
+    /// Parses `"auto"`, `"on"`, `"off"`, or `"auto:<nodes>"`.
+    pub fn parse(s: &str) -> Option<CoiMode> {
+        match s {
+            "auto" => Some(CoiMode::Auto),
+            "on" => Some(CoiMode::On),
+            "off" => Some(CoiMode::Off),
+            _ => {
+                let t = s.strip_prefix("auto:")?;
+                t.parse::<usize>().ok().map(CoiMode::AutoAt)
+            }
+        }
+    }
+
+    /// The spec-file spelling accepted by [`CoiMode::parse`].
+    pub fn name(&self) -> String {
+        match self {
+            CoiMode::Auto => "auto".to_string(),
+            CoiMode::AutoAt(t) => format!("auto:{t}"),
+            CoiMode::On => "on".to_string(),
+            CoiMode::Off => "off".to_string(),
+        }
+    }
+}
+
+/// Full-design **input ordinals** feeding the cone the DIP engine will
+/// attack under `mode`, or `None` when the engine stays on the full
+/// miter. This mirrors [`CoiProjection::build`]'s engagement decision
+/// exactly — same mode gate, same affected-output preconditions — but
+/// costs only two linear sweeps and materializes nothing, so callers
+/// (the campaign's cone-keyed oracle cache) can key on the cone inputs
+/// *before* the attack runs without risking a key-aliasing mismatch.
+pub fn cone_inputs(keyed: &KeyedNetlist, mode: CoiMode) -> Option<Vec<usize>> {
+    let nl = keyed.netlist();
+    if !mode.engages(nl.len()) {
+        return None;
+    }
+    let affected = affected_outputs_of(keyed)?;
+
+    // Reverse sweep: transitive fanin of the affected outputs. Node ids
+    // are topological, so one descending pass suffices.
+    let mut need = vec![false; nl.len()];
+    for &o in &affected {
+        need[o.index()] = true;
+    }
+    for i in (0..nl.len()).rev() {
+        if need[i] {
+            for f in nl.fanins(NodeId(i as u32)) {
+                need[f.index()] = true;
+            }
+        }
+    }
+    Some(
+        nl.inputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| need[i.index()])
+            .map(|(k, _)| k)
+            .collect(),
+    )
+}
+
+/// Primary outputs reached by some cloaked cell under `mode`'s
+/// engagement gate, or `None` when callers should stay on the full
+/// design (mode off or below threshold, no affected output, or every
+/// output affected). Same decision as [`CoiProjection::build`], at the
+/// cost of two linear sweeps — used by cone-scoped key verification,
+/// which only needs the output set, not the materialized cone.
+pub fn affected_outputs(keyed: &KeyedNetlist, mode: CoiMode) -> Option<Vec<NodeId>> {
+    if !mode.engages(keyed.netlist().len()) {
+        return None;
+    }
+    affected_outputs_of(keyed)
+}
+
+/// Primary outputs reached by some cloaked cell, or `None` when the
+/// projection preconditions fail (no affected output, or every output
+/// affected).
+fn affected_outputs_of(keyed: &KeyedNetlist) -> Option<Vec<NodeId>> {
+    let nl = keyed.netlist();
+    // Forward taint sweep: a node is tainted when it is a cloaked cell
+    // or any fanin is tainted. Node order is topological, so one
+    // ascending pass suffices — no fanout adjacency needed.
+    let mut tainted = vec![false; nl.len()];
+    for g in keyed.camo_gates() {
+        tainted[g.node.index()] = true;
+    }
+    for i in 0..nl.len() {
+        if !tainted[i] && nl.fanins(NodeId(i as u32)).any(|f| tainted[f.index()]) {
+            tainted[i] = true;
+        }
+    }
+    let affected: Vec<NodeId> = nl
+        .outputs()
+        .iter()
+        .copied()
+        .filter(|o| tainted[o.index()])
+        .collect();
+    if affected.is_empty() || affected.len() == nl.outputs().len() {
+        return None;
+    }
+    Some(affected)
 }
 
 /// A keyed netlist projected onto the cone of influence of its cloaked
@@ -80,39 +204,20 @@ impl CoiProjection {
     /// (the key is unconstrained — the full miter converges immediately),
     /// or every output affected (no reduction to be had).
     pub fn build(keyed: &KeyedNetlist, mode: CoiMode) -> Option<CoiProjection> {
-        match mode {
-            CoiMode::Off => return None,
-            CoiMode::Auto if keyed.netlist().len() < COI_AUTO_THRESHOLD => return None,
-            _ => {}
-        }
         let nl = keyed.netlist();
-
-        // Forward taint sweep: a node is tainted when it is a cloaked
-        // cell or any fanin is tainted. Node order is topological, so one
-        // ascending pass suffices — no fanout adjacency needed.
-        let mut tainted = vec![false; nl.len()];
-        for g in keyed.camo_gates() {
-            tainted[g.node.index()] = true;
-        }
-        for i in 0..nl.len() {
-            if !tainted[i] && nl.fanins(NodeId(i as u32)).any(|f| tainted[f.index()]) {
-                tainted[i] = true;
-            }
-        }
-        let affected: Vec<NodeId> = nl
-            .outputs()
-            .iter()
-            .copied()
-            .filter(|o| tainted[o.index()])
-            .collect();
-        if affected.is_empty() || affected.len() == nl.outputs().len() {
+        if !mode.engages(nl.len()) {
             return None;
+        }
+        let affected = affected_outputs_of(keyed)?;
+        let mut is_affected = vec![false; nl.len()];
+        for &o in &affected {
+            is_affected[o.index()] = true;
         }
         let output_map: Vec<usize> = nl
             .outputs()
             .iter()
             .enumerate()
-            .filter(|(_, o)| tainted[o.index()])
+            .filter(|(_, o)| is_affected[o.index()])
             .map(|(k, _)| k)
             .collect();
 
@@ -186,6 +291,11 @@ impl CoiProjection {
     /// Nodes in the cone vs. the full design, as a reduction diagnostic.
     pub fn cone_len(&self) -> usize {
         self.keyed.netlist().len()
+    }
+
+    /// Cone input ordinal → full-design input ordinal.
+    pub fn input_map(&self) -> &[usize] {
+        &self.input_map
     }
 }
 
@@ -373,5 +483,61 @@ mod tests {
             let v = verify_key(&nl, &keyed, out.key.as_ref().unwrap()).unwrap();
             assert!(v.functionally_equivalent);
         }
+    }
+
+    #[test]
+    fn cone_inputs_matches_projection_engagement_and_map() {
+        let (_, keyed) = split_design();
+        // The cheap sweep and the full build must agree on engagement for
+        // every mode, and on the input set whenever both engage.
+        for mode in [
+            CoiMode::Auto,
+            CoiMode::On,
+            CoiMode::Off,
+            CoiMode::AutoAt(0),
+            CoiMode::AutoAt(3),
+            CoiMode::AutoAt(1_000_000),
+        ] {
+            let inputs = cone_inputs(&keyed, mode);
+            let proj = CoiProjection::build(&keyed, mode);
+            assert_eq!(inputs.is_some(), proj.is_some(), "{mode:?}");
+            if let (Some(inputs), Some(proj)) = (inputs, proj) {
+                let mut from_proj = proj.input_map().to_vec();
+                from_proj.sort_unstable();
+                assert_eq!(inputs, from_proj, "{mode:?}");
+            }
+        }
+        // An AutoAt threshold at or below the node count engages, above
+        // it does not.
+        let n = keyed.netlist().len();
+        assert!(cone_inputs(&keyed, CoiMode::AutoAt(n)).is_some());
+        assert!(cone_inputs(&keyed, CoiMode::AutoAt(n + 1)).is_none());
+    }
+
+    #[test]
+    fn coi_mode_parse_round_trips() {
+        for (text, mode) in [
+            ("auto", CoiMode::Auto),
+            ("on", CoiMode::On),
+            ("off", CoiMode::Off),
+            ("auto:20000", CoiMode::AutoAt(20_000)),
+        ] {
+            assert_eq!(CoiMode::parse(text), Some(mode));
+            assert_eq!(mode.name(), text);
+        }
+        assert_eq!(CoiMode::parse("auto:"), None);
+        assert_eq!(CoiMode::parse("sometimes"), None);
+        assert_eq!(CoiMode::Auto.threshold(), Some(COI_AUTO_THRESHOLD));
+        assert!(!CoiMode::Off.engages(usize::MAX));
+        assert!(CoiMode::On.engages(0));
+    }
+
+    #[test]
+    fn auto_at_engages_small_designs_through_the_engine() {
+        let (nl, keyed) = split_design();
+        let proj = CoiProjection::build(&keyed, CoiMode::AutoAt(4)).expect("above threshold");
+        assert!(proj.cone_len() < nl.len());
+        // And the default threshold keeps the same design on the full path.
+        assert!(CoiProjection::build(&keyed, CoiMode::Auto).is_none());
     }
 }

@@ -44,12 +44,12 @@ pub mod sat_attack;
 pub mod stack;
 
 pub use appsat::{appsat_attack, AppSatConfig};
-pub use coi::{CoiMode, CoiOracle, CoiProjection, COI_AUTO_THRESHOLD};
+pub use coi::{cone_inputs, CoiMode, CoiOracle, CoiProjection, COI_AUTO_THRESHOLD};
 pub use dip_engine::{RefinePolicy, DEFAULT_BATCH_WIDTH};
 pub use double_dip::double_dip_attack;
 pub use encode::{assert_valid_key_codes, encode_keyed, encode_keyed_fixed, EncodedCopy};
 pub use gshe_sat::RestartMode;
-pub use metrics::{verify_key, KeyVerification};
+pub use metrics::{sat_equivalent_on, verify_key, verify_key_scoped, KeyVerification};
 pub use oracle::{NetlistOracle, Oracle, RotatingOracle, StochasticOracle};
 pub use runner::{AttackKind, AttackRunner};
 pub use sat_attack::{sat_attack, AttackConfig, AttackOutcome, AttackStatus};

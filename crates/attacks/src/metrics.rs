@@ -1,11 +1,13 @@
 //! Key verification and attack-quality metrics.
 
+use crate::coi::{affected_outputs, CoiMode};
 use crate::encode::encode_keyed;
 use gshe_camo::{CamoError, KeyedNetlist};
-use gshe_logic::{Netlist, PatternBlock, Simulator};
+use gshe_logic::{Netlist, NodeId, PatternBlock, Simulator};
 use gshe_sat::{CircuitEncoder, Lit, SolveResult, Solver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// Verdict on a recovered key.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,8 +33,36 @@ pub fn verify_key(
     keyed: &KeyedNetlist,
     key: &[bool],
 ) -> Result<KeyVerification, CamoError> {
+    verify_key_scoped(original, keyed, key, CoiMode::Off)
+}
+
+/// [`verify_key`] with the equivalence proof scoped to the cone of
+/// influence of the cloaked cells when `mode` engages on this design.
+///
+/// Resolution rewrites only the cloaked cells, so any output no cell
+/// reaches computes the same function of the primary inputs in both
+/// netlists by construction — the SAT proof need cover only the
+/// affected outputs' fanin cones. On superblue-scale designs that turns
+/// a full-width UNSAT proof (the dominant cost of a campaign attack
+/// cell once the DIP loop itself runs on the cone) into one over a
+/// few-thousand-node cone. The verdict is identical to [`verify_key`]'s;
+/// [`CoiMode::Off`] (or a design below the threshold, or a degenerate
+/// affected set) falls back to the full-interface miter.
+///
+/// # Errors
+///
+/// Returns [`CamoError::KeyLengthMismatch`] if the key has the wrong width.
+pub fn verify_key_scoped(
+    original: &Netlist,
+    keyed: &KeyedNetlist,
+    key: &[bool],
+    mode: CoiMode,
+) -> Result<KeyVerification, CamoError> {
     let resolved = keyed.resolve(key)?;
-    let functionally_equivalent = sat_equivalent(original, &resolved);
+    let functionally_equivalent = match affected_outputs(keyed, mode) {
+        Some(outputs) => sat_equivalent_on(original, &resolved, &outputs),
+        None => sat_equivalent(original, &resolved),
+    };
     let sampled_error_rate = if functionally_equivalent {
         0.0
     } else {
@@ -59,6 +89,38 @@ pub fn sat_equivalent(a: &Netlist, b: &Netlist) -> bool {
             enc.equal(*x, *y);
         }
         enc.miter(&ca.1, &cb.1)
+    };
+    solver.add_clause(&[diff]);
+    solver.solve() == SolveResult::Unsat
+}
+
+/// Exact equivalence of `a` and `b` restricted to `outputs` (node ids
+/// valid in both netlists — they must share an id space, as an original
+/// and its resolved keyed clone do). Each side contributes the fanin
+/// cone of those outputs; primary inputs present in both cones are
+/// unified, and an input only one side reads stays free — if the other
+/// side truly ignores it the miter stays UNSAT, and any dependence it
+/// could witness is a real inequivalence.
+pub fn sat_equivalent_on(a: &Netlist, b: &Netlist, outputs: &[NodeId]) -> bool {
+    let (ca, ma) = a.cone_of(outputs);
+    let (cb, mb) = b.cone_of(outputs);
+    let mut solver = Solver::new();
+    let diff = {
+        let mut enc = CircuitEncoder::new(&mut solver);
+        let (ia, oa) = encode_plain(&mut enc, &ca);
+        let (ib, ob) = encode_plain(&mut enc, &cb);
+        let by_full: HashMap<usize, Lit> = ca
+            .inputs()
+            .iter()
+            .zip(&ia)
+            .map(|(&n, &lit)| (ma.to_full(n).index(), lit))
+            .collect();
+        for (&n, &lit) in cb.inputs().iter().zip(&ib) {
+            if let Some(&la) = by_full.get(&mb.to_full(n).index()) {
+                enc.equal(la, lit);
+            }
+        }
+        enc.miter(&oa, &ob)
     };
     solver.add_clause(&[diff]);
     solver.solve() == SolveResult::Unsat
@@ -148,6 +210,40 @@ mod tests {
         assert!(!v.structurally_correct);
         assert!(!v.functionally_equivalent);
         assert!(v.sampled_error_rate > 0.0);
+    }
+
+    /// Cone-scoped verification returns the exact verdict of the
+    /// full-interface proof, for correct keys, near-miss keys (one cell
+    /// flipped), and fully wrong keys, on a netlist whose cloaked cells
+    /// affect a proper subset of the outputs (so the scoping engages).
+    #[test]
+    fn scoped_verification_matches_full() {
+        use gshe_logic::{GeneratorConfig, NetlistGenerator};
+        let nl = NetlistGenerator::new(GeneratorConfig::new("sv", 12, 8, 120).with_seed(9))
+            .unwrap()
+            .generate();
+        // Cloak an output gate directly: its influence is exactly the
+        // outputs that read it — a proper subset — where a random
+        // interior pick percolates to every output on this topology.
+        let picks = vec![nl.outputs()[0]];
+        let mut rng = StdRng::seed_from_u64(5);
+        let keyed = camouflage(&nl, &picks, CamoScheme::GsheAll16, &mut rng).unwrap();
+        assert!(
+            affected_outputs(&keyed, CoiMode::On).is_some(),
+            "placement must give the scoped path a proper output subset"
+        );
+        let correct = keyed.correct_key();
+        let mut near = correct.clone();
+        near[0] = !near[0];
+        let mut wrong = correct.clone();
+        for b in wrong.iter_mut() {
+            *b = !*b;
+        }
+        for key in [&correct, &near, &wrong] {
+            let full = verify_key(&nl, &keyed, key).unwrap();
+            let scoped = verify_key_scoped(&nl, &keyed, key, CoiMode::On).unwrap();
+            assert_eq!(full, scoped, "verdicts diverged for key {key:?}");
+        }
     }
 
     #[test]

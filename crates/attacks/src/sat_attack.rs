@@ -91,6 +91,14 @@ impl AttackConfig {
     pub fn with_coi(self, coi: CoiMode) -> Self {
         AttackConfig { coi, ..self }
     }
+
+    /// Alias of [`AttackConfig::with_coi`] for spec-driven callers: the
+    /// campaign layer resolves the `coi_mode` spec key (including
+    /// `"auto:<nodes>"` thresholds via [`CoiMode::parse`]) and threads it
+    /// here.
+    pub fn with_coi_mode(self, coi: CoiMode) -> Self {
+        self.with_coi(coi)
+    }
 }
 
 /// How an attack ended.

@@ -56,9 +56,37 @@ fn bench_sta(c: &mut Criterion) {
     });
 }
 
+/// Cone extraction under the two fanin topologies: the locality-biased
+/// generator wires tiles of ~1k gates with rare escapes, so a single
+/// output's fanin cone stays a thin slice of the design, while uniform
+/// fanin draws percolate almost the whole netlist into every cone. The
+/// bench pins both the extraction cost and (via the printed sizes in
+/// test code) why superblue-scale COI projection only pays off on
+/// locality-biased instances.
+fn bench_cone_topology(c: &mut Criterion) {
+    use gshe_core::logic::Topology;
+
+    let mut group = c.benchmark_group("cone_of_by_topology");
+    for topology in [Topology::Uniform, Topology::Local] {
+        let nl = NetlistGenerator::new(
+            GeneratorConfig::new("t", 64, 32, 50_000)
+                .with_seed(7)
+                .with_topology(topology),
+        )
+        .unwrap()
+        .generate();
+        let roots = [nl.outputs()[0], nl.outputs()[nl.outputs().len() / 2]];
+        group.bench_function(format!("50k_gates_{}", topology.name()), |b| {
+            b.iter(|| nl.cone_of(&roots))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_simulation, bench_generation, bench_parse_round_trip, bench_sta
+    targets = bench_simulation, bench_generation, bench_parse_round_trip, bench_sta,
+        bench_cone_topology
 }
 criterion_main!(benches);

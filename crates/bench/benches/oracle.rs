@@ -301,10 +301,64 @@ fn bench_coi_miter(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cone-keyed campaign cache on a superblue-shaped instance (sb1 at
+/// scale 16, locality-biased topology, ~60k nodes): `query_block`
+/// through [`CachedOracle::over_cone`] cold (every block simulated,
+/// then inserted under its packed cone-input sub-key) vs. warm (pure
+/// hash probes on cone-width keys). The acceptance target is a ≥5×
+/// warm-over-cold win — in practice the gap is orders of magnitude,
+/// since a cold query sweeps the full arena per block.
+fn bench_coi_cached_oracle(c: &mut Criterion) {
+    use gshe_core::campaign::{CachedOracle, OracleCache};
+    use gshe_core::logic::Topology;
+
+    let spec = suites::spec("sb1").expect("superblue suite present");
+    let nl = suites::benchmark_scaled_with(spec, 16, 1, Topology::Local);
+    let cone: Vec<usize> = (0..64).collect();
+    let mut rng = StdRng::seed_from_u64(17);
+    let blocks: Vec<PatternBlock> = (0..16)
+        .map(|_| PatternBlock::random(nl.inputs().len(), &mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("coi_cached_oracle_sb1");
+
+    group.bench_function("cold_query_block_x16", |b| {
+        b.iter(|| {
+            // A fresh cache per iteration: every block misses and
+            // simulates the full 60k-node arena.
+            let cache = OracleCache::shared_with_cap(0);
+            let mut oracle = CachedOracle::over_cone(&nl, cache, cone.clone());
+            for block in &blocks {
+                black_box(oracle.query_block(black_box(block)));
+            }
+        })
+    });
+
+    let warm_cache = OracleCache::shared_with_cap(0);
+    let mut warm = CachedOracle::over_cone(&nl, warm_cache, cone.clone());
+    for block in &blocks {
+        warm.query_block(block);
+    }
+    group.bench_function("warm_query_block_x16", |b| {
+        b.iter(|| {
+            for block in &blocks {
+                black_box(warm.query_block(black_box(block)));
+            }
+        })
+    });
+
+    group.finish();
+}
+
 criterion_group! {
     name = oracle;
     config = Criterion::default().sample_size(30);
     targets = bench_oracle_paths, bench_stacked_oracle, bench_gates_per_sec
+}
+criterion_group! {
+    name = coi_cached_oracle;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coi_cached_oracle
 }
 criterion_group! {
     name = candidate_score;
@@ -337,5 +391,6 @@ criterion_main!(
     batched_dip,
     coi_miter,
     incremental_solver,
-    candidate_score
+    candidate_score,
+    coi_cached_oracle
 );

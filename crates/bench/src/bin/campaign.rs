@@ -64,9 +64,17 @@ GRID FLAGS (each overrides the spec file's value):
                          the rotating *and* noisy chip)
   --trials N             repeats per grid cell
   --scale N              benchmark scale divisor
+  --topology NAME        generator wiring profile: uniform | local
+  --coi-mode MODE        cone-of-influence gating for attacks *and* the
+                         cache's cone-keyed entries: auto | auto:<nodes>
+                         | on | off
   --seed N               master seed
   --timeout SECS         per-job attack budget
   --threads N            workers (0 = available parallelism)
+  --memo-budget-mb MB    streaming memo budget in MiB (fractions allowed;
+                         0 = keep every benchmark resident): benchmarks
+                         run in chunks whose arenas fit the budget, with
+                         per-chunk eviction
 
 RUNTIME:
   --cache-cap N          oracle-cache entry cap (0 = unbounded; a session
@@ -237,6 +245,29 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--scale takes an integer"))
             }
+            "--topology" => {
+                spec.topology = gshe_core::logic::Topology::parse(&value).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown topology `{value}` (valid: uniform, local)"
+                    ))
+                })
+            }
+            "--coi-mode" => {
+                spec.coi_mode = gshe_core::attacks::CoiMode::parse(&value).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown coi mode `{value}` (valid: auto, auto:<nodes>, on, off)"
+                    ))
+                })
+            }
+            "--memo-budget-mb" => {
+                let mb: f64 = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--memo-budget-mb takes MiB (0 = unbounded)"));
+                if !(mb.is_finite() && mb >= 0.0) {
+                    fail("--memo-budget-mb takes a non-negative number of MiB");
+                }
+                spec.memo_budget_mb = mb;
+            }
             "--seed" => {
                 spec.seed = value
                     .parse()
@@ -325,6 +356,19 @@ fn main() {
         },
         session.cache().evictions(),
     );
+    if report.cone_hits + report.cone_misses > 0 {
+        println!(
+            "cone-keyed entries: {} hits / {} misses ({} key words vs full-width blocks)",
+            report.cone_hits, report.cone_misses, report.cone_key_words,
+        );
+    }
+    if spec.memo_budget_mb > 0.0 {
+        println!(
+            "streaming memo: peak {:.2} MiB of netlist arenas (budget {} MiB)",
+            report.peak_memo_bytes as f64 / (1024.0 * 1024.0),
+            spec.memo_budget_mb,
+        );
+    }
     println!(
         "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8} {:>10} {:>9} {:>8}",
         "benchmark",

@@ -12,6 +12,7 @@ use gshe_bench::HarnessArgs;
 use gshe_core::campaign::{
     AttackSeeds, Campaign, CampaignSpec, JobKind, JobResult, JobSpec, JobStatus, NoiseShape,
 };
+use gshe_core::logic::Topology;
 use gshe_core::prelude::{AttackKind, CamoScheme};
 
 const ACCURACIES: [f64; 4] = [1.0, 0.99, 0.95, 0.90];
@@ -44,6 +45,7 @@ fn main() {
                 jobs.push(JobSpec {
                     kind: JobKind::Attack {
                         benchmark: "c7552".to_string(),
+                        topology: Topology::Uniform,
                         scheme: CamoScheme::GsheAll16,
                         level: 0.20,
                         attack,

@@ -18,6 +18,7 @@ use gshe_bench::{runtime_cell, HarnessArgs};
 use gshe_core::campaign::{
     AttackSeeds, Campaign, CampaignSpec, JobKind, JobSpec, JobStatus, NoiseShape,
 };
+use gshe_core::logic::Topology;
 use gshe_core::prelude::{AttackKind, CamoScheme};
 
 const BENCHES: [&str; 7] = [
@@ -46,6 +47,7 @@ fn main() {
                 jobs.push(JobSpec {
                     kind: JobKind::Attack {
                         benchmark: name.to_string(),
+                        topology: Topology::Uniform,
                         scheme,
                         level,
                         attack: AttackKind::Sat,

@@ -11,12 +11,16 @@ use crate::job::{JobKind, JobResult, JobStatus, NoiseShape};
 use crate::spec::scheme_name;
 use gshe_attacks::AttackKind;
 use gshe_camo::CamoScheme;
+use gshe_logic::Topology;
 
 /// Identity of one attack-grid cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellKey {
     /// Benchmark name.
     pub benchmark: String,
+    /// Netlist topology profile the benchmark was generated with
+    /// ([`Topology::Uniform`] is the historical generator).
+    pub topology: Topology,
     /// Camouflaging scheme.
     pub scheme: CamoScheme,
     /// Protection level (fraction).
@@ -111,6 +115,7 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
         match &result.spec.kind {
             JobKind::Attack {
                 benchmark,
+                topology,
                 scheme,
                 level,
                 attack,
@@ -122,6 +127,7 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
             } => {
                 let key = CellKey {
                     benchmark: benchmark.clone(),
+                    topology: *topology,
                     scheme: *scheme,
                     level: *level,
                     attack: *attack,
@@ -239,6 +245,7 @@ mod tests {
             spec: JobSpec {
                 kind: JobKind::Attack {
                     benchmark: "c7552".into(),
+                    topology: Topology::Uniform,
                     scheme: CamoScheme::GsheAll16,
                     level: 0.2,
                     attack: AttackKind::Sat,

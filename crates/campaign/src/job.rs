@@ -14,10 +14,13 @@
 //! fairness protocol).
 
 use crate::cache::{CachedOracle, OracleCache};
-use gshe_attacks::{verify_key, AttackKind, AttackRunner, AttackStatus, OracleStack};
+use gshe_attacks::{
+    cone_inputs, verify_key_scoped, AttackConfig, AttackKind, AttackRunner, AttackStatus, CoiMode,
+    OracleStack,
+};
 use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
 use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
-use gshe_logic::{ErrorProfile, Netlist, NodeId};
+use gshe_logic::{ErrorProfile, Netlist, NodeId, Topology};
 use gshe_sat::SolverStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -211,8 +214,13 @@ pub enum JobKind {
     /// Camouflage a benchmark, attack it through an oracle, verify the
     /// recovered key.
     Attack {
-        /// Benchmark name (resolvable via `gshe_logic::suites::spec`).
+        /// Benchmark name (resolvable via `gshe_logic::suites::spec`, or
+        /// a `.aag` file path loaded through the AIGER frontend).
         benchmark: String,
+        /// Topology profile the benchmark was generated with (file-backed
+        /// benchmarks carry [`Topology::Uniform`] — the field is identity
+        /// metadata for reports and the materialization memo).
+        topology: Topology,
         /// Camouflaging scheme under attack.
         scheme: CamoScheme,
         /// Fraction of gates protected.
@@ -429,6 +437,28 @@ impl KeyedMemo {
         self.entries.lock().unwrap().len()
     }
 
+    /// Total [`gshe_logic::Netlist::arena_bytes`] of the keyed netlists
+    /// currently memoized — the memo's dominant memory cost.
+    pub fn arena_bytes(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, keyed)| keyed.netlist().arena_bytes())
+            .sum()
+    }
+
+    /// Evicts every materialization derived from `nl` (matched by `Arc`
+    /// allocation identity, like the memo's own lookups). Returns how
+    /// many entries were dropped. The streaming scheduler calls this when
+    /// a benchmark's chunk retires.
+    pub fn evict_for(&self, nl: &Arc<Netlist>) -> usize {
+        let mut entries = self.entries.lock().unwrap();
+        let before = entries.len();
+        entries.retain(|(k, _)| !Arc::ptr_eq(&k.netlist, nl));
+        before - entries.len()
+    }
+
     /// `true` when nothing has been materialized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -446,6 +476,12 @@ pub struct JobContext {
     pub params: SwitchParams,
     /// Session-wide memo of scheme materializations.
     pub keyed: Arc<KeyedMemo>,
+    /// Cone-of-influence policy shared by every attack job — the same
+    /// mode gates the attack engine's COI projection and the campaign
+    /// cache's cone-keyed entries, so the two can never disagree about
+    /// whether a design's oracle answers are a function of its cone
+    /// inputs alone.
+    pub coi_mode: CoiMode,
 }
 
 impl JobContext {
@@ -477,6 +513,7 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
     match &spec.kind {
         JobKind::Attack {
             benchmark,
+            topology: _,
             scheme,
             level,
             attack,
@@ -504,7 +541,15 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
                     }
                 }
             };
-            let runner = AttackRunner::new(*attack, spec.timeout, seeds.oracle);
+            let runner = AttackRunner::with_config(
+                *attack,
+                AttackConfig {
+                    timeout: spec.timeout,
+                    ..Default::default()
+                }
+                .with_coi_mode(ctx.coi_mode),
+                seeds.oracle,
+            );
             // Build the oracle stack bottom-up from the cell's defense
             // dimensions: a noisy base when the cell carries an error
             // rate, a rotation layer when it carries a period — any
@@ -515,7 +560,17 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
             let noise = (*error_rate > 0.0).then(|| noise_profile(&keyed, *profile, *error_rate));
             let out = match (*rotation_period, noise) {
                 (0, None) => {
-                    let mut oracle = CachedOracle::over(nl, Arc::clone(&ctx.cache));
+                    // When the job's COI mode engages on this design, the
+                    // oracle answers are a pure function of the cone
+                    // inputs (the engine zero-fills the rest), so the
+                    // cache can key entries on the packed cone
+                    // sub-pattern instead of the full input width —
+                    // superblue-wide blocks shrink to cone-width keys and
+                    // hit across jobs whose non-cone lanes differ.
+                    let mut oracle = match cone_inputs(&keyed, ctx.coi_mode) {
+                        Some(cone) => CachedOracle::over_cone(nl, Arc::clone(&ctx.cache), cone),
+                        None => CachedOracle::over(nl, Arc::clone(&ctx.cache)),
+                    };
                     runner.run(&keyed, &mut oracle)
                 }
                 (0, Some(noise)) => {
@@ -543,7 +598,11 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
             result.iterations = out.iterations;
             result.solver_stats = out.solver_stats;
             if let Some(key) = &out.key {
-                match verify_key(nl, &keyed, key) {
+                // Scoped to the cloaked cells' affected-output cones
+                // when the job's COI mode engages — at superblue scale
+                // the full-interface UNSAT proof would dwarf the
+                // cone-projected attack it is checking.
+                match verify_key_scoped(nl, &keyed, key, ctx.coi_mode) {
                     Ok(v) => {
                         result.key_recovered = v.functionally_equivalent;
                         result.output_error_rate = v.sampled_error_rate;
@@ -629,6 +688,7 @@ mod tests {
     fn attack_kind(trial: u64) -> JobKind {
         JobKind::Attack {
             benchmark: "ex1010".into(),
+            topology: Topology::Uniform,
             scheme: CamoScheme::InvBuf,
             level: 0.2,
             attack: AttackKind::Sat,
@@ -749,6 +809,7 @@ mod tests {
             cache: OracleCache::shared(),
             params: SwitchParams::table_i(),
             keyed: Arc::new(KeyedMemo::default()),
+            coi_mode: CoiMode::Auto,
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::Failed);
@@ -774,6 +835,7 @@ mod tests {
             cache: OracleCache::shared(),
             params: SwitchParams::table_i(),
             keyed: Arc::new(KeyedMemo::default()),
+            coi_mode: CoiMode::Auto,
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::TimedOut);
@@ -795,6 +857,7 @@ mod tests {
             cache: OracleCache::shared(),
             params: SwitchParams::table_i(),
             keyed: Arc::new(KeyedMemo::default()),
+            coi_mode: CoiMode::Auto,
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::Completed);

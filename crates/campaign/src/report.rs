@@ -10,6 +10,7 @@ use crate::aggregate::{aggregate, DeviceRow, TableRow};
 use crate::job::{JobKind, JobResult, NoiseShape};
 use crate::pool::{pool_summary, WorkerStats};
 use crate::spec::scheme_name;
+use gshe_logic::Topology;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -35,6 +36,19 @@ pub struct CampaignReport {
     /// Distinct blocks resident in the oracle cache at the end of the run
     /// (block-level keys: one entry answers up to 64 patterns).
     pub cache_entries: u64,
+    /// Cache hits answered from **cone-keyed** entries (COI-engaged jobs
+    /// keying on the packed cone sub-pattern). Subset of `cache_hits`;
+    /// timing-side diagnostic.
+    pub cone_hits: u64,
+    /// Cache misses on cone-keyed lookups. Subset of `cache_misses`.
+    pub cone_misses: u64,
+    /// Widest cone key packed so far, in 64-bit words (0 = no cone-keyed
+    /// traffic). Full-width block keys for the same designs would be
+    /// `ceil(inputs/64) + 1` words — the gap is the key-compression win.
+    pub cone_key_words: u64,
+    /// Peak bytes of memoized benchmark-netlist arenas over the run (the
+    /// quantity the `memo_budget_mb` admission gate bounds).
+    pub peak_memo_bytes: u64,
     /// Per-worker pool activity over this run (indexed by worker id);
     /// empty when the runner didn't capture pool deltas. Wall-clock data,
     /// so it surfaces only on the timing side of serializations.
@@ -62,6 +76,10 @@ impl CampaignReport {
             cache_hits: cache_stats.0,
             cache_misses: cache_stats.1,
             cache_entries: cache_stats.2,
+            cone_hits: 0,
+            cone_misses: 0,
+            cone_key_words: 0,
+            peak_memo_bytes: 0,
             pool: Vec::new(),
         }
     }
@@ -69,6 +87,17 @@ impl CampaignReport {
     /// Attaches per-worker pool activity deltas captured over this run.
     pub fn with_pool_stats(mut self, pool: Vec<WorkerStats>) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches cone-keyed cache traffic (`cone` = per-run (hits, misses)
+    /// delta), the widest cone key seen, and the run's peak memoized
+    /// netlist arena bytes. All timing-side diagnostics.
+    pub fn with_cache_detail(mut self, cone: (u64, u64), key_words: u64, peak_memo: u64) -> Self {
+        self.cone_hits = cone.0;
+        self.cone_misses = cone.1;
+        self.cone_key_words = key_words;
+        self.peak_memo_bytes = peak_memo;
         self
     }
 
@@ -92,12 +121,17 @@ impl CampaignReport {
             let _ = write!(
                 out,
                 "\"threads\":{},\"wall_time_secs\":{},\"cache_hits\":{},\"cache_misses\":{},\
-                 \"cache_entries\":{}",
+                 \"cache_entries\":{},\"cone_hits\":{},\"cone_misses\":{},\"cone_key_words\":{},\
+                 \"peak_memo_bytes\":{}",
                 self.threads,
                 json_f64(self.wall_time.as_secs_f64()),
                 self.cache_hits,
                 self.cache_misses,
-                self.cache_entries
+                self.cache_entries,
+                self.cone_hits,
+                self.cone_misses,
+                self.cone_key_words,
+                self.peak_memo_bytes
             );
             out.push_str(",\"pool\":{\"workers\":[");
             for (i, w) in self.pool.iter().enumerate() {
@@ -158,6 +192,10 @@ impl CampaignReport {
             if row.key.clock_ns != 0.0 {
                 let _ = write!(out, ",\"clock_ns\":{}", json_f64(row.key.clock_ns));
             }
+            if row.key.topology != Topology::Uniform {
+                out.push(',');
+                json_str(&mut out, "topology", row.key.topology.name());
+            }
             if timing {
                 let _ = write!(
                     out,
@@ -202,15 +240,15 @@ impl CampaignReport {
     /// [`CampaignReport::deterministic_json`]).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "benchmark,scheme,level,attack,error_rate,clock_ns,profile,rotation_period,trials,\
-             completed,timed_out,exhausted,inconsistent,failed,key_recovery_rate,\
+            "benchmark,scheme,level,attack,error_rate,clock_ns,profile,rotation_period,topology,\
+             trials,completed,timed_out,exhausted,inconsistent,failed,key_recovery_rate,\
              mean_queries,mean_iterations,mean_output_error,runtime_p50,runtime_p90,\
              runtime_max\n",
         );
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 row.key.benchmark,
                 scheme_name(row.key.scheme),
                 row.key.level,
@@ -219,6 +257,7 @@ impl CampaignReport {
                 row.key.clock_ns,
                 row.key.profile.name(),
                 row.key.rotation_period,
+                row.key.topology.name(),
                 row.trials,
                 row.status_counts[0],
                 row.status_counts[1],
@@ -300,6 +339,7 @@ mod tests {
             spec: JobSpec {
                 kind: JobKind::Attack {
                     benchmark: "c7552".into(),
+                    topology: Topology::Uniform,
                     scheme: CamoScheme::GsheAll16,
                     level: 0.2,
                     attack: AttackKind::Sat,
@@ -449,6 +489,45 @@ mod tests {
             .deterministic_json()
             .contains("\"rotation_period\":16"));
         assert!(rebuilt.to_csv().contains(",uniform,16,"));
+    }
+
+    #[test]
+    fn topology_is_implicit_in_json_only_when_uniform() {
+        let mut report = sample_report();
+        assert!(!report.deterministic_json().contains("topology"));
+        assert!(
+            report.to_csv().contains(",0,uniform,"),
+            "{}",
+            report.to_csv()
+        );
+        let JobKind::Attack { topology, .. } = &mut report.results[0].spec.kind else {
+            panic!()
+        };
+        *topology = Topology::Local;
+        let rebuilt = CampaignReport::new(
+            report.name.clone(),
+            report.results.clone(),
+            1,
+            Duration::from_secs(1),
+            (0, 0, 0),
+        );
+        assert!(rebuilt
+            .deterministic_json()
+            .contains("\"topology\":\"local\""));
+        assert!(rebuilt.to_csv().contains(",0,local,"));
+    }
+
+    #[test]
+    fn cone_and_memo_stats_render_on_the_timing_side_only() {
+        let report = sample_report().with_cache_detail((5, 2), 3, 4096);
+        let full = report.to_json();
+        assert!(full.contains("\"cone_hits\":5"));
+        assert!(full.contains("\"cone_misses\":2"));
+        assert!(full.contains("\"cone_key_words\":3"));
+        assert!(full.contains("\"peak_memo_bytes\":4096"));
+        let det = report.deterministic_json();
+        assert!(!det.contains("cone_"));
+        assert!(!det.contains("peak_memo"));
     }
 
     #[test]

@@ -16,8 +16,9 @@ use crate::job::{
     JobKind, JobSpec, NoiseShape,
 };
 use crate::physical::{is_valid_clock_period, ClockRateTable};
-use gshe_attacks::AttackKind;
+use gshe_attacks::{AttackKind, CoiMode};
 use gshe_camo::CamoScheme;
+use gshe_logic::Topology;
 use std::time::Duration;
 
 /// Machine-friendly scheme names used in spec files and CSV output.
@@ -41,13 +42,15 @@ pub fn parse_scheme(name: &str) -> Option<CamoScheme> {
 }
 
 /// The valid TOML keys of a campaign spec, in documentation order.
-pub const SPEC_KEYS: [&str; 14] = [
+pub const SPEC_KEYS: [&str; 17] = [
     "name",
     "benchmarks",
     "scale",
+    "topology",
     "levels",
     "schemes",
     "attacks",
+    "coi_mode",
     "error_rates",
     "clock_periods_ns",
     "profiles",
@@ -56,6 +59,7 @@ pub const SPEC_KEYS: [&str; 14] = [
     "seed",
     "timeout_secs",
     "threads",
+    "memo_budget_mb",
 ];
 
 fn join_names<I: IntoIterator<Item = &'static str>>(names: I) -> String {
@@ -100,12 +104,24 @@ pub struct CampaignSpec {
     pub benchmarks: Vec<String>,
     /// Benchmark-scale divisor (1 = paper-scale gate counts).
     pub scale: usize,
+    /// Netlist topology profile for generated benchmarks:
+    /// [`Topology::Uniform`] is the historical generator (fanins drawn
+    /// uniformly over all prior nodes), [`Topology::Local`] the
+    /// placement-tile generator whose influence cones stay narrow —
+    /// superblue-like locality as a campaign knob. File-backed (`.aag`)
+    /// benchmarks ignore it.
+    pub topology: Topology,
     /// Protection levels (fraction of gates camouflaged).
     pub levels: Vec<f64>,
     /// Camouflaging schemes under study.
     pub schemes: Vec<CamoScheme>,
     /// Attack algorithms to launch.
     pub attacks: Vec<AttackKind>,
+    /// Cone-of-influence policy for every attack job (and the campaign
+    /// cache's cone-keyed entries): `auto` (engage at the historical
+    /// 100k-node threshold), `auto:<nodes>` (custom threshold), `on`,
+    /// or `off`.
+    pub coi_mode: CoiMode,
     /// Oracle per-cell error rates (0.0 = perfect chip).
     pub error_rates: Vec<f64>,
     /// *Physical* clock periods, in nanoseconds, swept as additional
@@ -130,6 +146,15 @@ pub struct CampaignSpec {
     pub timeout: Duration,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Memory budget, in MiB (fractional allowed), for memoized benchmark
+    /// materializations during a run. `0` = unbounded — the historical
+    /// behavior: every benchmark resident at once. A positive budget
+    /// switches [`crate::EvalSession::run_jobs`] to streaming chunks:
+    /// benchmarks are admitted while their measured
+    /// [`gshe_logic::Netlist::arena_bytes`] fit the budget, their jobs
+    /// run, and the chunk's materializations are evicted before the next
+    /// chunk is admitted.
+    pub memo_budget_mb: f64,
 }
 
 impl Default for CampaignSpec {
@@ -138,9 +163,11 @@ impl Default for CampaignSpec {
             name: "campaign".to_string(),
             benchmarks: vec!["c7552".to_string()],
             scale: 20,
+            topology: Topology::Uniform,
             levels: vec![0.2],
             schemes: vec![CamoScheme::GsheAll16],
             attacks: vec![AttackKind::Sat],
+            coi_mode: CoiMode::Auto,
             error_rates: vec![0.0],
             clock_periods_ns: Vec::new(),
             profiles: vec![NoiseShape::Uniform],
@@ -149,6 +176,7 @@ impl Default for CampaignSpec {
             seed: 1,
             timeout: Duration::from_secs(60),
             threads: 0,
+            memo_budget_mb: 0.0,
         }
     }
 }
@@ -163,6 +191,15 @@ impl CampaignSpec {
     pub fn resolve_benchmarks(&self) -> Result<Vec<String>, String> {
         let mut names: Vec<String> = Vec::new();
         for selector in &self.benchmarks {
+            // `.aag` selectors are file-backed benchmarks: the path itself
+            // is the benchmark name, loaded through the AIGER frontend at
+            // materialization time (latches cut, scan-style).
+            if selector.ends_with(".aag") {
+                if !names.iter().any(|n| n == selector) {
+                    names.push(selector.clone());
+                }
+                continue;
+            }
             let specs = gshe_logic::suites::resolve_selector(selector);
             if specs.is_empty() {
                 return Err(format!("benchmark selector `{selector}` matches nothing"));
@@ -263,6 +300,7 @@ impl CampaignSpec {
                                         jobs.push(JobSpec {
                                             kind: JobKind::Attack {
                                                 benchmark: benchmark.clone(),
+                                                topology: self.topology,
                                                 scheme,
                                                 level,
                                                 attack,
@@ -321,6 +359,31 @@ impl CampaignSpec {
                 }
                 "scale" => {
                     spec.scale = value.parse().map_err(|_| fail("bad integer"))?;
+                }
+                "topology" => {
+                    let name = parse_string(value).ok_or_else(|| fail("bad string"))?;
+                    spec.topology = Topology::parse(&name).ok_or_else(|| {
+                        fail(&format!(
+                            "unknown topology `{name}` (valid: uniform, local)"
+                        ))
+                    })?;
+                }
+                "coi_mode" => {
+                    let name = parse_string(value).ok_or_else(|| fail("bad string"))?;
+                    spec.coi_mode = CoiMode::parse(&name).ok_or_else(|| {
+                        fail(&format!(
+                            "unknown coi_mode `{name}` (valid: auto, auto:<nodes>, on, off)"
+                        ))
+                    })?;
+                }
+                "memo_budget_mb" => {
+                    let mb: f64 = value
+                        .parse()
+                        .map_err(|_| fail("bad number (MiB; 0 = unbounded)"))?;
+                    if !(mb.is_finite() && mb >= 0.0) {
+                        return Err(fail("memo_budget_mb must be a non-negative number of MiB"));
+                    }
+                    spec.memo_budget_mb = mb;
                 }
                 "levels" => {
                     spec.levels =
@@ -752,6 +815,53 @@ mod tests {
         assert!(err.contains("positive"), "{err}");
         assert!(CampaignSpec::parse_toml("clock_periods_ns = [-1.0]").is_err());
         assert!(CampaignSpec::parse_toml("clock_periods_ns = [oops]").is_err());
+    }
+
+    #[test]
+    fn topology_coi_and_memo_budget_parse_from_toml() {
+        let spec = CampaignSpec::parse_toml(
+            "topology = \"local\"\ncoi_mode = \"auto:20000\"\nmemo_budget_mb = 1.5",
+        )
+        .unwrap();
+        assert_eq!(spec.topology, Topology::Local);
+        assert_eq!(spec.coi_mode, CoiMode::AutoAt(20_000));
+        assert_eq!(spec.memo_budget_mb, 1.5);
+        // Defaults are the historical behavior.
+        let default = CampaignSpec::default();
+        assert_eq!(default.topology, Topology::Uniform);
+        assert_eq!(default.coi_mode, CoiMode::Auto);
+        assert_eq!(default.memo_budget_mb, 0.0);
+
+        let err = CampaignSpec::parse_toml("topology = \"spiral\"").unwrap_err();
+        assert!(err.contains("uniform, local"), "{err}");
+        let err = CampaignSpec::parse_toml("coi_mode = \"maybe\"").unwrap_err();
+        assert!(err.contains("auto:<nodes>"), "{err}");
+        assert!(CampaignSpec::parse_toml("memo_budget_mb = -1").is_err());
+        assert!(CampaignSpec::parse_toml("memo_budget_mb = nan").is_err());
+    }
+
+    #[test]
+    fn aag_selectors_pass_through_and_stamp_topology() {
+        let spec = CampaignSpec {
+            benchmarks: vec!["tests/data/epfl_ctrl.aag".into(), "c7552".into()],
+            topology: Topology::Local,
+            ..Default::default()
+        };
+        assert_eq!(
+            spec.resolve_benchmarks().unwrap(),
+            ["tests/data/epfl_ctrl.aag", "c7552"]
+        );
+        let jobs = spec.expand().unwrap();
+        let JobKind::Attack {
+            benchmark,
+            topology,
+            ..
+        } = &jobs[0].kind
+        else {
+            panic!()
+        };
+        assert_eq!(benchmark, "tests/data/epfl_ctrl.aag");
+        assert_eq!(*topology, Topology::Local);
     }
 
     #[test]

@@ -43,11 +43,13 @@ pub use bench_format::{parse_bench, write_bench};
 pub use bf2::{Bf1, Bf2};
 pub use builder::NetlistBuilder;
 pub use error::LogicError;
-pub use generator::{GeneratorConfig, NetlistGenerator};
+pub use generator::{GeneratorConfig, NetlistGenerator, Topology, LOCAL_WINDOW};
 pub use netlist::{FanoutCsr, IdMap, Netlist, Node, NodeId, NodeKind, NodeRef};
 pub use noise::{bernoulli_mask, ErrorProfile, FaultSimulator};
 pub use opt::{optimize, OptReport};
 pub use seq::scan_preprocess;
 pub use sim::{PatternBlock, Simulator};
 pub use stats::NetlistStats;
-pub use suites::{benchmark, benchmark_scaled, BenchmarkSpec, TABLE_III};
+pub use suites::{
+    benchmark, benchmark_scaled, benchmark_scaled_with, benchmark_with, BenchmarkSpec, TABLE_III,
+};

@@ -6,7 +6,7 @@
 //! Xeon budget; the attack-hardness *ordering* across schemes and
 //! protection levels is preserved (see DESIGN.md, substitution 3).
 
-use crate::generator::{GeneratorConfig, NetlistGenerator};
+use crate::generator::{GeneratorConfig, NetlistGenerator, Topology};
 use crate::netlist::Netlist;
 
 /// Which suite a benchmark belongs to (Table III typography: EPFL in
@@ -247,13 +247,32 @@ pub fn resolve_selector(selector: &str) -> Vec<&'static BenchmarkSpec> {
 ///
 /// Panics if `scale == 0`.
 pub fn benchmark(spec: &BenchmarkSpec, scale: usize, seed: u64) -> Netlist {
+    benchmark_with(spec, scale, seed, Topology::Uniform)
+}
+
+/// [`benchmark`] with an explicit fanin [`Topology`].
+/// [`Topology::Uniform`] reproduces [`benchmark`] bit-for-bit;
+/// [`Topology::Local`] builds the placed-netlist profile whose bounded
+/// influence cones make cone-of-influence attacks representative at
+/// superblue scale.
+///
+/// # Panics
+///
+/// Panics if `scale == 0`.
+pub fn benchmark_with(
+    spec: &BenchmarkSpec,
+    scale: usize,
+    seed: u64,
+    topology: Topology,
+) -> Netlist {
     assert!(scale > 0, "scale must be at least 1");
     let gates = (spec.gates / scale).max(8);
     let outputs = spec.outputs.min(gates);
     let inputs = spec.inputs.max(2);
     let cfg = GeneratorConfig::new(spec.name, inputs, outputs, gates)
         .with_seed(seed ^ 0x5EED_0000)
-        .with_chain_bias(spec.chain_bias);
+        .with_chain_bias(spec.chain_bias)
+        .with_topology(topology);
     NetlistGenerator::new(cfg)
         .expect("specs are valid")
         .generate()
@@ -269,13 +288,29 @@ pub fn benchmark(spec: &BenchmarkSpec, scale: usize, seed: u64) -> Netlist {
 ///
 /// Panics if `scale == 0`.
 pub fn benchmark_scaled(spec: &BenchmarkSpec, scale: usize, seed: u64) -> Netlist {
+    benchmark_scaled_with(spec, scale, seed, Topology::Uniform)
+}
+
+/// [`benchmark_scaled`] with an explicit fanin [`Topology`] (see
+/// [`benchmark_with`]).
+///
+/// # Panics
+///
+/// Panics if `scale == 0`.
+pub fn benchmark_scaled_with(
+    spec: &BenchmarkSpec,
+    scale: usize,
+    seed: u64,
+    topology: Topology,
+) -> Netlist {
     assert!(scale > 0, "scale must be at least 1");
     let gates = (spec.gates / scale).max(64);
     let inputs = (spec.inputs / scale).max(32);
     let outputs = (spec.outputs / scale).clamp(16, gates);
     let cfg = GeneratorConfig::new(spec.name, inputs, outputs, gates)
         .with_seed(seed ^ 0x5CA1_ED00)
-        .with_chain_bias(spec.chain_bias);
+        .with_chain_bias(spec.chain_bias)
+        .with_topology(topology);
     NetlistGenerator::new(cfg)
         .expect("specs are valid")
         .generate()
@@ -401,6 +436,25 @@ mod tests {
         assert_eq!(resolve_selector("c7552").len(), 1);
         assert!(resolve_selector("bogus").is_empty());
         assert!(resolve_selector("suite:bogus").is_empty());
+    }
+
+    #[test]
+    fn topology_variants_share_interface_counts() {
+        let spec = spec("c7552").unwrap();
+        let u = benchmark_with(spec, 10, 42, Topology::Uniform);
+        let l = benchmark_with(spec, 10, 42, Topology::Local);
+        // Uniform is the historical constructor bit-for-bit; local is a
+        // different netlist with the same interface.
+        assert_eq!(u, benchmark(spec, 10, 42));
+        assert_ne!(u, l);
+        let su = NetlistStats::compute(&u);
+        let sl = NetlistStats::compute(&l);
+        assert_eq!((su.inputs, su.outputs), (sl.inputs, sl.outputs));
+        assert_eq!(su.gates, sl.gates);
+        assert_eq!(
+            benchmark_scaled(spec, 10, 42),
+            benchmark_scaled_with(spec, 10, 42, Topology::Uniform)
+        );
     }
 
     #[test]

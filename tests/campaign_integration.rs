@@ -4,7 +4,9 @@
 //! that exhaust their wall-clock budget `TimedOut` instead of hanging the
 //! pool.
 
+use spin_hall_security::attacks::CoiMode;
 use spin_hall_security::campaign::{Campaign, CampaignSpec, JobStatus, NoiseShape};
+use spin_hall_security::logic::Topology;
 use spin_hall_security::prelude::{AttackKind, CamoScheme};
 use std::time::{Duration, Instant};
 
@@ -24,6 +26,9 @@ fn two_by_two_spec(threads: usize) -> CampaignSpec {
         seed: 11,
         timeout: Duration::from_secs(60),
         threads,
+        topology: Topology::Uniform,
+        coi_mode: CoiMode::Auto,
+        memo_budget_mb: 0.0,
     }
 }
 
@@ -88,6 +93,9 @@ fn exhausted_budgets_mark_jobs_timed_out_without_hanging_the_pool() {
         seed: 2,
         timeout: Duration::from_millis(0),
         threads: 4,
+        topology: Topology::Uniform,
+        coi_mode: CoiMode::Auto,
+        memo_budget_mb: 0.0,
     };
     let start = Instant::now();
     let report = Campaign::run(&spec).expect("timeout campaign");
@@ -135,6 +143,9 @@ fn rotation_period_sweep_shows_attack_collapse_end_to_end() {
         seed: 7,
         timeout: Duration::from_secs(30),
         threads: 2,
+        topology: Topology::Uniform,
+        coi_mode: CoiMode::Auto,
+        memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec).expect("rotation campaign");
     // One row per period, in sweep order, each carrying its period.
@@ -181,6 +192,9 @@ fn combined_defense_grid_is_no_easier_than_either_defense_alone() {
         seed: 7,
         timeout: Duration::from_secs(30),
         threads: 2,
+        topology: Topology::Uniform,
+        coi_mode: CoiMode::Auto,
+        memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec).expect("combined campaign");
     // 3 periods × (rate-0 collapses profiles → 1 cell, rate 0.25 → 2
@@ -248,6 +262,9 @@ fn clock_period_sweep_derives_physical_rates_end_to_end() {
         seed: 4,
         timeout: Duration::from_secs(30),
         threads: 2,
+        topology: Topology::Uniform,
+        coi_mode: CoiMode::Auto,
+        memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec).expect("clock campaign");
     assert_eq!(report.rows.len(), 2);
@@ -282,6 +299,62 @@ fn clock_period_sweep_derives_physical_rates_end_to_end() {
 }
 
 #[test]
+fn aag_suite_runs_through_the_campaign_engine() {
+    // The AIGER frontend as an ordinary benchmark source: `.aag` paths in
+    // `benchmarks` pass straight through selector resolution, materialize
+    // via `parse_aag` (the sequential file exercises latch cutting), and
+    // attack like any generated netlist — deterministically across
+    // thread counts.
+    let data = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/");
+    let spec_for = |threads: usize| CampaignSpec {
+        name: "aag-suite".to_string(),
+        benchmarks: vec![
+            format!("{data}epfl_ctrl.aag"),
+            format!("{data}epfl_mem_ctrl.aag"),
+        ],
+        scale: 20, // ignored by file-backed benchmarks
+        levels: vec![0.5],
+        schemes: vec![CamoScheme::InvBuf],
+        attacks: vec![AttackKind::Sat],
+        error_rates: vec![0.0],
+        clock_periods_ns: Vec::new(),
+        profiles: vec![NoiseShape::Uniform],
+        rotation_periods: vec![0],
+        trials: 1,
+        seed: 3,
+        timeout: Duration::from_secs(30),
+        threads,
+        topology: Topology::Uniform,
+        coi_mode: CoiMode::Auto,
+        memo_budget_mb: 0.0,
+    };
+    let report = Campaign::run(&spec_for(2)).expect("aag campaign");
+    assert_eq!(report.results.len(), 2);
+    for result in &report.results {
+        assert_eq!(
+            result.status,
+            JobStatus::Completed,
+            "aag job failed: {result:?}"
+        );
+        assert!(result.key_recovered, "tiny instances must break");
+    }
+    assert_eq!(
+        report.deterministic_json(),
+        Campaign::run(&spec_for(1)).unwrap().deterministic_json(),
+        "aag-backed campaigns must stay thread-count deterministic"
+    );
+
+    // The sequential file's latches were cut: 3 inputs + 2 states in,
+    // 2 outputs + 2 next-state functions out.
+    let session = spin_hall_security::campaign::EvalSession::new(1);
+    let nl = session
+        .netlist(&format!("{data}epfl_mem_ctrl.aag"), 20, 3)
+        .expect("mem_ctrl loads");
+    assert_eq!(nl.inputs().len(), 5);
+    assert_eq!(nl.outputs().len(), 4);
+}
+
+#[test]
 fn stochastic_cells_defeat_the_attack_in_campaign_form() {
     // Sec. V-B through the engine: a noisy oracle must not yield the key.
     let spec = CampaignSpec {
@@ -299,6 +372,9 @@ fn stochastic_cells_defeat_the_attack_in_campaign_form() {
         seed: 4,
         timeout: Duration::from_secs(30),
         threads: 2,
+        topology: Topology::Uniform,
+        coi_mode: CoiMode::Auto,
+        memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec).expect("stochastic campaign");
     let row = &report.rows[0];

@@ -69,6 +69,9 @@ fn golden_spec() -> CampaignSpec {
         seed: 9,
         timeout: Duration::from_secs(60),
         threads: 2,
+        topology: spin_hall_security::logic::Topology::Uniform,
+        coi_mode: spin_hall_security::attacks::CoiMode::Auto,
+        memo_budget_mb: 0.0,
     }
 }
 

@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use spin_hall_security::camo::{camouflage, select_gates_count, CamoScheme};
 use spin_hall_security::logic::bench_format::{parse_bench, write_bench};
 use spin_hall_security::logic::sim::random_equivalence_check;
-use spin_hall_security::logic::{Bf2, GeneratorConfig, NetlistGenerator};
+use spin_hall_security::logic::{Bf2, GeneratorConfig, NetlistGenerator, Topology};
 use spin_hall_security::sat::{CircuitEncoder, Lit, SolveResult, Solver};
 use spin_hall_security::timing::{DelayModel, TimingAnalysis};
 
@@ -113,6 +113,38 @@ proptest! {
         prop_assert_eq!(nl.inputs().len(), inputs);
         prop_assert_eq!(nl.outputs().len(), outputs);
         prop_assert_eq!(nl.gate_count(), gates);
+    }
+
+    /// Locality-biased generation is still a DAG in topological order:
+    /// every fanin edge points strictly backwards (so tile-local wiring
+    /// and the rare cross-tile escapes can never close a cycle), and the
+    /// configured shape survives the tiled construction.
+    #[test]
+    fn local_topology_generation_is_acyclic_and_ordered(
+        inputs in 2usize..20,
+        outputs in 1usize..10,
+        extra_gates in 0usize..2000,
+        seed in 0u64..1000,
+    ) {
+        let gates = outputs + extra_gates.max(1);
+        let cfg = GeneratorConfig::new("loc", inputs, outputs, gates)
+            .with_seed(seed)
+            .with_topology(Topology::Local);
+        let nl = NetlistGenerator::new(cfg).unwrap().generate();
+        prop_assert!(nl.check().is_ok());
+        prop_assert_eq!(nl.inputs().len(), inputs);
+        prop_assert_eq!(nl.outputs().len(), outputs);
+        prop_assert_eq!(nl.gate_count(), gates);
+        for (i, node) in nl.nodes().enumerate() {
+            for f in node.kind.fanins() {
+                prop_assert!(
+                    f.index() < i,
+                    "fanin {} of node {} breaks topological order",
+                    f.index(),
+                    i
+                );
+            }
+        }
     }
 
     /// `.bench` round trips preserve function on random netlists.

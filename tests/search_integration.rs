@@ -154,6 +154,9 @@ fn warm_session_campaign_output_stays_byte_identical() {
         seed: 9,
         timeout: Duration::from_secs(30),
         threads: 2,
+        topology: spin_hall_security::logic::Topology::Uniform,
+        coi_mode: spin_hall_security::attacks::CoiMode::Auto,
+        memo_budget_mb: 0.0,
     };
     let fresh = Campaign::run(&campaign_spec).expect("fresh campaign");
 
