@@ -195,6 +195,9 @@ pub struct CoiProjection {
     key_map: Vec<usize>,
     full_key_len: usize,
     full_num_inputs: usize,
+    /// Statistics of the cone cleanup pass
+    /// ([`gshe_logic::optimize_protected`]) run before encoding.
+    opt_report: gshe_logic::OptReport,
 }
 
 impl CoiProjection {
@@ -251,13 +254,28 @@ impl CoiProjection {
             .map(|&ci| full_input_ord[map.to_full(ci).index()])
             .collect();
 
+        // Cone cleanup before encoding: resolution and camouflaging leave
+        // constants and pass-through cells behind, and the extracted cone
+        // re-exposes them. The cloaked cells are *protected* — emitted
+        // verbatim with explicit (not absorbed) fanin inversions — because
+        // their visible function is exactly what the attacker does not
+        // trust; the pass preserves the keyed function under every
+        // candidate substitution. Input/output positional order is
+        // preserved, so `input_map`/`output_map` stay valid.
+        let protected: Vec<gshe_logic::NodeId> = gates.iter().map(|g| g.node).collect();
+        let (opt_cone, opt_report, opt_map) = gshe_logic::optimize_protected(&cone, &protected);
+        for g in &mut gates {
+            g.node = opt_map[g.node.index()].expect("protected cloaked cells survive cleanup");
+        }
+
         Some(CoiProjection {
-            keyed: KeyedNetlist::new(cone, gates, offset),
+            keyed: KeyedNetlist::new(opt_cone, gates, offset),
             input_map,
             output_map,
             key_map,
             full_key_len: keyed.key_len(),
             full_num_inputs: nl.inputs().len(),
+            opt_report,
         })
     }
 
@@ -291,6 +309,13 @@ impl CoiProjection {
     /// Nodes in the cone vs. the full design, as a reduction diagnostic.
     pub fn cone_len(&self) -> usize {
         self.keyed.netlist().len()
+    }
+
+    /// Statistics of the protected cleanup pass run on the cone before
+    /// encoding (folded constants, collapsed pass-through cells, swept
+    /// dead gates).
+    pub fn opt_report(&self) -> gshe_logic::OptReport {
+        self.opt_report
     }
 
     /// Cone input ordinal → full-design input ordinal.

@@ -49,7 +49,7 @@ use crate::sat_attack::{AttackConfig, AttackOutcome, AttackStatus};
 use gshe_camo::KeyedNetlist;
 use gshe_logic::{PatternBlock, Simulator};
 use gshe_sat::solver::Budget;
-use gshe_sat::{CircuitEncoder, Lit, SearchConfig, SolveResult, Solver, SolverStats};
+use gshe_sat::{CircuitEncoder, Lit, Polarity, SearchConfig, SolveResult, Solver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -95,6 +95,7 @@ pub(crate) fn solve_sliced(
     slice: u64,
 ) -> Option<SolveResult> {
     let _span = gshe_obs::span("attack.solve");
+    let before = solver.stats();
     loop {
         solver.set_budget(Budget {
             max_conflicts: Some(slice),
@@ -106,7 +107,21 @@ pub(crate) fn solve_sliced(
                     return None;
                 }
             }
-            done => return Some(done),
+            done => {
+                // Per-solve effort distributions (log2-bucket histograms)
+                // for the sb_drill diagnostics harness; pure reads, so
+                // enabling instrumentation cannot perturb the search.
+                if gshe_obs::enabled() {
+                    let after = solver.stats();
+                    gshe_obs::record("sat.solve.conflicts", after.conflicts - before.conflicts);
+                    gshe_obs::record("sat.solve.decisions", after.decisions - before.decisions);
+                    gshe_obs::record(
+                        "sat.solve.propagations",
+                        after.propagations - before.propagations,
+                    );
+                }
+                return Some(done);
+            }
         }
     }
 }
@@ -167,6 +182,10 @@ pub fn refine(
     if let Some(proj) = CoiProjection::build(keyed, config.coi) {
         gshe_obs::count("attack.coi_reductions", 1);
         gshe_obs::record("attack.coi_cone_nodes", proj.cone_len() as u64);
+        let cleanup = proj.opt_report();
+        gshe_obs::count("attack.coi_folded", cleanup.folded_constants as u64);
+        gshe_obs::count("attack.coi_collapsed", cleanup.collapsed as u64);
+        gshe_obs::count("attack.coi_swept", cleanup.swept_dead as u64);
         let mut cone_oracle = CoiOracle::new(oracle, &proj);
         let inner = AttackConfig {
             coi: CoiMode::Off,
@@ -204,6 +223,7 @@ pub fn refine(
         restart: config.restart_mode,
         ..SearchConfig::default()
     });
+    solver.set_simplify(config.simplify);
 
     // Key copies first (their variable indices anchor the search), then the
     // circuit copies sharing one set of primary inputs, then the miter(s).
@@ -219,7 +239,7 @@ pub fn refine(
                 .collect()
         })
         .collect();
-    let (phases, input_lits) = {
+    let copies: Vec<_> = {
         let mut enc = CircuitEncoder::new(&mut solver);
         for k in &keys {
             assert_valid_key_codes(&mut enc, keyed, k);
@@ -233,33 +253,76 @@ pub fn refine(
                 enc.equal(*a, *b);
             }
         }
-        let d01 = enc.miter(&copies[0].outputs, &copies[1].outputs);
+        copies
+    };
+    // The miter structure is encoded Plaisted–Greenbaum single-sided when
+    // the simplify knob engages on the copy-encoding clause count: the
+    // difference literals are only ever *assumed true*, never fixed false
+    // or read from a model, so the `d → outputs differ` direction alone is
+    // sound. Gated on the same threshold as preprocessing so small seeded
+    // traces (goldens) keep the historical two-sided clause set
+    // bit-for-bit. The circuit copies themselves stay two-sided: their
+    // output literals are later pinned to oracle observations in either
+    // polarity.
+    let pol = if config.simplify.engages(solver.num_problem_clauses()) {
+        Polarity::Pos
+    } else {
+        Polarity::Both
+    };
+    let (phases, input_lits) = {
+        let mut enc = CircuitEncoder::new(&mut solver);
+        let d01 = enc.miter_pol(&copies[0].outputs, &copies[1].outputs, pol);
         let phases: Vec<Vec<Lit>> = if n_copies == 4 {
-            let d23 = enc.miter(&copies[2].outputs, &copies[3].outputs);
+            let d23 = enc.miter_pol(&copies[2].outputs, &copies[3].outputs, pol);
             // Pairwise key distinctness across the pairs: K1≠K3, K1≠K4,
             // K2≠K3, K2≠K4 — guarantees ≥ 2 distinct wrong keys eliminated
             // per double DIP. Gated on an activation literal so the
             // single-DIP mop-up and the final extraction are not
-            // over-constrained.
+            // over-constrained. Under `act`, only the `ne → some diff` and
+            // `diff → keys differ` directions are needed, so the xor/or
+            // definitions inherit the single-sided polarity.
             let act = enc.fresh();
             if keyed.key_len() > 0 {
                 for (i, j) in [(0usize, 2usize), (0, 3), (1, 2), (1, 3)] {
                     let diffs: Vec<Lit> = keys[i]
                         .iter()
                         .zip(&keys[j])
-                        .map(|(&a, &b)| enc.xor(a, b))
+                        .map(|(&a, &b)| enc.gate_tt_pol(0b0110, a, b, pol))
                         .collect();
-                    let ne = enc.or_many(&diffs);
+                    let ne = enc.or_many_pol(&diffs, pol);
                     enc.clause(&[!act, ne]);
                 }
             }
-            let both = enc.and(d01, d23);
+            let both = match pol {
+                // Historical emission (4 truth-table row clauses).
+                Polarity::Both => enc.and(d01, d23),
+                _ => enc.and_many_pol(&[d01, d23], pol),
+            };
             vec![vec![both, act], vec![d01]]
         } else {
             vec![vec![d01]]
         };
         (phases, copies[0].inputs.clone())
     };
+    // Freezing contract (see `Solver::freeze`): preprocessing may run on
+    // the first solve, so every literal this loop later reads from a model
+    // (key bits, primary inputs) or reuses across solves (the phase
+    // assumption literals) must be protected from variable elimination.
+    // Variables created after preprocessing (fixed-copy encodings,
+    // agreement blockers, AppSAT reinforcement) are automatically safe.
+    for k in &keys {
+        for &l in k {
+            solver.freeze(l.var());
+        }
+    }
+    for &l in &input_lits {
+        solver.freeze(l.var());
+    }
+    for phase in &phases {
+        for &l in phase {
+            solver.freeze(l.var());
+        }
+    }
 
     let mut iterations = 0u64;
     let queries_before = oracle.queries();
@@ -268,8 +331,9 @@ pub fn refine(
     let finish = |status: AttackStatus,
                   key: Option<Vec<bool>>,
                   iterations: u64,
-                  stats: SolverStats,
+                  solver: &Solver,
                   oracle: &dyn Oracle| {
+        let stats = solver.stats();
         gshe_obs::count("sat.decisions", stats.decisions);
         gshe_obs::count("sat.propagations", stats.propagations);
         gshe_obs::count("sat.conflicts", stats.conflicts);
@@ -278,6 +342,18 @@ pub fn refine(
         gshe_obs::count("sat.db_gc", stats.db_gcs);
         if stats.db_gcs > 0 {
             gshe_obs::record("attack.solver_gc_ns", stats.gc_ns);
+        }
+        gshe_obs::count("sat.elim_vars", stats.elim_vars);
+        gshe_obs::count("sat.subsumed", stats.subsumed);
+        gshe_obs::count("sat.strengthened", stats.strengthened);
+        if stats.simplify_ns > 0 {
+            gshe_obs::record("sat.simplify_ns", stats.simplify_ns);
+        }
+        if gshe_obs::enabled() {
+            // Final learnt-DB LBD distribution for sb_drill diagnostics.
+            for lbd in solver.learnt_lbds() {
+                gshe_obs::record("sat.lbd", u64::from(lbd));
+            }
         }
         AttackOutcome {
             status,
@@ -292,23 +368,11 @@ pub fn refine(
     for assumptions in &phases {
         'refine: loop {
             if Instant::now() >= deadline {
-                return finish(
-                    AttackStatus::Timeout,
-                    None,
-                    iterations,
-                    solver.stats(),
-                    oracle,
-                );
+                return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
             }
             if let Some(max) = config.max_iterations {
                 if iterations >= max {
-                    return finish(
-                        AttackStatus::Timeout,
-                        None,
-                        iterations,
-                        solver.stats(),
-                        oracle,
-                    );
+                    return finish(AttackStatus::Timeout, None, iterations, &solver, oracle);
                 }
             }
             match solve_sliced(
@@ -317,21 +381,13 @@ pub fn refine(
                 deadline,
                 config.conflicts_per_slice,
             ) {
-                None => {
-                    return finish(
-                        AttackStatus::Timeout,
-                        None,
-                        iterations,
-                        solver.stats(),
-                        oracle,
-                    )
-                }
+                None => return finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
                 Some(SolveResult::Unknown) => {
                     return finish(
                         AttackStatus::ResourceExhausted,
                         None,
                         iterations,
-                        solver.stats(),
+                        &solver,
                         oracle,
                     )
                 }
@@ -431,8 +487,7 @@ pub fn refine(
                             config,
                             iterations,
                         ) {
-                            let stats = solver.stats();
-                            return finish(status, key, iterations, stats, oracle);
+                            return finish(status, key, iterations, &solver, oracle);
                         }
                     }
                     if converged {
@@ -446,30 +501,29 @@ pub fn refine(
     // All phases converged: extract any key consistent with the
     // accumulated I/O constraints (without the miter assumptions).
     match solve_sliced(&mut solver, &[], deadline, config.conflicts_per_slice) {
-        None => finish(
-            AttackStatus::Timeout,
-            None,
-            iterations,
-            solver.stats(),
-            oracle,
-        ),
+        None => finish(AttackStatus::Timeout, None, iterations, &solver, oracle),
         Some(SolveResult::Sat) => {
             let key: Vec<bool> = keys[0].iter().map(|&l| solver.model_lit(l)).collect();
-            let stats = solver.stats();
-            finish(AttackStatus::Success, Some(key), iterations, stats, oracle)
+            finish(
+                AttackStatus::Success,
+                Some(key),
+                iterations,
+                &solver,
+                oracle,
+            )
         }
         Some(SolveResult::Unsat) => finish(
             AttackStatus::Inconsistent,
             None,
             iterations,
-            solver.stats(),
+            &solver,
             oracle,
         ),
         Some(SolveResult::Unknown) => finish(
             AttackStatus::ResourceExhausted,
             None,
             iterations,
-            solver.stats(),
+            &solver,
             oracle,
         ),
     }

@@ -48,7 +48,7 @@ pub use coi::{cone_inputs, CoiMode, CoiOracle, CoiProjection, COI_AUTO_THRESHOLD
 pub use dip_engine::{RefinePolicy, DEFAULT_BATCH_WIDTH};
 pub use double_dip::double_dip_attack;
 pub use encode::{assert_valid_key_codes, encode_keyed, encode_keyed_fixed, EncodedCopy};
-pub use gshe_sat::RestartMode;
+pub use gshe_sat::{RestartMode, SimplifyMode};
 pub use metrics::{sat_equivalent_on, verify_key, verify_key_scoped, KeyVerification};
 pub use oracle::{NetlistOracle, Oracle, RotatingOracle, StochasticOracle};
 pub use runner::{AttackKind, AttackRunner};

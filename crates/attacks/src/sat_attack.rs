@@ -13,7 +13,7 @@ use crate::coi::CoiMode;
 use crate::dip_engine::{refine, RefinePolicy};
 use crate::oracle::Oracle;
 use gshe_camo::KeyedNetlist;
-use gshe_sat::{RestartMode, SolverStats};
+use gshe_sat::{RestartMode, SimplifyMode, SolverStats};
 use std::time::Duration;
 
 /// Attack configuration.
@@ -46,6 +46,15 @@ pub struct AttackConfig {
     /// are attacked through the cloaked cells' output cone; smaller
     /// instances keep the historical full-miter trace bit-for-bit).
     pub coi: CoiMode,
+    /// SAT simplification for the shared incremental solver
+    /// ([`SimplifyMode::Auto`] by default: instances with at least
+    /// [`gshe_sat::SIMPLIFY_AUTO_THRESHOLD`] problem clauses are
+    /// preprocessed — subsumption, self-subsumption strengthening, and
+    /// bounded variable elimination — and vivified at restart boundaries;
+    /// the same gate enables Plaisted–Greenbaum single-sided miter
+    /// encoding. Smaller instances keep the historical solver trace
+    /// bit-for-bit).
+    pub simplify: SimplifyMode,
 }
 
 impl Default for AttackConfig {
@@ -58,6 +67,7 @@ impl Default for AttackConfig {
             dip_batch: 1,
             restart_mode: RestartMode::default(),
             coi: CoiMode::default(),
+            simplify: SimplifyMode::default(),
         }
     }
 }
@@ -98,6 +108,19 @@ impl AttackConfig {
     /// here.
     pub fn with_coi_mode(self, coi: CoiMode) -> Self {
         self.with_coi(coi)
+    }
+
+    /// Returns the configuration with the SAT simplification mode set.
+    pub fn with_simplify(self, simplify: SimplifyMode) -> Self {
+        AttackConfig { simplify, ..self }
+    }
+
+    /// Alias of [`AttackConfig::with_simplify`] for spec-driven callers:
+    /// the campaign layer resolves the `sat_simplify` spec key (including
+    /// `"auto:<clauses>"` thresholds via [`SimplifyMode::parse`]) and
+    /// threads it here.
+    pub fn with_simplify_mode(self, simplify: SimplifyMode) -> Self {
+        self.with_simplify(simplify)
     }
 }
 

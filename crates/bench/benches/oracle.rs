@@ -301,6 +301,39 @@ fn bench_coi_miter(c: &mut Criterion) {
     group.finish();
 }
 
+/// SAT simplification end to end: the width-16 batched attack on the
+/// standard s38584 instance (scale 40, 10% protection) with
+/// `SimplifyMode::On` — SatELite-style preprocessing of the key-search
+/// miter (subsumption, self-subsumption, bounded variable elimination;
+/// ≥30% clause reduction, pinned by the `simplify_smoke` root test),
+/// Plaisted–Greenbaum single-sided miter encoding, and learnt-clause
+/// vivification at restart boundaries — vs. `SimplifyMode::Off`, the
+/// PR 9 search on the raw clause set.
+fn bench_simplify_miter(c: &mut Criterion) {
+    use gshe_core::attacks::SimplifyMode;
+
+    let (nl, keyed) = s38584_keyed();
+
+    let mut group = c.benchmark_group("simplify_miter_s38584");
+    for (label, mode) in [
+        ("simplify_on", SimplifyMode::On),
+        ("simplify_off", SimplifyMode::Off),
+    ] {
+        let config = AttackConfig::with_timeout_secs(120)
+            .with_dip_batch(16)
+            .with_simplify(mode);
+        group.bench_function(format!("sat_attack_w16_{label}"), |b| {
+            b.iter(|| {
+                let mut oracle = NetlistOracle::new(&nl);
+                let out = sat_attack(black_box(&keyed), &mut oracle, &config);
+                assert_eq!(out.status, AttackStatus::Success, "{label}");
+                black_box(out.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The cone-keyed campaign cache on a superblue-shaped instance (sb1 at
 /// scale 16, locality-biased topology, ~60k nodes): `query_block`
 /// through [`CachedOracle::over_cone`] cold (every block simulated,
@@ -376,6 +409,11 @@ criterion_group! {
     targets = bench_coi_miter
 }
 criterion_group! {
+    name = simplify_miter;
+    config = Criterion::default().sample_size(5);
+    targets = bench_simplify_miter
+}
+criterion_group! {
     name = incremental_solver;
     config = Criterion::default().sample_size(5);
     targets = bench_incremental_solver
@@ -390,6 +428,7 @@ criterion_main!(
     obs_overhead,
     batched_dip,
     coi_miter,
+    simplify_miter,
     incremental_solver,
     candidate_score,
     coi_cached_oracle

@@ -68,6 +68,9 @@ GRID FLAGS (each overrides the spec file's value):
   --coi-mode MODE        cone-of-influence gating for attacks *and* the
                          cache's cone-keyed entries: auto | auto:<nodes>
                          | on | off
+  --sat-simplify MODE    solver pre/inprocessing (variable elimination,
+                         subsumption, vivification) plus single-sided
+                         miter encoding: auto | auto:<clauses> | on | off
   --seed N               master seed
   --timeout SECS         per-job attack budget
   --threads N            workers (0 = available parallelism)
@@ -259,6 +262,14 @@ fn main() {
                     ))
                 })
             }
+            "--sat-simplify" => {
+                spec.sat_simplify = gshe_core::attacks::SimplifyMode::parse(&value)
+                    .unwrap_or_else(|| {
+                        fail(&format!(
+                            "unknown sat-simplify mode `{value}` (valid: auto, auto:<clauses>, on, off)"
+                        ))
+                    })
+            }
             "--memo-budget-mb" => {
                 let mb: f64 = value
                     .parse()
@@ -370,7 +381,7 @@ fn main() {
         );
     }
     println!(
-        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8} {:>10} {:>9} {:>8}",
+        "{:<14} {:>8} {:<10} {:>5} {:>10} {:>8} {:>14} {:>7}  {:>6} {:>8} {:>9} {:>9} {:>8} {:>8} {:>10} {:>9} {:>8} {:>9} {:>8}",
         "benchmark",
         "scheme",
         "attack",
@@ -387,12 +398,14 @@ fn main() {
         "p90 s",
         "decisions",
         "conflicts",
-        "restarts"
+        "restarts",
+        "elim-vars",
+        "simp ms"
     );
-    println!("{:-<167}", "");
+    println!("{:-<186}", "");
     for row in &report.rows {
         println!(
-            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>8} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2} {:>10.0} {:>9.0} {:>8.0}",
+            "{:<14} {:>8} {:<10} {:>4.0}% {:>10.4} {:>8} {:>14} {:>7}  {:>6} {:>7.0}% {:>9.1} {:>9} {:>8.2} {:>8.2} {:>10.0} {:>9.0} {:>8.0} {:>9.0} {:>8.2}",
             row.key.benchmark,
             scheme_name(row.key.scheme),
             row.key.attack.name(),
@@ -422,6 +435,8 @@ fn main() {
             row.mean_decisions,
             row.mean_conflicts,
             row.mean_restarts,
+            row.mean_elim_vars,
+            row.mean_simplify_ms,
         );
     }
     for row in &report.device {

@@ -74,6 +74,18 @@ pub struct TableRow {
     /// Mean learnt clauses deleted by DB reduction per trial (timing-side
     /// diagnostic only).
     pub mean_learnts_deleted: f64,
+    /// Mean variables removed by bounded variable elimination per trial
+    /// (timing-side diagnostic only).
+    pub mean_elim_vars: f64,
+    /// Mean clauses removed by backward subsumption per trial
+    /// (timing-side diagnostic only).
+    pub mean_subsumed: f64,
+    /// Mean literals removed by strengthening/vivification per trial
+    /// (timing-side diagnostic only).
+    pub mean_strengthened: f64,
+    /// Mean milliseconds spent simplifying (preprocess + vivify) per
+    /// trial (timing-side diagnostic only).
+    pub mean_simplify_ms: f64,
 }
 
 /// One device-measurement result, passed through (device jobs have no
@@ -204,6 +216,10 @@ pub fn aggregate(results: &[JobResult]) -> (Vec<TableRow>, Vec<DeviceRow>) {
                 mean_conflicts: solver.conflicts as f64 / n as f64,
                 mean_restarts: solver.restarts as f64 / n as f64,
                 mean_learnts_deleted: solver.deleted as f64 / n as f64,
+                mean_elim_vars: solver.elim_vars as f64 / n as f64,
+                mean_subsumed: solver.subsumed as f64 / n as f64,
+                mean_strengthened: solver.strengthened as f64 / n as f64,
+                mean_simplify_ms: solver.simplify_ns as f64 / 1e6 / n as f64,
             }
         })
         .collect();
@@ -279,6 +295,10 @@ mod tests {
                 conflicts: queries,
                 restarts: 2 * queries,
                 deleted: 3 * queries,
+                elim_vars: 4 * queries,
+                subsumed: 5 * queries,
+                strengthened: 6 * queries,
+                simplify_ns: 1_000_000 * queries,
                 ..Default::default()
             },
             error: None,
@@ -308,6 +328,10 @@ mod tests {
         assert!((row.mean_conflicts - 35.0 / 3.0).abs() < 1e-12);
         assert!((row.mean_restarts - 70.0 / 3.0).abs() < 1e-12);
         assert!((row.mean_learnts_deleted - 105.0 / 3.0).abs() < 1e-12);
+        assert!((row.mean_elim_vars - 140.0 / 3.0).abs() < 1e-12);
+        assert!((row.mean_subsumed - 175.0 / 3.0).abs() < 1e-12);
+        assert!((row.mean_strengthened - 210.0 / 3.0).abs() < 1e-12);
+        assert!((row.mean_simplify_ms - 35.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::cache::{CachedOracle, OracleCache};
 use gshe_attacks::{
     cone_inputs, verify_key_scoped, AttackConfig, AttackKind, AttackRunner, AttackStatus, CoiMode,
-    OracleStack,
+    OracleStack, SimplifyMode,
 };
 use gshe_camo::{camouflage, select_gates, CamoScheme, KeyedNetlist};
 use gshe_device::{MonteCarlo, MonteCarloConfig, SwitchParams};
@@ -482,6 +482,10 @@ pub struct JobContext {
     /// whether a design's oracle answers are a function of its cone
     /// inputs alone.
     pub coi_mode: CoiMode,
+    /// SAT simplification policy shared by every attack job's
+    /// incremental solver (preprocessing, inprocessing, and the
+    /// Plaisted–Greenbaum encoding gate).
+    pub sat_simplify: SimplifyMode,
 }
 
 impl JobContext {
@@ -547,7 +551,8 @@ pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobResult {
                     timeout: spec.timeout,
                     ..Default::default()
                 }
-                .with_coi_mode(ctx.coi_mode),
+                .with_coi_mode(ctx.coi_mode)
+                .with_simplify_mode(ctx.sat_simplify),
                 seeds.oracle,
             );
             // Build the oracle stack bottom-up from the cell's defense
@@ -810,6 +815,7 @@ mod tests {
             params: SwitchParams::table_i(),
             keyed: Arc::new(KeyedMemo::default()),
             coi_mode: CoiMode::Auto,
+            sat_simplify: SimplifyMode::Auto,
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::Failed);
@@ -836,6 +842,7 @@ mod tests {
             params: SwitchParams::table_i(),
             keyed: Arc::new(KeyedMemo::default()),
             coi_mode: CoiMode::Auto,
+            sat_simplify: SimplifyMode::Auto,
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::TimedOut);
@@ -858,6 +865,7 @@ mod tests {
             params: SwitchParams::table_i(),
             keyed: Arc::new(KeyedMemo::default()),
             coi_mode: CoiMode::Auto,
+            sat_simplify: SimplifyMode::Auto,
         };
         let out = run_job(&spec, &ctx);
         assert_eq!(out.status, JobStatus::Completed);

@@ -77,6 +77,9 @@
 //! attacks = ["sat"]          # sat | double-dip | appsat (["sat"])
 //! coi_mode = "auto:20000"    # cone-of-influence gating: auto | auto:<n>
 //!                            # | on | off ("auto")
+//! sat_simplify = "auto"      # solver pre/inprocessing + single-sided
+//!                            # encoding: auto | auto:<clauses> | on | off
+//!                            # ("auto")
 //! error_rates = [0.0, 0.05]  # oracle per-cell error rates ([0.0])
 //! clock_periods_ns = [0.8, 2] # physical clock periods as rate sources ([])
 //! profiles = ["uniform"]     # error-profile shapes, or "all" (["uniform"])
@@ -606,6 +609,7 @@ impl EvalSession {
             params: self.params,
             keyed: Arc::clone(&self.keyed),
             coi_mode: spec.coi_mode,
+            sat_simplify: spec.sat_simplify,
         });
 
         let tasks: Vec<Box<dyn FnOnce() -> JobResult + Send>> = jobs
@@ -690,6 +694,7 @@ impl EvalSession {
                 params: self.params,
                 keyed: Arc::clone(&self.keyed),
                 coi_mode: spec.coi_mode,
+                sat_simplify: spec.sat_simplify,
             });
             let indices: Vec<usize> = batch.iter().map(|(idx, _)| *idx).collect();
             let tasks: Vec<Box<dyn FnOnce() -> JobResult + Send>> = batch
@@ -749,7 +754,7 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gshe_attacks::{AttackKind, CoiMode};
+    use gshe_attacks::{AttackKind, CoiMode, SimplifyMode};
     use gshe_camo::CamoScheme;
     use std::time::Duration;
 
@@ -763,6 +768,7 @@ mod tests {
             schemes: vec![CamoScheme::InvBuf, CamoScheme::FourFn],
             attacks: vec![AttackKind::Sat],
             coi_mode: CoiMode::Auto,
+            sat_simplify: SimplifyMode::Auto,
             error_rates: vec![0.0],
             clock_periods_ns: Vec::new(),
             profiles: vec![job::NoiseShape::Uniform],

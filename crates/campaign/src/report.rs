@@ -201,7 +201,9 @@ impl CampaignReport {
                     out,
                     ",\"runtime_p50\":{},\"runtime_p90\":{},\"runtime_max\":{},\
                      \"mean_decisions\":{},\"mean_propagations\":{},\"mean_conflicts\":{},\
-                     \"mean_restarts\":{},\"mean_learnts_deleted\":{}",
+                     \"mean_restarts\":{},\"mean_learnts_deleted\":{},\
+                     \"mean_elim_vars\":{},\"mean_subsumed\":{},\
+                     \"mean_strengthened\":{},\"mean_simplify_ms\":{}",
                     json_f64(row.runtime_p50),
                     json_f64(row.runtime_p90),
                     json_f64(row.runtime_max),
@@ -210,6 +212,10 @@ impl CampaignReport {
                     json_f64(row.mean_conflicts),
                     json_f64(row.mean_restarts),
                     json_f64(row.mean_learnts_deleted),
+                    json_f64(row.mean_elim_vars),
+                    json_f64(row.mean_subsumed),
+                    json_f64(row.mean_strengthened),
+                    json_f64(row.mean_simplify_ms),
                 );
             }
             out.push('}');
@@ -369,6 +375,10 @@ mod tests {
                 conflicts: 4,
                 restarts: 2,
                 deleted: 6,
+                elim_vars: 30,
+                subsumed: 20,
+                strengthened: 10,
+                simplify_ns: 5_000_000,
                 ..Default::default()
             },
             error: None,
@@ -399,9 +409,15 @@ mod tests {
         assert!(full.contains("\"mean_conflicts\":4"));
         assert!(full.contains("\"mean_restarts\":2"));
         assert!(full.contains("\"mean_learnts_deleted\":6"));
+        assert!(full.contains("\"mean_elim_vars\":30"));
+        assert!(full.contains("\"mean_subsumed\":20"));
+        assert!(full.contains("\"mean_strengthened\":10"));
+        assert!(full.contains("\"mean_simplify_ms\":5"));
         assert!(full.contains("\"pool\":{\"workers\":["));
         assert!(!det.contains("decisions"));
         assert!(!det.contains("restarts"));
+        assert!(!det.contains("elim_vars"));
+        assert!(!det.contains("simplify"));
         assert!(!det.contains("pool"));
     }
 

@@ -16,7 +16,7 @@ use crate::job::{
     JobKind, JobSpec, NoiseShape,
 };
 use crate::physical::{is_valid_clock_period, ClockRateTable};
-use gshe_attacks::{AttackKind, CoiMode};
+use gshe_attacks::{AttackKind, CoiMode, SimplifyMode};
 use gshe_camo::CamoScheme;
 use gshe_logic::Topology;
 use std::time::Duration;
@@ -42,7 +42,7 @@ pub fn parse_scheme(name: &str) -> Option<CamoScheme> {
 }
 
 /// The valid TOML keys of a campaign spec, in documentation order.
-pub const SPEC_KEYS: [&str; 17] = [
+pub const SPEC_KEYS: [&str; 18] = [
     "name",
     "benchmarks",
     "scale",
@@ -51,6 +51,7 @@ pub const SPEC_KEYS: [&str; 17] = [
     "schemes",
     "attacks",
     "coi_mode",
+    "sat_simplify",
     "error_rates",
     "clock_periods_ns",
     "profiles",
@@ -122,6 +123,12 @@ pub struct CampaignSpec {
     /// 100k-node threshold), `auto:<nodes>` (custom threshold), `on`,
     /// or `off`.
     pub coi_mode: CoiMode,
+    /// SAT simplification policy for every attack job's incremental
+    /// solver: `auto` (preprocess instances with at least the historical
+    /// 100k-clause threshold and vivify learnts at restart boundaries),
+    /// `auto:<clauses>` (custom threshold), `on`, or `off`. The same
+    /// gate selects Plaisted–Greenbaum single-sided miter encoding.
+    pub sat_simplify: SimplifyMode,
     /// Oracle per-cell error rates (0.0 = perfect chip).
     pub error_rates: Vec<f64>,
     /// *Physical* clock periods, in nanoseconds, swept as additional
@@ -168,6 +175,7 @@ impl Default for CampaignSpec {
             schemes: vec![CamoScheme::GsheAll16],
             attacks: vec![AttackKind::Sat],
             coi_mode: CoiMode::Auto,
+            sat_simplify: SimplifyMode::Auto,
             error_rates: vec![0.0],
             clock_periods_ns: Vec::new(),
             profiles: vec![NoiseShape::Uniform],
@@ -373,6 +381,14 @@ impl CampaignSpec {
                     spec.coi_mode = CoiMode::parse(&name).ok_or_else(|| {
                         fail(&format!(
                             "unknown coi_mode `{name}` (valid: auto, auto:<nodes>, on, off)"
+                        ))
+                    })?;
+                }
+                "sat_simplify" => {
+                    let name = parse_string(value).ok_or_else(|| fail("bad string"))?;
+                    spec.sat_simplify = SimplifyMode::parse(&name).ok_or_else(|| {
+                        fail(&format!(
+                            "unknown sat_simplify `{name}` (valid: auto, auto:<clauses>, on, off)"
                         ))
                     })?;
                 }
@@ -820,22 +836,29 @@ mod tests {
     #[test]
     fn topology_coi_and_memo_budget_parse_from_toml() {
         let spec = CampaignSpec::parse_toml(
-            "topology = \"local\"\ncoi_mode = \"auto:20000\"\nmemo_budget_mb = 1.5",
+            "topology = \"local\"\ncoi_mode = \"auto:20000\"\nsat_simplify = \"auto:50000\"\nmemo_budget_mb = 1.5",
         )
         .unwrap();
         assert_eq!(spec.topology, Topology::Local);
         assert_eq!(spec.coi_mode, CoiMode::AutoAt(20_000));
+        assert_eq!(spec.sat_simplify, SimplifyMode::AutoAt(50_000));
         assert_eq!(spec.memo_budget_mb, 1.5);
         // Defaults are the historical behavior.
         let default = CampaignSpec::default();
         assert_eq!(default.topology, Topology::Uniform);
         assert_eq!(default.coi_mode, CoiMode::Auto);
+        assert_eq!(default.sat_simplify, SimplifyMode::Auto);
         assert_eq!(default.memo_budget_mb, 0.0);
+
+        let spec = CampaignSpec::parse_toml("sat_simplify = \"on\"").unwrap();
+        assert_eq!(spec.sat_simplify, SimplifyMode::On);
 
         let err = CampaignSpec::parse_toml("topology = \"spiral\"").unwrap_err();
         assert!(err.contains("uniform, local"), "{err}");
         let err = CampaignSpec::parse_toml("coi_mode = \"maybe\"").unwrap_err();
         assert!(err.contains("auto:<nodes>"), "{err}");
+        let err = CampaignSpec::parse_toml("sat_simplify = \"maybe\"").unwrap_err();
+        assert!(err.contains("auto:<clauses>"), "{err}");
         assert!(CampaignSpec::parse_toml("memo_budget_mb = -1").is_err());
         assert!(CampaignSpec::parse_toml("memo_budget_mb = nan").is_err());
     }

@@ -73,6 +73,13 @@
 //! | `attack.solve` | `attacks::dip_engine` | one conflict-sliced solver call |
 //! | `attack.oracle` | `attacks::dip_engine` | one oracle `query`/`query_block` |
 //! | `search.trial` | `campaign::search` | one candidate-scoring attack trial |
+//!
+//! The SAT layer itself is dependency-free; its simplification work
+//! surfaces through `attacks::dip_engine` as counters
+//! (`sat.elim_vars`, `sat.subsumed`, `sat.strengthened`) and histograms
+//! (`sat.simplify_ns` — nanoseconds per attack spent in pre/inprocessing,
+//! `sat.lbd` — final learnt-clause LBD distribution, `sat.solve.*` —
+//! per-solve conflict/decision/propagation deltas).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

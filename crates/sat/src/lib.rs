@@ -19,6 +19,13 @@
 //!   a geometric schedule — see [`solver::SearchConfig`].
 //! - **Incrementality**: clause addition between solves, solving under
 //!   assumptions, and model-blocking enumeration primitives.
+//! - **Simplification** ([`simplify`]): SatELite-style preprocessing
+//!   (backward subsumption, self-subsumption strengthening, bounded
+//!   variable elimination with model reconstruction and a
+//!   [`solver::Solver::freeze`] contract for incremental use) gated by
+//!   [`simplify::SimplifyMode`], plus learnt-clause vivification at
+//!   restart boundaries; and Plaisted–Greenbaum single-sided encoding via
+//!   [`tseitin::Polarity`].
 //!
 //! The solver also enforces an explicit resource budget, mirroring the
 //! scalability failures the paper observes ("internal error in 'lglib.c':
@@ -44,10 +51,12 @@ pub mod cnf;
 pub mod dimacs;
 pub mod heap;
 pub mod lit;
+pub mod simplify;
 pub mod solver;
 pub mod tseitin;
 
 pub use cnf::{ClauseSink, CnfFormula};
 pub use lit::{Lit, Var};
+pub use simplify::{SimplifyMode, SIMPLIFY_AUTO_THRESHOLD};
 pub use solver::{RestartMode, SearchConfig, SolveResult, Solver, SolverStats};
-pub use tseitin::CircuitEncoder;
+pub use tseitin::{CircuitEncoder, Polarity};

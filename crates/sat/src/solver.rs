@@ -62,6 +62,15 @@ pub struct SolverStats {
     pub db_gcs: u64,
     /// Total nanoseconds spent compacting the arena.
     pub gc_ns: u64,
+    /// Variables removed by bounded variable elimination (preprocessing).
+    pub elim_vars: u64,
+    /// Clauses removed by backward subsumption (preprocessing).
+    pub subsumed: u64,
+    /// Literals removed by self-subsumption strengthening and clause
+    /// vivification (pre- and inprocessing).
+    pub strengthened: u64,
+    /// Total nanoseconds spent in simplification (preprocess + vivify).
+    pub simplify_ns: u64,
 }
 
 /// Component-wise accumulation, used by the campaign layer to roll many
@@ -76,6 +85,10 @@ impl std::ops::AddAssign for SolverStats {
         self.deleted += rhs.deleted;
         self.db_gcs += rhs.db_gcs;
         self.gc_ns += rhs.gc_ns;
+        self.elim_vars += rhs.elim_vars;
+        self.subsumed += rhs.subsumed;
+        self.strengthened += rhs.strengthened;
+        self.simplify_ns += rhs.simplify_ns;
     }
 }
 
@@ -198,35 +211,38 @@ impl BoundedQueue {
 /// A CDCL SAT solver (see the crate docs for the feature list).
 #[derive(Debug, Clone)]
 pub struct Solver {
-    arena: ClauseArena,
+    pub(crate) arena: ClauseArena,
     /// Live problem clauses (length ≥ 2), in allocation order.
-    clauses: Vec<ClauseRef>,
+    pub(crate) clauses: Vec<ClauseRef>,
     /// Live learnt clauses, in allocation order.
-    learnts: Vec<ClauseRef>,
+    pub(crate) learnts: Vec<ClauseRef>,
     /// Per-literal watchers for clauses of length ≥ 3.
     watches: Vec<Vec<Watch>>,
     /// Per-literal watchers for binary clauses.
     bwatches: Vec<Vec<BinWatch>>,
-    assign: Vec<LBool>,
-    level: Vec<u32>,
-    reason: Vec<ClauseRef>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
+    pub(crate) assign: Vec<LBool>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<ClauseRef>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
     qhead: usize,
-    activity: Vec<f64>,
+    pub(crate) activity: Vec<f64>,
     var_inc: f64,
-    heap: OrderHeap,
+    pub(crate) heap: OrderHeap,
     phase: Vec<bool>,
     seen: Vec<bool>,
     /// Level-stamp scratch for O(clause) LBD recomputation, indexed by
     /// decision level (entry 0 is unused padding).
     lbd_stamp: Vec<u64>,
     lbd_stamp_gen: u64,
-    ok: bool,
-    model: Vec<bool>,
-    stats: SolverStats,
+    pub(crate) ok: bool,
+    pub(crate) model: Vec<bool>,
+    pub(crate) stats: SolverStats,
     budget: Budget,
     config: SearchConfig,
+    /// Simplification state: mode knob, frozen/eliminated marks, and the
+    /// elimination stack for model reconstruction (see [`crate::simplify`]).
+    pub(crate) simp: crate::simplify::SimpState,
     /// Learnt clauses triggering the next DB reduction (grows
     /// geometrically from `config.reduce_base`).
     reduce_limit: usize,
@@ -290,6 +306,7 @@ impl Solver {
             stats: SolverStats::default(),
             budget: Budget::default(),
             config,
+            simp: crate::simplify::SimpState::default(),
             reduce_limit: config.reduce_base,
             lbd_queue: BoundedQueue::new(LBD_QUEUE_LEN),
             trail_queue: BoundedQueue::new(TRAIL_QUEUE_LEN),
@@ -342,6 +359,22 @@ impl Solver {
         self.clauses.len() + self.learnts.len()
     }
 
+    /// Number of problem (non-learnt) clauses of length ≥ 2. Level-0 units
+    /// are consumed into the trail and not counted. This is the count
+    /// [`crate::simplify::SimplifyMode::Auto`] gates on and the base number
+    /// for measured clause reductions.
+    pub fn num_problem_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of variables neither assigned at level 0 nor eliminated by
+    /// preprocessing — the variables search can still branch on.
+    pub fn num_free_vars(&self) -> usize {
+        (0..self.assign.len())
+            .filter(|&i| self.assign[i] == LBool::Undef && !self.simp.eliminated[i])
+            .count()
+    }
+
     /// Allocates a fresh variable.
     ///
     /// # Panics
@@ -367,6 +400,8 @@ impl Solver {
         self.phase.push(false);
         self.seen.push(false);
         self.lbd_stamp.push(0);
+        self.simp.frozen.push(false);
+        self.simp.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.bwatches.push(Vec::new());
@@ -375,7 +410,7 @@ impl Solver {
         Some(v)
     }
 
-    fn value_lit(&self, l: Lit) -> LBool {
+    pub(crate) fn value_lit(&self, l: Lit) -> LBool {
         let v = self.assign[l.var().index()];
         if l.is_positive() {
             v
@@ -399,11 +434,11 @@ impl Solver {
         self.model_value(l.var()) == l.is_positive()
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, l: Lit, reason: ClauseRef) -> bool {
+    pub(crate) fn enqueue(&mut self, l: Lit, reason: ClauseRef) -> bool {
         match self.value_lit(l) {
             LBool::True => true,
             LBool::False => false,
@@ -421,9 +456,26 @@ impl Solver {
 
     /// Adds a clause. Returns `false` if the solver became trivially
     /// unsatisfiable. Clauses may be added at any time between `solve`
-    /// calls (incremental use).
+    /// calls (incremental use). A clause naming a variable removed by
+    /// bounded variable elimination transparently reintroduces it first
+    /// (see [`crate::simplify`]), so callers never observe elimination.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
         debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        for &l in lits {
+            if self.is_eliminated(l.var()) {
+                self.reintroduce(l.var());
+            }
+        }
+        self.add_clause_inner(lits)
+    }
+
+    /// The [`Solver::add_clause`] body past the eliminated-variable check;
+    /// reintroduction re-adds stored clauses through here directly (every
+    /// involved variable is un-eliminated by then).
+    pub(crate) fn add_clause_inner(&mut self, lits: &[Lit]) -> bool {
         if !self.ok {
             return false;
         }
@@ -510,7 +562,7 @@ impl Solver {
         self.add_clause(&clause)
     }
 
-    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+    pub(crate) fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let c = self.arena.alloc(lits, learnt, lbd);
         self.attach_watches(c);
@@ -526,7 +578,7 @@ impl Solver {
     /// Installs the watchers for `c` on its first two literals — the
     /// dedicated binary lists for two-literal clauses, the blocker-carrying
     /// long lists otherwise.
-    fn attach_watches(&mut self, c: ClauseRef) {
+    pub(crate) fn attach_watches(&mut self, c: ClauseRef) {
         let l0 = self.arena.lit(c, 0);
         let l1 = self.arena.lit(c, 1);
         if self.arena.len(c) == 2 {
@@ -550,9 +602,35 @@ impl Solver {
         }
     }
 
+    /// Removes the two watcher entries of `c` (the exact inverse of
+    /// [`Solver::attach_watches`]); used by vivification to take a clause
+    /// out of propagation while it is probed against itself.
+    pub(crate) fn detach_watches(&mut self, c: ClauseRef) {
+        let l0 = self.arena.lit(c, 0);
+        let l1 = self.arena.lit(c, 1);
+        if self.arena.len(c) == 2 {
+            self.bwatches[(!l0).code()].retain(|w| w.clause != c);
+            self.bwatches[(!l1).code()].retain(|w| w.clause != c);
+        } else {
+            self.watches[(!l0).code()].retain(|w| w.clause != c);
+            self.watches[(!l1).code()].retain(|w| w.clause != c);
+        }
+    }
+
+    /// Clears every watch list; the caller must re-attach all live clauses
+    /// (the preprocessing rebuild does, mirroring the GC).
+    pub(crate) fn clear_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for w in &mut self.bwatches {
+            w.clear();
+        }
+    }
+
     /// Boolean constraint propagation. Returns the conflicting clause or
     /// [`ClauseRef::NONE`].
-    fn propagate(&mut self) -> ClauseRef {
+    pub(crate) fn propagate(&mut self) -> ClauseRef {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -807,7 +885,7 @@ impl Solver {
         })
     }
 
-    fn cancel_until(&mut self, target: u32) {
+    pub(crate) fn cancel_until(&mut self, target: u32) {
         if self.decision_level() <= target {
             return;
         }
@@ -825,7 +903,10 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(v) = self.heap.pop(&self.activity) {
-            if self.assign[v.index()] == LBool::Undef {
+            // Eliminated variables occur in no clause; branching on them
+            // would only pad the trail. They re-enter the heap on
+            // reintroduction.
+            if self.assign[v.index()] == LBool::Undef && !self.simp.eliminated[v.index()] {
                 return Some(v);
             }
         }
@@ -835,7 +916,7 @@ impl Solver {
     /// `true` if `c` is the reason for a current assignment — an O(1)
     /// check: a reason clause always carries its implied literal at
     /// position 0, so it suffices to look that variable's reason up.
-    fn locked(&self, c: ClauseRef) -> bool {
+    pub(crate) fn locked(&self, c: ClauseRef) -> bool {
         let first = self.arena.lit(c, 0);
         self.value_lit(first) == LBool::True && self.reason[first.var().index()] == c
     }
@@ -884,7 +965,7 @@ impl Solver {
         self.maybe_gc();
     }
 
-    fn maybe_gc(&mut self) {
+    pub(crate) fn maybe_gc(&mut self) {
         let used = self.arena.used_words();
         if used > 0 && self.arena.wasted_words() * 100 >= used * self.config.gc_wasted_pct as usize
         {
@@ -993,12 +1074,34 @@ impl Solver {
     ///
     /// After `Sat`, the model is available; after any result the solver is
     /// back at decision level 0 and more clauses may be added.
+    ///
+    /// The first engaged solve (see [`Solver::set_simplify`]) runs the
+    /// preprocessing pass of [`crate::simplify`] before search; assumption
+    /// variables are treated as frozen for that pass, and assumptions on
+    /// previously eliminated variables transparently reintroduce them.
+    /// After `Sat` the model is extended over eliminated variables by
+    /// replaying the elimination stack, so [`Solver::model_value`] stays
+    /// total and the model satisfies every clause ever added.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        for &a in assumptions {
+            if self.is_eliminated(a.var()) {
+                self.reintroduce(a.var());
+            }
+        }
+        if !self.simp.preprocessed
+            && self.simp.mode.engages(self.clauses.len())
+            && !self.preprocess_with(assumptions)
+        {
+            return SolveResult::Unsat;
+        }
         let result = self.search(assumptions);
         self.cancel_until(0);
+        if result == SolveResult::Sat {
+            self.extend_model();
+        }
         result
     }
 
@@ -1089,6 +1192,13 @@ impl Solver {
                     }
                     let keep = (assumptions.len() as u32).min(self.decision_level());
                     self.cancel_until(keep);
+                    // Inprocessing rides the restart boundary: every Nth
+                    // restart, vivify a budgeted batch of learnt clauses
+                    // (drops to level 0; the decide loop below re-pushes
+                    // any assumptions).
+                    if !self.maybe_vivify() {
+                        return SolveResult::Unsat;
+                    }
                 }
                 continue;
             }

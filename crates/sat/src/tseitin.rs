@@ -5,9 +5,54 @@
 //! for export). Two-input gates are encoded from their 4-bit truth tables,
 //! so every one of the 16 functions the GSHE primitive cloaks — and any
 //! key-dependent selection among them — encodes uniformly.
+//!
+//! Definitions can be emitted single-sided (Plaisted–Greenbaum) via the
+//! [`Polarity`]-taking variants: when a defined literal `z` only ever
+//! occurs positively downstream (e.g. it is asserted or assumed, never
+//! fixed false), the `¬z → ¬f` direction is never needed and its clauses
+//! can be dropped. See [`Polarity`] for the exact contract.
 
 use crate::cnf::ClauseSink;
 use crate::lit::Lit;
+
+/// Which implication direction of a Tseitin definition `z ↔ f` must be
+/// emitted, given how the defined literal `z` is used downstream.
+///
+/// - [`Polarity::Pos`]: `z` occurs only **positively** downstream (it is
+///   asserted, assumed, or appears un-negated inside later clauses). Only
+///   `z → f` is needed: a model with `z` false never constrains `f`.
+/// - [`Polarity::Neg`]: `z` occurs only negatively; only `f → z` is kept.
+/// - [`Polarity::Both`]: full equivalence — required whenever `z` may
+///   later be fixed to either value, read from a model *and reused in an
+///   added clause*, or compared with [`CircuitEncoder::equal`].
+///
+/// Single-sided definitions preserve satisfiability of every formula that
+/// respects the declared polarity, and models still assign meaningful
+/// values to asserted/assumed outputs; but a model may under-constrain an
+/// unasserted output (e.g. a `Pos`-encoded miter output can be false in a
+/// model even though the buses differ). Callers must therefore not read
+/// unassumed single-sided outputs from models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Only the `z → f` clauses (those containing `¬z`).
+    Pos,
+    /// Only the `f → z` clauses (those containing `z`).
+    Neg,
+    /// Full equivalence (the default everywhere a literal is reused).
+    Both,
+}
+
+impl Polarity {
+    /// `true` if the `z → f` clauses (containing `¬z`) are emitted.
+    pub fn wants_pos(self) -> bool {
+        matches!(self, Polarity::Pos | Polarity::Both)
+    }
+
+    /// `true` if the `f → z` clauses (containing `z`) are emitted.
+    pub fn wants_neg(self) -> bool {
+        matches!(self, Polarity::Neg | Polarity::Both)
+    }
+}
 
 /// Tseitin encoder over a clause sink.
 #[derive(Debug)]
@@ -82,10 +127,34 @@ impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
     /// Like [`CircuitEncoder::gate_tt`] but forces the output onto an
     /// existing literal `z`.
     pub fn gate_tt_onto(&mut self, tt: u8, a: Lit, b: Lit, z: Lit) {
+        self.gate_tt_onto_pol(tt, a, b, z, Polarity::Both);
+    }
+
+    /// [`CircuitEncoder::gate_tt`] with a single-sided definition: a fresh
+    /// output constrained only in the direction(s) `pol` declares.
+    pub fn gate_tt_pol(&mut self, tt: u8, a: Lit, b: Lit, pol: Polarity) -> Lit {
+        debug_assert!(tt < 16, "truth table must be a nibble");
+        let z = self.fresh();
+        self.gate_tt_onto_pol(tt, a, b, z, pol);
+        z
+    }
+
+    /// Truth-table gate with Plaisted–Greenbaum polarity control. The
+    /// rows where the gate outputs 0 produce the clauses containing `¬z`
+    /// (the `z → f` direction, kept for [`Polarity::Pos`]); the rows
+    /// outputting 1 produce the clauses containing `z` (`f → z`, kept for
+    /// [`Polarity::Neg`]).
+    pub fn gate_tt_onto_pol(&mut self, tt: u8, a: Lit, b: Lit, z: Lit, pol: Polarity) {
         for row in 0..4u8 {
             let va = row & 1 == 1;
             let vb = row & 2 == 2;
             let out = (tt >> row) & 1 == 1;
+            if out && !pol.wants_neg() {
+                continue;
+            }
+            if !out && !pol.wants_pos() {
+                continue;
+            }
             // (a = va ∧ b = vb) → (z = out)
             let la = if va { !a } else { a };
             let lb = if vb { !b } else { b };
@@ -130,6 +199,18 @@ impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
     ///
     /// Panics on an empty operand list.
     pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        self.or_many_pol(lits, Polarity::Both)
+    }
+
+    /// [`CircuitEncoder::or_many`] with polarity control: the big clause
+    /// `(l₀ ∨ … ∨ ¬z)` is the `z → f` side ([`Polarity::Pos`]), the
+    /// per-operand bindings `(¬lᵢ ∨ z)` the `f → z` side. A single
+    /// operand is passed through unchanged (no definition at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty operand list.
+    pub fn or_many_pol(&mut self, lits: &[Lit], pol: Polarity) -> Lit {
         assert!(!lits.is_empty(), "or_many needs at least one operand");
         if lits.len() == 1 {
             return lits[0];
@@ -137,11 +218,15 @@ impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
         let z = self.fresh();
         let mut big = Vec::with_capacity(lits.len() + 1);
         for &l in lits {
-            self.clause(&[!l, z]);
+            if pol.wants_neg() {
+                self.clause(&[!l, z]);
+            }
             big.push(l);
         }
-        big.push(!z);
-        self.clause(&big);
+        if pol.wants_pos() {
+            big.push(!z);
+            self.clause(&big);
+        }
         z
     }
 
@@ -151,6 +236,17 @@ impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
     ///
     /// Panics on an empty operand list.
     pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        self.and_many_pol(lits, Polarity::Both)
+    }
+
+    /// [`CircuitEncoder::and_many`] with polarity control: the per-operand
+    /// bindings `(¬z ∨ lᵢ)` are the `z → f` side ([`Polarity::Pos`]), the
+    /// big clause `(¬l₀ ∨ … ∨ z)` the `f → z` side.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty operand list.
+    pub fn and_many_pol(&mut self, lits: &[Lit], pol: Polarity) -> Lit {
         assert!(!lits.is_empty(), "and_many needs at least one operand");
         if lits.len() == 1 {
             return lits[0];
@@ -158,11 +254,15 @@ impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
         let z = self.fresh();
         let mut big = Vec::with_capacity(lits.len() + 1);
         for &l in lits {
-            self.clause(&[!z, l]);
+            if pol.wants_pos() {
+                self.clause(&[!z, l]);
+            }
             big.push(!l);
         }
-        big.push(z);
-        self.clause(&big);
+        if pol.wants_neg() {
+            big.push(z);
+            self.clause(&big);
+        }
         z
     }
 
@@ -174,9 +274,27 @@ impl<'a, S: ClauseSink> CircuitEncoder<'a, S> {
     ///
     /// Panics if the lists have different lengths or are empty.
     pub fn miter(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        self.miter_pol(a, b, Polarity::Both)
+    }
+
+    /// [`CircuitEncoder::miter`] with polarity control. The per-bit XORs
+    /// inherit the requested polarity (each xor output occurs downstream
+    /// only inside the OR with that same polarity), so a
+    /// [`Polarity::Pos`] miter — an output that is only ever *assumed*
+    /// true, the DIP-loop case — costs half the xor rows and drops every
+    /// per-bit OR binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists have different lengths or are empty.
+    pub fn miter_pol(&mut self, a: &[Lit], b: &[Lit], pol: Polarity) -> Lit {
         assert_eq!(a.len(), b.len(), "miter needs equal-width buses");
-        let diffs: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect();
-        self.or_many(&diffs)
+        let diffs: Vec<Lit> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.gate_tt_pol(0b0110, x, y, pol))
+            .collect();
+        self.or_many_pol(&diffs, pol)
     }
 }
 
@@ -289,6 +407,65 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
         assert!(s.model_lit(t));
         assert!(!s.model_lit(f));
+    }
+
+    #[test]
+    fn pos_polarity_gate_constrains_only_forward() {
+        // Pos-encoded AND: assuming z forces both inputs; fixing an input
+        // false must NOT force z false (that is the dropped direction).
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        let z = CircuitEncoder::new(&mut s).gate_tt_pol(0b1000, a, b, Polarity::Pos);
+        assert_eq!(s.solve_with(&[z]), SolveResult::Sat);
+        assert!(s.model_lit(a) && s.model_lit(b), "z → a ∧ b must hold");
+        assert_eq!(s.solve_with(&[z, !a]), SolveResult::Unsat);
+        // The reverse direction is absent: z may float true-or-false
+        // under ¬a, so both completions are satisfiable.
+        assert_eq!(s.solve_with(&[!a, z]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[!a]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pos_polarity_miter_finds_differences() {
+        // The DIP-loop contract: the miter output is only ever assumed
+        // true. Under that use, Pos encoding must agree with Both on
+        // satisfiability for every input fixing.
+        for width in [1usize, 3] {
+            for fix in 0..(1u32 << (2 * width)) {
+                let mut s_pos = Solver::new();
+                let mut s_both = Solver::new();
+                let mut results = Vec::new();
+                for (s, pol) in [(&mut s_pos, Polarity::Pos), (&mut s_both, Polarity::Both)] {
+                    let a: Vec<Lit> = (0..width).map(|_| Lit::pos(s.new_var())).collect();
+                    let b: Vec<Lit> = (0..width).map(|_| Lit::pos(s.new_var())).collect();
+                    let diff = CircuitEncoder::new(s).miter_pol(&a, &b, pol);
+                    let mut asm = vec![diff];
+                    for i in 0..width {
+                        let va = (fix >> i) & 1 == 1;
+                        let vb = (fix >> (width + i)) & 1 == 1;
+                        asm.push(if va { a[i] } else { !a[i] });
+                        asm.push(if vb { b[i] } else { !b[i] });
+                    }
+                    results.push(s.solve_with(&asm));
+                }
+                assert_eq!(results[0], results[1], "width={width} fix={fix:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn polarity_halves_gate_clauses() {
+        let mut pos = crate::CnfFormula::new();
+        let mut both = crate::CnfFormula::new();
+        for (f, pol) in [(&mut pos, Polarity::Pos), (&mut both, Polarity::Both)] {
+            let mut enc = CircuitEncoder::new(f);
+            let a = enc.fresh();
+            let b = enc.fresh();
+            enc.gate_tt_pol(0b0110, a, b, pol);
+        }
+        assert_eq!(both.len(), 4);
+        assert_eq!(pos.len(), 2, "xor has two 0-rows");
     }
 
     #[test]

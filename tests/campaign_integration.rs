@@ -4,7 +4,7 @@
 //! that exhaust their wall-clock budget `TimedOut` instead of hanging the
 //! pool.
 
-use spin_hall_security::attacks::CoiMode;
+use spin_hall_security::attacks::{CoiMode, SimplifyMode};
 use spin_hall_security::campaign::{Campaign, CampaignSpec, JobStatus, NoiseShape};
 use spin_hall_security::logic::Topology;
 use spin_hall_security::prelude::{AttackKind, CamoScheme};
@@ -28,6 +28,7 @@ fn two_by_two_spec(threads: usize) -> CampaignSpec {
         threads,
         topology: Topology::Uniform,
         coi_mode: CoiMode::Auto,
+        sat_simplify: SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     }
 }
@@ -95,6 +96,7 @@ fn exhausted_budgets_mark_jobs_timed_out_without_hanging_the_pool() {
         threads: 4,
         topology: Topology::Uniform,
         coi_mode: CoiMode::Auto,
+        sat_simplify: SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     };
     let start = Instant::now();
@@ -145,6 +147,7 @@ fn rotation_period_sweep_shows_attack_collapse_end_to_end() {
         threads: 2,
         topology: Topology::Uniform,
         coi_mode: CoiMode::Auto,
+        sat_simplify: SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec).expect("rotation campaign");
@@ -194,6 +197,7 @@ fn combined_defense_grid_is_no_easier_than_either_defense_alone() {
         threads: 2,
         topology: Topology::Uniform,
         coi_mode: CoiMode::Auto,
+        sat_simplify: SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec).expect("combined campaign");
@@ -264,6 +268,7 @@ fn clock_period_sweep_derives_physical_rates_end_to_end() {
         threads: 2,
         topology: Topology::Uniform,
         coi_mode: CoiMode::Auto,
+        sat_simplify: SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec).expect("clock campaign");
@@ -326,6 +331,7 @@ fn aag_suite_runs_through_the_campaign_engine() {
         threads,
         topology: Topology::Uniform,
         coi_mode: CoiMode::Auto,
+        sat_simplify: SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec_for(2)).expect("aag campaign");
@@ -374,6 +380,7 @@ fn stochastic_cells_defeat_the_attack_in_campaign_form() {
         threads: 2,
         topology: Topology::Uniform,
         coi_mode: CoiMode::Auto,
+        sat_simplify: SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     };
     let report = Campaign::run(&spec).expect("stochastic campaign");

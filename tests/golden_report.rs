@@ -71,6 +71,7 @@ fn golden_spec() -> CampaignSpec {
         threads: 2,
         topology: spin_hall_security::logic::Topology::Uniform,
         coi_mode: spin_hall_security::attacks::CoiMode::Auto,
+        sat_simplify: spin_hall_security::attacks::SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     }
 }
@@ -129,6 +130,24 @@ fn deterministic_json_matches_committed_golden_file() {
         GOLDEN,
         "deterministic report drifted from tests/golden/small_grid.json; \
          if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn auto_simplify_is_transparent_on_the_golden_grid() {
+    // The default `sat_simplify = auto` only engages above the 100k
+    // problem-clause threshold; every instance in this grid sits far
+    // below it, so the default-settings run must be byte-identical to an
+    // explicit `off` run — i.e. to the pre-simplification (PR 9) solver
+    // trace the golden file pins.
+    let mut spec = golden_spec();
+    spec.sat_simplify = spin_hall_security::attacks::SimplifyMode::Off;
+    let report = Campaign::run(&spec).expect("golden campaign, simplify off");
+    assert_eq!(
+        report.deterministic_json(),
+        GOLDEN,
+        "the auto threshold engaged on a golden-grid instance: defaults \
+         no longer reproduce the historical solver trace"
     );
 }
 

@@ -30,6 +30,7 @@ fn small_spec() -> CampaignSpec {
         threads: 2,
         topology: spin_hall_security::logic::Topology::Uniform,
         coi_mode: spin_hall_security::attacks::CoiMode::Auto,
+        sat_simplify: spin_hall_security::attacks::SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     }
 }

@@ -156,6 +156,7 @@ fn warm_session_campaign_output_stays_byte_identical() {
         threads: 2,
         topology: spin_hall_security::logic::Topology::Uniform,
         coi_mode: spin_hall_security::attacks::CoiMode::Auto,
+        sat_simplify: spin_hall_security::attacks::SimplifyMode::Auto,
         memo_budget_mb: 0.0,
     };
     let fresh = Campaign::run(&campaign_spec).expect("fresh campaign");

@@ -14,7 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spin_hall_security::attacks::CoiMode;
+use spin_hall_security::attacks::{CoiMode, SimplifyMode};
 use spin_hall_security::campaign::{
     CachedOracle, Campaign, CampaignSpec, EvalSession, JobStatus, NoiseShape, OracleCache,
 };
@@ -39,6 +39,7 @@ fn superblue_spec(memo_budget_mb: f64) -> CampaignSpec {
         schemes: vec![CamoScheme::GsheAll16],
         attacks: vec![AttackKind::Sat],
         coi_mode: CoiMode::AutoAt(3_000),
+        sat_simplify: SimplifyMode::Auto,
         error_rates: vec![0.0],
         clock_periods_ns: Vec::new(),
         profiles: vec![NoiseShape::Uniform],
